@@ -1,0 +1,158 @@
+package repro_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/smp"
+	"repro/internal/workload"
+)
+
+// Each table/figure of the evaluation has a benchmark that regenerates it
+// at quick scale per iteration. Simulated results are in virtual time and
+// deterministic; the wall-clock ns/op these report is the cost of
+// regenerating the experiment, while the workload-level benchmarks below
+// additionally report virtual-time metrics via ReportMetric.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, ok := bench.Find(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(bench.Quick); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+func BenchmarkT1MessageRoundTrip(b *testing.B)   { benchExperiment(b, "T1") }
+func BenchmarkT2MigrationBreakdown(b *testing.B) { benchExperiment(b, "T2") }
+func BenchmarkT3ThreadCreate(b *testing.B)       { benchExperiment(b, "T3") }
+func BenchmarkT4SyscallOverhead(b *testing.B)    { benchExperiment(b, "T4") }
+func BenchmarkF1ThreadBomb(b *testing.B)         { benchExperiment(b, "F1") }
+func BenchmarkF2PageFault(b *testing.B)          { benchExperiment(b, "F2") }
+func BenchmarkF3VMAPropagation(b *testing.B)     { benchExperiment(b, "F3") }
+func BenchmarkF4MmapStorm(b *testing.B)          { benchExperiment(b, "F4") }
+func BenchmarkF5FutexChain(b *testing.B)         { benchExperiment(b, "F5") }
+func BenchmarkF5SharedFutex(b *testing.B)        { benchExperiment(b, "F5b") }
+func BenchmarkF6FaultSweep(b *testing.B)         { benchExperiment(b, "F6") }
+func BenchmarkF7ComputeKernels(b *testing.B)     { benchExperiment(b, "F7") }
+func BenchmarkF8MigrationBenefit(b *testing.B)   { benchExperiment(b, "F8") }
+func BenchmarkF9KVStore(b *testing.B)            { benchExperiment(b, "F9") }
+
+func BenchmarkAblationVMAOrigin(b *testing.B)     { benchExperiment(b, "D1") }
+func BenchmarkAblationDummyThread(b *testing.B)   { benchExperiment(b, "D2") }
+func BenchmarkAblationKernelCount(b *testing.B)   { benchExperiment(b, "D3") }
+func BenchmarkAblationSlotSize(b *testing.B)      { benchExperiment(b, "D4") }
+func BenchmarkAblationPageOwnership(b *testing.B) { benchExperiment(b, "D5") }
+
+// Workload-level benchmarks: one fresh machine per iteration, with the
+// virtual per-operation latency reported as a custom metric. These are the
+// numbers to compare against the paper (shape, not absolute).
+
+func bootPopcornBench(b *testing.B) *core.OS {
+	b.Helper()
+	topo := hw.Topology{Cores: 64, NUMANodes: 2}
+	machine, err := hw.NewMachine(topo, hw.DefaultCostModel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cc := kernel.DefaultClusterConfig(machine)
+	cc.Kernels = 8
+	o, err := core.Boot(core.Config{Topology: topo, Cluster: &cc})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return o
+}
+
+func reportVirtual(b *testing.B, res workload.Result) {
+	b.Helper()
+	b.ReportMetric(float64(res.PerOp().Nanoseconds()), "virt-ns/op")
+	b.ReportMetric(res.Throughput()/1000, "virt-ops/ms")
+}
+
+func BenchmarkWorkloadThreadBombPopcorn(b *testing.B) {
+	var last workload.Result
+	for i := 0; i < b.N; i++ {
+		o := bootPopcornBench(b)
+		res, err := workload.ThreadBomb(o, workload.ThreadBombSpec{Spawners: 32, Children: 8})
+		o.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportVirtual(b, last)
+}
+
+func BenchmarkWorkloadThreadBombSMP(b *testing.B) {
+	var last workload.Result
+	for i := 0; i < b.N; i++ {
+		o, err := smp.Boot(smp.Config{Topology: hw.Topology{Cores: 64, NUMANodes: 2}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := workload.ThreadBomb(o, workload.ThreadBombSpec{Spawners: 32, Children: 8})
+		o.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportVirtual(b, last)
+}
+
+func BenchmarkWorkloadMmapStormPopcorn(b *testing.B) {
+	var last workload.Result
+	for i := 0; i < b.N; i++ {
+		o := bootPopcornBench(b)
+		res, err := workload.MmapStorm(o, workload.MmapStormSpec{Threads: 32, Iters: 4, Pages: 4})
+		o.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportVirtual(b, last)
+}
+
+func BenchmarkWorkloadMmapStormSMP(b *testing.B) {
+	var last workload.Result
+	for i := 0; i < b.N; i++ {
+		o, err := smp.Boot(smp.Config{Topology: hw.Topology{Cores: 64, NUMANodes: 2}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := workload.MmapStorm(o, workload.MmapStormSpec{Threads: 32, Iters: 4, Pages: 4})
+		o.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportVirtual(b, last)
+}
+
+func BenchmarkWorkloadMigration(b *testing.B) {
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		o := bootPopcornBench(b)
+		res, err := workload.MigrationBenefit(o, workload.MigrationBenefitSpec{Pages: 32, Rounds: 1, Migrate: true})
+		if err != nil {
+			o.Close()
+			b.Fatal(err)
+		}
+		total = o.Metrics().Histogram("tg.migrate.total").Mean()
+		_ = res
+		o.Close()
+	}
+	b.ReportMetric(float64(total.Nanoseconds()), "virt-ns/migration")
+}

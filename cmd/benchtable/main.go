@@ -1,0 +1,104 @@
+// Command benchtable regenerates the tables and figures of the
+// reconstructed evaluation. Each experiment boots fresh simulated machines,
+// runs deterministic workloads, and prints the series/table the paper
+// reports.
+//
+// Usage:
+//
+//	benchtable [-scale quick|full] [-exp all|T1,F4,...] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "full", "experiment scale: quick or full")
+	expFlag := flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+	listFlag := flag.Bool("list", false, "list available experiments and exit")
+	csvDir := flag.String("csv", "", "also write each experiment as CSV into this directory")
+	flag.Parse()
+
+	if *listFlag {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var scale bench.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = bench.Quick
+	case "full":
+		scale = bench.Full
+	default:
+		fmt.Fprintf(os.Stderr, "benchtable: unknown scale %q (want quick or full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	var selected []bench.Experiment
+	if *expFlag == "all" {
+		selected = bench.Experiments()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.TrimSpace(id)
+			exp, ok := bench.Find(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchtable: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, exp)
+		}
+	}
+
+	failed := 0
+	for _, exp := range selected {
+		start := time.Now()
+		out, err := exp.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtable: %s failed: %v\n", exp.ID, err)
+			failed++
+			continue
+		}
+		fmt.Printf("### %s — %s (generated in %v)\n\n%s\n", exp.ID, exp.Title, time.Since(start).Round(time.Millisecond), out)
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, exp.ID, out); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtable: csv for %s: %v\n", exp.ID, err)
+				failed++
+			}
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// csvWriter is implemented by stats.Table and stats.Series.
+type csvWriter interface {
+	CSV(w io.Writer) error
+}
+
+func writeCSV(dir, id string, out fmt.Stringer) error {
+	cw, ok := out.(csvWriter)
+	if !ok {
+		return fmt.Errorf("experiment output has no CSV form")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, id+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return cw.CSV(f)
+}

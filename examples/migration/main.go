@@ -1,0 +1,68 @@
+// Follow the data: a producer thread materialises a data set on kernel 1;
+// a consumer thread starting on kernel 0 must process it. The consumer can
+// either pull every page across the kernel boundary, or use the paper's
+// thread migration to move its execution context to the data. This example
+// runs both strategies, prints the crossover, and shows the migration
+// protocol's phase breakdown.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	tab := stats.NewTable("consumer strategy vs data-set size (elapsed µs)",
+		"data pages", "pull pages", "migrate to data", "winner")
+	for _, pages := range []int{1, 8, 32, 128, 512} {
+		var elapsed [2]time.Duration
+		for i, migrate := range []bool{false, true} {
+			os, err := core.Boot(core.Config{Topology: hw.Topology{Cores: 16, NUMANodes: 2}})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := workload.MigrationBenefit(os, workload.MigrationBenefitSpec{
+				Pages: pages, Rounds: 1, Migrate: migrate,
+			})
+			os.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			elapsed[i] = res.Elapsed
+		}
+		winner := "pull"
+		if elapsed[1] < elapsed[0] {
+			winner = "migrate"
+		}
+		tab.AddRow(fmt.Sprint(pages),
+			fmt.Sprintf("%.1f", us(elapsed[0])),
+			fmt.Sprintf("%.1f", us(elapsed[1])),
+			winner)
+	}
+	fmt.Println(tab)
+
+	// Show what one migration costs, phase by phase.
+	os, err := core.Boot(core.Config{Topology: hw.Topology{Cores: 16, NUMANodes: 2}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.Close()
+	if _, err := workload.MigrationBenefit(os, workload.MigrationBenefitSpec{Pages: 8, Rounds: 1, Migrate: true}); err != nil {
+		log.Fatal(err)
+	}
+	reg := os.Metrics()
+	fmt.Println("one migration, phase breakdown:")
+	fmt.Printf("  checkpoint: %6.2f µs\n", us(reg.Histogram("tg.migrate.checkpoint").Mean()))
+	fmt.Printf("  transfer:   %6.2f µs (context message + resume ack)\n", us(reg.Histogram("tg.migrate.rpc").Mean()))
+	fmt.Printf("  task setup: %6.2f µs (dummy-thread pool)\n", us(reg.Histogram("tg.migrate.setup").Mean()))
+	fmt.Printf("  import:     %6.2f µs\n", us(reg.Histogram("tg.migrate.import").Mean()))
+	fmt.Printf("  total:      %6.2f µs\n", us(reg.Histogram("tg.migrate.total").Mean()))
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1000 }

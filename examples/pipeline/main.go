@@ -1,0 +1,162 @@
+// A three-stage dataflow pipeline on the single-system image: stages hand
+// work through shared-memory queues guarded by futex mutexes and condition
+// variables (FUTEX_CMP_REQUEUE under the hood), each stage runs on its own
+// kernel instance, the middle stage migrates itself mid-stream to follow
+// its data, and shutdown is signalled with a cross-kernel kill. Everything
+// the reproduction implements, in one program.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/osi"
+	"repro/internal/sim"
+	"repro/internal/threadgroup"
+	"repro/internal/workload"
+)
+
+const items = 24
+
+func main() {
+	topo := hw.Topology{Cores: 16, NUMANodes: 2}
+	machine, err := hw.NewMachine(topo, hw.DefaultCostModel())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cc := kernel.DefaultClusterConfig(machine)
+	cc.Kernels = 4
+	os, err := core.Boot(core.Config{Topology: topo, Cluster: &cc})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.Close()
+
+	e := os.Engine()
+	var processed int64
+	var migrations int
+	e.Spawn("main", func(p *sim.Proc) {
+		pr, err := os.StartProcessOn(p, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Queue layout per stage link: lock, cond-seq, depth, value.
+		var base mem.Addr
+		ready := sim.NewWaitGroup()
+		ready.Add(1)
+		check(pr.Spawn(p, 0, func(t osi.Thread) {
+			a, err := t.Mmap(8*hw.PageSize, mem.ProtRead|mem.ProtWrite)
+			check(err)
+			base = a
+			ready.Done()
+		}))
+		ready.Wait(p)
+		link := func(n int) (lock *workload.FutexMutex, cond *workload.FutexCond, depth, val mem.Addr) {
+			off := mem.Addr(n * 4 * hw.PageSize)
+			lock = workload.NewFutexMutex(base + off)
+			cond = workload.NewFutexCond(base+off+hw.PageSize, lock)
+			return lock, cond, base + off + 2*hw.PageSize, base + off + 3*hw.PageSize
+		}
+
+		push := func(t osi.Thread, n int, v int64) {
+			lock, cond, depth, val := link(n)
+			check(lock.Lock(t))
+			for {
+				d, err := t.Load(depth)
+				check(err)
+				if d == 0 {
+					break
+				}
+				check(cond.Wait(t)) // single-slot queue: wait for drain
+			}
+			check(t.Store(val, v))
+			check(t.Store(depth, 1))
+			check(cond.Signal(t))
+			check(lock.Unlock(t))
+		}
+		pop := func(t osi.Thread, n int) int64 {
+			lock, cond, depth, val := link(n)
+			check(lock.Lock(t))
+			for {
+				d, err := t.Load(depth)
+				check(err)
+				if d != 0 {
+					break
+				}
+				check(cond.Wait(t))
+			}
+			v, err := t.Load(val)
+			check(err)
+			check(t.Store(depth, 0))
+			check(cond.Signal(t))
+			check(lock.Unlock(t))
+			return v
+		}
+
+		// Stage 1 (kernel 1): produce.
+		check(pr.Spawn(p, 1, func(t osi.Thread) {
+			for i := int64(1); i <= items; i++ {
+				t.Compute(2 * time.Microsecond)
+				push(t, 0, i)
+			}
+		}))
+		// Stage 2 (starts on kernel 2): transform; halfway through it
+		// migrates to kernel 3, where stage 3 consumes — following its
+		// output consumer.
+		check(pr.Spawn(p, 2, func(t osi.Thread) {
+			for i := 0; i < items; i++ {
+				v := pop(t, 0)
+				t.Compute(3 * time.Microsecond)
+				if i == items/2 {
+					check(t.Migrate(3))
+					migrations++
+				}
+				push(t, 1, v*v)
+			}
+		}))
+		// Stage 3 (kernel 3): consume, then signal the supervisor.
+		var supervisor int64
+		supUp := sim.NewWaitGroup()
+		supUp.Add(1)
+		check(pr.Spawn(p, 0, func(t osi.Thread) {
+			supervisor = t.ID()
+			supUp.Done()
+			sigs, err := t.SigWait()
+			check(err)
+			fmt.Printf("supervisor: pipeline drained (signal %d)\n", sigs[0])
+		}))
+		check(pr.Spawn(p, 3, func(t osi.Thread) {
+			supUp.Wait(t.Proc())
+			for i := 0; i < items; i++ {
+				processed += pop(t, 1)
+			}
+			check(t.Kill(supervisor, threadgroup.SigUsr1))
+		}))
+		pr.Wait(p)
+		check(pr.Close(p))
+	})
+	if err := e.Run(); err != nil {
+		log.Fatal(err)
+	}
+	want := int64(0)
+	for i := int64(1); i <= items; i++ {
+		want += i * i
+	}
+	fmt.Printf("processed %d items across 3 kernels, sum of squares = %d (want %d)\n", items, processed, want)
+	fmt.Printf("stage-2 migrations: %d; virtual time: %v; messages: %d\n",
+		migrations, e.Now(), os.Metrics().Counter("msg.sent").Value())
+	if processed != want {
+		log.Fatal("pipeline corrupted data")
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

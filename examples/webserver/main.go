@@ -1,0 +1,151 @@
+// A server-style macro workload: N independent worker processes (one per
+// connection pool, as a prefork web server would run) each serve a stream
+// of requests. Serving a request means allocating a buffer, faulting it in,
+// doing a little parsing work under a lock, and tearing the buffer down —
+// i.e. hammering exactly the kernel paths the paper says SMP Linux
+// serialises. The same binary-identical workload runs on both OSes; the
+// replicated kernel spreads the processes across kernel instances.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/osi"
+	"repro/internal/sim"
+	"repro/internal/smp"
+	"repro/internal/workload"
+)
+
+const (
+	workers        = 32
+	requestsEach   = 20
+	pagesPerReq    = 2
+	parsePerReq    = 3 * time.Microsecond
+	machineCores   = 64
+	machineSockets = 2
+)
+
+func main() {
+	fmt.Printf("prefork server: %d workers x %d requests, %d-core machine\n\n", workers, requestsEach, machineCores)
+	var results []workload.Result
+	for _, flavour := range []string{"smp", "popcorn"} {
+		o, closeOS, err := boot(flavour)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := serve(o)
+		closeOS()
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, res)
+		fmt.Printf("%-8s  %8.0f requests/ms  (%v total virtual time)\n",
+			res.OS, res.Throughput()/1000, res.Elapsed)
+	}
+	fmt.Printf("\nreplicated kernel vs SMP: %.2fx request throughput\n",
+		results[1].Throughput()/results[0].Throughput())
+}
+
+func boot(flavour string) (osi.OS, func(), error) {
+	topo := hw.Topology{Cores: machineCores, NUMANodes: machineSockets}
+	if flavour == "smp" {
+		o, err := smp.Boot(smp.Config{Topology: topo})
+		if err != nil {
+			return nil, nil, err
+		}
+		return o, o.Close, nil
+	}
+	machine, err := hw.NewMachine(topo, hw.DefaultCostModel())
+	if err != nil {
+		return nil, nil, err
+	}
+	cc := kernel.DefaultClusterConfig(machine)
+	cc.Kernels = 8
+	o, err := core.Boot(core.Config{Topology: topo, Cluster: &cc})
+	if err != nil {
+		return nil, nil, err
+	}
+	return o, o.Close, nil
+}
+
+// serve runs the prefork server on o and reports request throughput.
+func serve(o osi.OS) (workload.Result, error) {
+	e := o.Engine()
+	var res workload.Result
+	var runErr error
+	e.Spawn("server", func(p *sim.Proc) {
+		start := p.Now()
+		var procs []osi.Process
+		for w := 0; w < workers; w++ {
+			pr, err := o.StartProcess(p)
+			if err != nil {
+				runErr = err
+				return
+			}
+			k := 0
+			if o.Kernels() > 1 {
+				k = w % o.Kernels()
+			}
+			if err := pr.Spawn(p, k, worker); err != nil {
+				runErr = err
+				return
+			}
+			procs = append(procs, pr)
+		}
+		for _, pr := range procs {
+			pr.Wait(p)
+		}
+		for _, pr := range procs {
+			if err := pr.Close(p); err != nil {
+				runErr = err
+				return
+			}
+		}
+		res = workload.Result{
+			OS: o.Name(), Name: "webserver", Threads: workers,
+			Ops: uint64(workers * requestsEach), Elapsed: p.Now().Sub(start),
+		}
+	})
+	if err := e.Run(); err != nil {
+		return workload.Result{}, err
+	}
+	return res, runErr
+}
+
+// worker serves requestsEach requests.
+func worker(t osi.Thread) {
+	// The worker's accept lock (uncontended here, but it exercises the
+	// futex path per request, as accept mutexes do).
+	lockPage, err := t.Mmap(hw.PageSize, mem.ProtRead|mem.ProtWrite)
+	if err != nil {
+		panic(err)
+	}
+	lock := workload.NewFutexMutex(lockPage)
+	for r := 0; r < requestsEach; r++ {
+		if err := lock.Lock(t); err != nil {
+			panic(err)
+		}
+		buf, err := t.Mmap(pagesPerReq*hw.PageSize, mem.ProtRead|mem.ProtWrite)
+		if err != nil {
+			panic(err)
+		}
+		for pg := 0; pg < pagesPerReq; pg++ {
+			if err := t.Store(buf+mem.Addr(pg*hw.PageSize), int64(r)); err != nil {
+				panic(err)
+			}
+		}
+		t.Compute(parsePerReq)
+		if err := t.Munmap(buf, pagesPerReq*hw.PageSize); err != nil {
+			panic(err)
+		}
+		if err := lock.Unlock(t); err != nil {
+			panic(err)
+		}
+	}
+}

@@ -1,0 +1,364 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/msg"
+	"repro/internal/osi"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/threadgroup"
+	"repro/internal/workload"
+)
+
+// AblationDummyThread (D2) compares migration latency with and without the
+// pre-created dummy-thread pool.
+func AblationDummyThread(s Scale) (*stats.Table, error) {
+	tab := stats.NewTable("D2: dummy-thread pre-creation", "variant", "migration-us")
+	iters := 16
+	if s == Quick {
+		iters = 4
+	}
+	for _, pool := range []int{0, 2} {
+		topo := testbed()
+		machine, err := hw.NewMachine(topo, hw.DefaultCostModel())
+		if err != nil {
+			return nil, err
+		}
+		cc := kernel.DefaultClusterConfig(machine)
+		cc.Kernels = popcornKernels
+		cc.TG = threadgroup.Config{DummyPool: pool}
+		o, err := core.Boot(core.Config{Topology: topo, Cluster: &cc})
+		if err != nil {
+			return nil, err
+		}
+		e := o.Engine()
+		e.Spawn("driver", func(p *sim.Proc) {
+			pr, err := o.StartProcessOn(p, 0)
+			if err != nil {
+				panic(err)
+			}
+			if err := pr.Spawn(p, 0, func(th osi.Thread) {
+				for i := 0; i < iters; i++ {
+					// Fresh destinations so the shadow-revival fast path
+					// never hides the task-setup cost.
+					must(th.Migrate((th.KernelID() + 1) % o.Kernels()))
+				}
+			}); err != nil {
+				panic(err)
+			}
+			pr.Wait(p)
+			_ = pr.Close(p)
+		})
+		runErr := e.Run()
+		mean := o.Metrics().Histogram("tg.migrate.total").Mean()
+		o.Close()
+		if runErr != nil {
+			return nil, runErr
+		}
+		name := fmt.Sprintf("pool=%d (pre-created)", pool)
+		if pool == 0 {
+			name = "pool=0 (create on arrival)"
+		}
+		tab.AddRow(name, us(mean))
+	}
+	return tab, nil
+}
+
+// AblationSlotSize (D4) sweeps the message ring slot size against the
+// migration-payload round trip.
+func AblationSlotSize(s Scale) (*stats.Series, error) {
+	slots := []int{64, 128, 256, 512, 1024}
+	if s == Quick {
+		slots = []int{64, 256, 1024}
+	}
+	xs := make([]float64, len(slots))
+	for i, sz := range slots {
+		xs[i] = float64(sz)
+	}
+	series := stats.NewSeries("D4: ring slot size vs RTT", "slot-bytes", "rtt-us", xs...)
+	for _, payload := range []int{64, 4096} {
+		ys := make([]float64, len(slots))
+		for i, slot := range slots {
+			rtt, err := onePingCfg(payload, slot)
+			if err != nil {
+				return nil, err
+			}
+			ys[i] = float64(rtt.Nanoseconds()) / 1000
+		}
+		if err := series.AddLine(fmt.Sprintf("%dB payload", payload), ys); err != nil {
+			return nil, err
+		}
+	}
+	return series, nil
+}
+
+func onePingCfg(size, slotBytes int) (time.Duration, error) {
+	e := sim.NewEngine(sim.WithSeed(1))
+	defer e.Close()
+	machine, err := hw.NewMachine(testbed(), hw.DefaultCostModel())
+	if err != nil {
+		return 0, err
+	}
+	cfg := msg.DefaultConfig()
+	cfg.SlotBytes = slotBytes
+	fabric, err := msg.NewFabric(e, machine, 2, []int{0, 8}, cfg, stats.NewRegistry())
+	if err != nil {
+		return 0, err
+	}
+	fabric.Endpoint(1).Handle(msg.TypePing, func(p *sim.Proc, m *msg.Message) *msg.Message {
+		return &msg.Message{Size: m.Size}
+	})
+	var rtt time.Duration
+	e.Spawn("pinger", func(p *sim.Proc) {
+		const iters = 8
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := fabric.Endpoint(0).Call(p, &msg.Message{Type: msg.TypePing, To: 1, Size: size}); err != nil {
+				panic(err)
+			}
+		}
+		rtt = p.Now().Sub(start) / iters
+	})
+	if err := e.Run(); err != nil {
+		return 0, err
+	}
+	return rtt, nil
+}
+
+// AblationVMAPush (D1) compares lazy mmap propagation (the paper's design)
+// with eager pushing, on a workload where remote threads fault into fresh
+// mappings.
+func AblationVMAPush(s Scale) (*stats.Table, error) {
+	tab := stats.NewTable("D1: mmap propagation policy", "variant", "elapsed-us", "vma-fetch RPCs", "update pushes")
+	iters := 8
+	if s == Quick {
+		iters = 3
+	}
+	for _, eager := range []bool{false, true} {
+		o, err := bootPopcorn(testbed(), popcornKernels)
+		if err != nil {
+			return nil, err
+		}
+		for k := 0; k < o.Kernels(); k++ {
+			o.Kernel(k).VM.SetEagerMapPush(eager)
+		}
+		e := o.Engine()
+		var elapsed time.Duration
+		e.Spawn("driver", func(p *sim.Proc) {
+			pr, err := o.StartProcessOn(p, 0)
+			if err != nil {
+				panic(err)
+			}
+			// Warm replicas on every kernel first.
+			warm := sim.NewWaitGroup()
+			for k := 1; k < o.Kernels(); k++ {
+				warm.Add(1)
+				if err := pr.Spawn(p, k, func(th osi.Thread) {
+					a, err := th.Mmap(hw.PageSize, mem.ProtRead|mem.ProtWrite)
+					must(err)
+					must(th.Store(a, 1))
+					warm.Done()
+				}); err != nil {
+					panic(err)
+				}
+			}
+			warm.Wait(p)
+			start := p.Now()
+			for i := 0; i < iters; i++ {
+				var addr mem.Addr
+				step := sim.NewWaitGroup()
+				step.Add(1)
+				if err := pr.Spawn(p, 0, func(th osi.Thread) {
+					a, err := th.Mmap(hw.PageSize, mem.ProtRead|mem.ProtWrite)
+					must(err)
+					addr = a
+					step.Done()
+				}); err != nil {
+					panic(err)
+				}
+				step.Wait(p)
+				// Every kernel faults into the new mapping.
+				faults := sim.NewWaitGroup()
+				for k := 1; k < o.Kernels(); k++ {
+					faults.Add(1)
+					if err := pr.Spawn(p, k, func(th osi.Thread) {
+						mustV(th.Load(addr))
+						faults.Done()
+					}); err != nil {
+						panic(err)
+					}
+				}
+				faults.Wait(p)
+			}
+			elapsed = p.Now().Sub(start)
+			pr.Wait(p)
+			_ = pr.Close(p)
+		})
+		runErr := e.Run()
+		fetches := o.Metrics().Counter("vm.vmafetch").Value()
+		pushes := o.Metrics().Counter("vm.update.pushed").Value()
+		o.Close()
+		if runErr != nil {
+			return nil, runErr
+		}
+		name := "lazy (paper design)"
+		if eager {
+			name = "eager push"
+		}
+		tab.AddRow(name, us(elapsed), fmt.Sprint(fetches), fmt.Sprint(pushes))
+	}
+	return tab, nil
+}
+
+// AblationKernelCount (D3) sweeps kernels-per-machine for the mmap storm:
+// the partitioning granularity trade-off (more kernels = less intra-kernel
+// contention but more cross-kernel traffic for shared work).
+func AblationKernelCount(s Scale) (*stats.Series, error) {
+	kernelCounts := []int{1, 2, 4, 8, 16}
+	if s == Quick {
+		kernelCounts = []int{1, 4, 16}
+	}
+	threads, iters := 32, 6
+	if s == Quick {
+		threads, iters = 16, 3
+	}
+	xs := make([]float64, len(kernelCounts))
+	for i, k := range kernelCounts {
+		xs[i] = float64(k)
+	}
+	series := stats.NewSeries("D3: kernel count vs mmap-storm throughput", "kernels", "cycles/ms", xs...)
+	ys := make([]float64, len(kernelCounts))
+	for i, kernels := range kernelCounts {
+		o, err := bootPopcorn(testbed(), kernels)
+		if err != nil {
+			return nil, err
+		}
+		res, err := workload.MmapStorm(o, workload.MmapStormSpec{Threads: threads, Iters: iters, Pages: 4})
+		o.Close()
+		if err != nil {
+			return nil, err
+		}
+		ys[i] = res.Throughput() / 1000
+	}
+	if err := series.AddLine("popcorn", ys); err != nil {
+		return nil, err
+	}
+	return series, nil
+}
+
+// AblationPageOwnership (D5) compares the paper's ownership-migration
+// protocol (MSI) against forwarding every remote write to the origin, on
+// the two patterns that separate them: repeated writes from one remote
+// kernel (locality: MSI amortises one transfer over many writes) and
+// fine-grained alternation between two kernels (ping-pong: MSI moves the
+// page twice per round, forwarding pays one RPC per write).
+func AblationPageOwnership(s Scale) (*stats.Table, error) {
+	writes := 64
+	if s == Quick {
+		writes = 16
+	}
+	tab := stats.NewTable("D5: page ownership vs write forwarding (elapsed µs)",
+		"pattern", "ownership (paper)", "write-forwarding")
+	patterns := []struct {
+		name string
+		run  func(o *core.OS, p *sim.Proc) error
+	}{
+		{"repeated remote writes", func(o *core.OS, p *sim.Proc) error {
+			pr, err := o.StartProcessOn(p, 0)
+			if err != nil {
+				return err
+			}
+			if err := pr.Spawn(p, 1, func(th osi.Thread) {
+				addr, err := th.Mmap(hw.PageSize, mem.ProtRead|mem.ProtWrite)
+				must(err)
+				for i := 0; i < writes; i++ {
+					must(th.Store(addr, int64(i)))
+				}
+			}); err != nil {
+				return err
+			}
+			pr.Wait(p)
+			return pr.Close(p)
+		}},
+		{"alternating writers", func(o *core.OS, p *sim.Proc) error {
+			pr, err := o.StartProcessOn(p, 0)
+			if err != nil {
+				return err
+			}
+			var addr mem.Addr
+			ready := sim.NewWaitGroup()
+			ready.Add(1)
+			turn := sim.NewWaitGroup()
+			if err := pr.Spawn(p, 0, func(th osi.Thread) {
+				a, err := th.Mmap(hw.PageSize, mem.ProtRead|mem.ProtWrite)
+				must(err)
+				addr = a
+				ready.Done()
+			}); err != nil {
+				return err
+			}
+			ready.Wait(p)
+			// Two writers on different kernels strictly alternate.
+			for w := 0; w < 2; w++ {
+				w := w
+				turn.Add(1)
+				if err := pr.Spawn(p, 1+w, func(th osi.Thread) {
+					defer turn.Done()
+					for i := 0; i < writes/2; i++ {
+						for {
+							v, err := th.Load(addr)
+							must(err)
+							if int(v)%2 == w {
+								break
+							}
+							th.Compute(200 * time.Nanosecond)
+						}
+						must(th.Store(addr, int64(2*i+w+1)))
+					}
+				}); err != nil {
+					return err
+				}
+			}
+			turn.Wait(p)
+			pr.Wait(p)
+			return pr.Close(p)
+		}},
+	}
+	for _, pat := range patterns {
+		var cells [2]string
+		for mode := 0; mode < 2; mode++ {
+			o, err := bootPopcorn(testbed(), popcornKernels)
+			if err != nil {
+				return nil, err
+			}
+			if mode == 1 {
+				for k := 0; k < o.Kernels(); k++ {
+					o.Kernel(k).VM.SetWriteForwarding(true)
+				}
+			}
+			e := o.Engine()
+			var elapsed time.Duration
+			e.Spawn("driver", func(p *sim.Proc) {
+				start := p.Now()
+				if err := pat.run(o, p); err != nil {
+					panic(err)
+				}
+				elapsed = p.Now().Sub(start)
+			})
+			runErr := e.Run()
+			o.Close()
+			if runErr != nil {
+				return nil, runErr
+			}
+			cells[mode] = us(elapsed)
+		}
+		tab.AddRow(pat.name, cells[0], cells[1])
+	}
+	return tab, nil
+}

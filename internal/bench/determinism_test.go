@@ -1,0 +1,29 @@
+package bench
+
+import "testing"
+
+// TestExperimentsAreDeterministic regenerates two experiments twice and
+// requires byte-identical output — the property that makes every number in
+// EXPERIMENTS.md exactly reproducible.
+func TestExperimentsAreDeterministic(t *testing.T) {
+	for _, id := range []string{"F4", "T2", "F8"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			exp, ok := Find(id)
+			if !ok {
+				t.Fatalf("experiment %s missing", id)
+			}
+			first, err := exp.Run(Quick)
+			if err != nil {
+				t.Fatalf("run 1: %v", err)
+			}
+			second, err := exp.Run(Quick)
+			if err != nil {
+				t.Fatalf("run 2: %v", err)
+			}
+			if first.String() != second.String() {
+				t.Fatalf("non-deterministic output:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", first, second)
+			}
+		})
+	}
+}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	// ID is the experiment identifier from DESIGN.md (T1, F4, D2, ...).
+	ID string
+	// Title is the human-readable name.
+	Title string
+	// Run executes the experiment and returns its printable result (a
+	// *stats.Table or *stats.Series rendered via fmt.Stringer).
+	Run func(s Scale) (fmt.Stringer, error)
+}
+
+// wrapT adapts a table generator.
+func wrapT[T fmt.Stringer](fn func(Scale) (T, error)) func(Scale) (fmt.Stringer, error) {
+	return func(s Scale) (fmt.Stringer, error) {
+		v, err := fn(s)
+		if err != nil {
+			return nil, err
+		}
+		return v, nil
+	}
+}
+
+// Experiments returns the full experiment registry, sorted by ID.
+func Experiments() []Experiment {
+	exps := []Experiment{
+		{ID: "T1", Title: "Message-layer round trip", Run: wrapT(T1MessageRoundTrip)},
+		{ID: "T2", Title: "Thread migration latency breakdown", Run: wrapT(T2MigrationBreakdown)},
+		{ID: "T3", Title: "Remote vs local thread creation", Run: wrapT(T3ThreadCreate)},
+		{ID: "T4", Title: "Uncontended syscall overhead", Run: wrapT(T4SyscallOverhead)},
+		{ID: "F1", Title: "Thread-creation scalability", Run: wrapT(F1ThreadBomb)},
+		{ID: "F2", Title: "Page-fault service latency", Run: wrapT(F2PageFault)},
+		{ID: "F3", Title: "VMA-operation propagation", Run: wrapT(F3VMAPropagation)},
+		{ID: "F4", Title: "mmap-storm scalability (headline)", Run: wrapT(F4MmapStorm)},
+		{ID: "F4b", Title: "mmap-storm, one shared process", Run: wrapT(F4bSharedMmapStorm)},
+		{ID: "F5", Title: "Futex scalability (partitioned)", Run: wrapT(F5FutexChain)},
+		{ID: "F5b", Title: "Futex scalability (one shared lock)", Run: wrapT(F5SharedFutex)},
+		{ID: "F6", Title: "Page-fault scalability", Run: wrapT(F6FaultSweep)},
+		{ID: "F7", Title: "NPB-like compute kernels", Run: wrapT(F7ComputeKernels)},
+		{ID: "F8", Title: "Migration cost vs benefit", Run: wrapT(F8MigrationBenefit)},
+		{ID: "F9", Title: "Sharded KV store (macro)", Run: wrapT(F9KVStore)},
+		{ID: "D1", Title: "Ablation: mmap propagation policy", Run: wrapT(AblationVMAPush)},
+		{ID: "D2", Title: "Ablation: dummy-thread pool", Run: wrapT(AblationDummyThread)},
+		{ID: "D3", Title: "Ablation: kernel count", Run: wrapT(AblationKernelCount)},
+		{ID: "D4", Title: "Ablation: ring slot size", Run: wrapT(AblationSlotSize)},
+		{ID: "D5", Title: "Ablation: page ownership vs write forwarding", Run: wrapT(AblationPageOwnership)},
+	}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
+	return exps
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/smp"
+	"repro/internal/workload"
+)
+
+// TestCrossoverRobustToCostRecalibration backs the claim in EXPERIMENTS.md
+// that the headline orderings come from operation *counts*, not from the
+// cost model's constants: under substantial recalibrations of the
+// hardware model (cheap messages, expensive messages, flat NUMA, slow
+// memory), the replicated kernel must still beat SMP on the contended
+// thread-creation storm at high concurrency, and must stay within 2x
+// uncontended.
+func TestCrossoverRobustToCostRecalibration(t *testing.T) {
+	perturbations := map[string]func(c *hw.CostModel){
+		"baseline": func(c *hw.CostModel) {},
+		"2x-messages": func(c *hw.CostModel) {
+			// Doubling IPI cost doubles the per-message notify cost, the
+			// replicated kernel's main overhead.
+			c.IPILocal *= 2
+			c.IPIRemote *= 2
+		},
+		"half-line-transfer": func(c *hw.CostModel) {
+			// Halving cache-line bounce costs halves SMP's contention
+			// penalty.
+			c.LineTransferLocal /= 2
+			c.LineTransferRemote /= 2
+		},
+		"flat-numa": func(c *hw.CostModel) {
+			// No remote penalty at all: the kindest possible machine for
+			// SMP's cross-socket lock words.
+			c.MemAccessRemote = c.MemAccessLocal
+			c.LineTransferRemote = c.LineTransferLocal
+			c.IPIRemote = c.IPILocal
+			c.PageCopyRemote = c.PageCopyLocal
+		},
+		"slow-threads": func(c *hw.CostModel) {
+			c.ThreadSetup *= 3
+			c.ContextSwitch *= 2
+		},
+	}
+	topo := hw.Topology{Cores: 64, NUMANodes: 2}
+	for name, perturb := range perturbations {
+		name, perturb := name, perturb
+		t.Run(name, func(t *testing.T) {
+			cost := hw.DefaultCostModel()
+			perturb(&cost)
+			runBomb := func(spawners int) (popcorn, smpT time.Duration) {
+				machine, err := hw.NewMachine(topo, cost)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cc := kernel.DefaultClusterConfig(machine)
+				cc.Kernels = 8
+				pop, err := core.Boot(core.Config{Topology: topo, Cost: &cost, Cluster: &cc})
+				if err != nil {
+					t.Fatal(err)
+				}
+				popRes, err := workload.ThreadBomb(pop, workload.ThreadBombSpec{Spawners: spawners, Children: 8})
+				pop.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+				sm, err := smp.Boot(smp.Config{Topology: topo, Cost: &cost})
+				if err != nil {
+					t.Fatal(err)
+				}
+				smpRes, err := workload.ThreadBomb(sm, workload.ThreadBombSpec{Spawners: spawners, Children: 8})
+				sm.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return popRes.Elapsed, smpRes.Elapsed
+			}
+			// Contended: popcorn must win.
+			popHi, smpHi := runBomb(32)
+			if popHi >= smpHi {
+				t.Errorf("%s: contended popcorn %v not faster than smp %v", name, popHi, smpHi)
+			}
+			// Uncontended: popcorn must stay within 2x.
+			popLo, smpLo := runBomb(1)
+			if popLo > 2*smpLo {
+				t.Errorf("%s: uncontended popcorn %v more than 2x smp %v", name, popLo, smpLo)
+			}
+		})
+	}
+}

@@ -1,0 +1,481 @@
+// Package core is the replicated-kernel OS itself: the paper's Popcorn
+// Linux analogue. It boots a cluster of kernel instances (internal/kernel)
+// on the simulated machine and layers the single-system image on top —
+// processes whose threads run on any kernel, created remotely, migrated
+// between kernels at runtime, sharing one consistent address space — while
+// exposing the ordinary osi syscall surface, indistinguishable from the
+// SMP baseline's.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/msg"
+	"repro/internal/osi"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/task"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// PlacementPolicy selects how AnyKernel spawns are placed.
+type PlacementPolicy int
+
+// Placement policies.
+const (
+	// PlaceRoundRobin cycles through the kernels (default; cheap and
+	// deterministic, what the prototype's userspace launcher did).
+	PlaceRoundRobin PlacementPolicy = iota
+	// PlaceLeastLoaded picks the kernel with the shortest run queue —
+	// load information every kernel has locally for its own cores.
+	PlaceLeastLoaded
+)
+
+// Config configures a replicated-kernel boot.
+type Config struct {
+	// Topology describes the machine; zero value defaults to 64 cores on
+	// 2 NUMA nodes (the paper's testbed class).
+	Topology hw.Topology
+	// Cost overrides the hardware cost model (nil = defaults).
+	Cost *hw.CostModel
+	// Cluster overrides the kernel cluster configuration (nil = one
+	// kernel per NUMA node).
+	Cluster *kernel.ClusterConfig
+	// Seed seeds the deterministic simulation.
+	Seed int64
+	// Placement selects the AnyKernel spawn policy.
+	Placement PlacementPolicy
+}
+
+// OS is a booted replicated-kernel operating system.
+type OS struct {
+	e         *sim.Engine
+	machine   *hw.Machine
+	cluster   *kernel.Cluster
+	metrics   *stats.Registry
+	placement PlacementPolicy
+	// rr is the round-robin cursor for automatic thread placement.
+	rr int
+}
+
+var _ osi.OS = (*OS)(nil)
+
+// Boot creates the simulation engine, the machine and the kernel cluster.
+func Boot(cfg Config) (*OS, error) {
+	topo := cfg.Topology
+	if topo.Cores == 0 {
+		topo = hw.Topology{Cores: 64, NUMANodes: 2}
+	}
+	cost := hw.DefaultCostModel()
+	if cfg.Cost != nil {
+		cost = *cfg.Cost
+	}
+	machine, err := hw.NewMachine(topo, cost)
+	if err != nil {
+		return nil, err
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	e := sim.NewEngine(sim.WithSeed(seed))
+	clusterCfg := kernel.DefaultClusterConfig(machine)
+	if cfg.Cluster != nil {
+		clusterCfg = *cfg.Cluster
+	}
+	metrics := stats.NewRegistry()
+	cluster, err := kernel.Boot(e, machine, clusterCfg, metrics)
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+	return &OS{e: e, machine: machine, cluster: cluster, metrics: metrics, placement: cfg.Placement}, nil
+}
+
+// BootOn builds a replicated-kernel OS on an existing engine and machine,
+// for harnesses that drive several OS instances under one clock.
+func BootOn(e *sim.Engine, machine *hw.Machine, clusterCfg kernel.ClusterConfig) (*OS, error) {
+	metrics := stats.NewRegistry()
+	cluster, err := kernel.Boot(e, machine, clusterCfg, metrics)
+	if err != nil {
+		return nil, err
+	}
+	return &OS{e: e, machine: machine, cluster: cluster, metrics: metrics}, nil
+}
+
+// Name implements osi.OS.
+func (o *OS) Name() string { return "popcorn" }
+
+// Engine implements osi.OS.
+func (o *OS) Engine() *sim.Engine { return o.e }
+
+// Machine implements osi.OS.
+func (o *OS) Machine() *hw.Machine { return o.machine }
+
+// Kernels implements osi.OS.
+func (o *OS) Kernels() int { return len(o.cluster.Kernels) }
+
+// Metrics implements osi.OS.
+func (o *OS) Metrics() *stats.Registry { return o.metrics }
+
+// Kernel returns the k-th kernel instance (for white-box benchmarks).
+func (o *OS) Kernel(k int) *kernel.Kernel { return o.cluster.Kernels[k] }
+
+// Trace attaches an event buffer to the inter-kernel fabric (nil detaches)
+// and returns it, for protocol debugging.
+func (o *OS) Trace(capacity int) *trace.Buffer {
+	b := trace.NewBuffer(capacity)
+	o.cluster.Fabric.SetTrace(b)
+	return b
+}
+
+// Close shuts the simulation down, unwinding all service processes.
+func (o *OS) Close() { o.e.Close() }
+
+// pickKernel resolves a placement hint to a kernel index.
+func (o *OS) pickKernel(hint int) (int, error) {
+	if hint == osi.AnyKernel {
+		if o.placement == PlaceLeastLoaded {
+			best, bestLoad := 0, int(^uint(0)>>1)
+			for k, kn := range o.cluster.Kernels {
+				if load := kn.Sched.Load(); load < bestLoad {
+					best, bestLoad = k, load
+				}
+			}
+			return best, nil
+		}
+		k := o.rr % len(o.cluster.Kernels)
+		o.rr++
+		return k, nil
+	}
+	if hint < 0 || hint >= len(o.cluster.Kernels) {
+		return 0, fmt.Errorf("core: kernel %d out of range [0,%d)", hint, len(o.cluster.Kernels))
+	}
+	return hint, nil
+}
+
+// Process is a distributed thread group with SSI semantics.
+type Process struct {
+	os     *OS
+	gid    vm.GID
+	origin msg.NodeID
+	main   *task.Task
+	wg     *sim.WaitGroup
+	closed bool
+}
+
+var _ osi.Process = (*Process)(nil)
+
+// StartProcess implements osi.OS: it creates the thread group and its
+// address space at the least-loaded kernel (round robin).
+func (o *OS) StartProcess(p *sim.Proc) (osi.Process, error) {
+	k, _ := o.pickKernel(osi.AnyKernel)
+	return o.StartProcessOn(p, k)
+}
+
+// StartProcessOn creates the process with its origin on a specific kernel.
+func (o *OS) StartProcessOn(p *sim.Proc, k int) (*Process, error) {
+	if k < 0 || k >= len(o.cluster.Kernels) {
+		return nil, fmt.Errorf("core: kernel %d out of range", k)
+	}
+	p.Sleep(o.machine.Cost.SyscallTrap)
+	gid, main, err := o.cluster.Kernels[k].TG.CreateGroup(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Process{os: o, gid: gid, origin: msg.NodeID(k), main: main, wg: sim.NewWaitGroup()}, nil
+}
+
+// GID returns the process's group ID.
+func (pr *Process) GID() vm.GID { return pr.gid }
+
+// Origin returns the kernel hosting the group origin.
+func (pr *Process) Origin() int { return int(pr.origin) }
+
+// Spawn implements osi.Process.
+func (pr *Process) Spawn(p *sim.Proc, kernelHint int, fn osi.ThreadFunc) error {
+	k, err := pr.os.pickKernel(kernelHint)
+	if err != nil {
+		return err
+	}
+	p.Sleep(pr.os.machine.Cost.SyscallTrap)
+	// The clone is issued from the origin kernel's services (the caller's
+	// context); remote placement runs the distributed creation protocol.
+	tk, err := pr.os.cluster.Kernels[pr.origin].TG.Spawn(p, pr.gid, msg.NodeID(k))
+	if err != nil {
+		return err
+	}
+	pr.wg.Add(1)
+	pr.os.e.Spawn(fmt.Sprintf("thread-%d", tk.ID), func(tp *sim.Proc) {
+		defer pr.wg.Done()
+		th := &Thread{pr: pr, p: tp, task: tk, k: pr.os.cluster.Kernels[tk.Kernel]}
+		th.core = th.k.Sched.Acquire(tp)
+		tk.State = task.StateRunning
+		fn(th)
+		th.exit()
+	})
+	return nil
+}
+
+// Wait implements osi.Process.
+func (pr *Process) Wait(p *sim.Proc) { pr.wg.Wait(p) }
+
+// Close implements osi.Process: the main thread exits, tearing down the
+// distributed group on every kernel.
+func (pr *Process) Close(p *sim.Proc) error {
+	if pr.closed {
+		return nil
+	}
+	pr.closed = true
+	return pr.os.cluster.Kernels[pr.origin].TG.Exit(p, pr.gid, pr.main.ID)
+}
+
+// Thread is a running thread under the single-system image. Its syscall
+// surface always routes to the kernel currently hosting it; Migrate
+// switches that binding via the paper's migration protocol.
+type Thread struct {
+	pr   *Process
+	p    *sim.Proc
+	task *task.Task
+	k    *kernel.Kernel
+	core int
+}
+
+var _ osi.Thread = (*Thread)(nil)
+
+// Proc implements osi.Thread.
+func (t *Thread) Proc() *sim.Proc { return t.p }
+
+// ID implements osi.Thread.
+func (t *Thread) ID() int64 { return int64(t.task.ID) }
+
+// KernelID implements osi.Thread.
+func (t *Thread) KernelID() int { return int(t.k.Node) }
+
+// Core implements osi.Thread.
+func (t *Thread) Core() int { return t.core }
+
+// Migrations returns how many times this thread has moved between kernels.
+func (t *Thread) Migrations() int { return t.task.Migrations }
+
+// Compute implements osi.Thread.
+func (t *Thread) Compute(d time.Duration) {
+	t.core = t.k.Sched.Run(t.p, d)
+}
+
+// space returns the thread's current kernel's view of the address space.
+func (t *Thread) space() (*vm.Space, error) {
+	sp, ok := t.k.VM.Space(t.pr.gid)
+	if !ok {
+		return nil, fmt.Errorf("core: kernel %d lost the space for group %d", t.k.Node, t.pr.gid)
+	}
+	return sp, nil
+}
+
+// Mmap implements osi.Thread.
+func (t *Thread) Mmap(length uint64, prot mem.Prot) (mem.Addr, error) {
+	t.p.Sleep(t.k.Machine.Cost.SyscallTrap)
+	sp, err := t.space()
+	if err != nil {
+		return 0, err
+	}
+	return sp.Map(t.p, length, prot)
+}
+
+// Sbrk implements osi.Thread.
+func (t *Thread) Sbrk(delta int64) (mem.Addr, error) {
+	t.p.Sleep(t.k.Machine.Cost.SyscallTrap)
+	sp, err := t.space()
+	if err != nil {
+		return 0, err
+	}
+	return sp.Sbrk(t.p, delta)
+}
+
+// Munmap implements osi.Thread.
+func (t *Thread) Munmap(addr mem.Addr, length uint64) error {
+	t.p.Sleep(t.k.Machine.Cost.SyscallTrap)
+	sp, err := t.space()
+	if err != nil {
+		return err
+	}
+	return sp.Unmap(t.p, addr, length)
+}
+
+// Mprotect implements osi.Thread.
+func (t *Thread) Mprotect(addr mem.Addr, length uint64, prot mem.Prot) error {
+	t.p.Sleep(t.k.Machine.Cost.SyscallTrap)
+	sp, err := t.space()
+	if err != nil {
+		return err
+	}
+	return sp.Protect(t.p, addr, length, prot)
+}
+
+// Load implements osi.Thread.
+func (t *Thread) Load(addr mem.Addr) (int64, error) {
+	sp, err := t.space()
+	if err != nil {
+		return 0, err
+	}
+	return sp.Load(t.p, t.core, addr)
+}
+
+// Store implements osi.Thread.
+func (t *Thread) Store(addr mem.Addr, val int64) error {
+	sp, err := t.space()
+	if err != nil {
+		return err
+	}
+	return sp.Store(t.p, t.core, addr, val)
+}
+
+// CompareAndSwap implements osi.Thread.
+func (t *Thread) CompareAndSwap(addr mem.Addr, old, new int64) (bool, error) {
+	sp, err := t.space()
+	if err != nil {
+		return false, err
+	}
+	return sp.CompareAndSwap(t.p, t.core, addr, old, new)
+}
+
+// FetchAdd implements osi.Thread.
+func (t *Thread) FetchAdd(addr mem.Addr, delta int64) (int64, error) {
+	sp, err := t.space()
+	if err != nil {
+		return 0, err
+	}
+	return sp.FetchAdd(t.p, t.core, addr, delta)
+}
+
+// FutexWait implements osi.Thread. The thread yields its core while asleep.
+func (t *Thread) FutexWait(addr mem.Addr, expect int64) error {
+	t.p.Sleep(t.k.Machine.Cost.SyscallTrap)
+	t.k.Sched.Release(t.p)
+	err := t.k.Futex.Wait(t.p, t.pr.gid, addr, expect)
+	t.core = t.k.Sched.Acquire(t.p)
+	return err
+}
+
+// FutexWake implements osi.Thread.
+func (t *Thread) FutexWake(addr mem.Addr, count int) (int, error) {
+	t.p.Sleep(t.k.Machine.Cost.SyscallTrap)
+	return t.k.Futex.Wake(t.p, t.pr.gid, addr, count)
+}
+
+// FutexRequeue implements osi.Thread.
+func (t *Thread) FutexRequeue(from, to mem.Addr, expect int64, wake, requeue int) (int, int, error) {
+	t.p.Sleep(t.k.Machine.Cost.SyscallTrap)
+	return t.k.Futex.Requeue(t.p, t.pr.gid, from, to, expect, wake, requeue)
+}
+
+// Spawn implements osi.Thread: clone a sibling from this thread's kernel.
+func (t *Thread) Spawn(kernelHint int, fn osi.ThreadFunc) error {
+	k, err := t.pr.os.pickKernel(kernelHint)
+	if err != nil {
+		return err
+	}
+	t.p.Sleep(t.k.Machine.Cost.SyscallTrap)
+	tk, err := t.k.TG.Spawn(t.p, t.pr.gid, msg.NodeID(k))
+	if err != nil {
+		return err
+	}
+	pr := t.pr
+	pr.wg.Add(1)
+	pr.os.e.Spawn(fmt.Sprintf("thread-%d", tk.ID), func(tp *sim.Proc) {
+		defer pr.wg.Done()
+		th := &Thread{pr: pr, p: tp, task: tk, k: pr.os.cluster.Kernels[tk.Kernel]}
+		th.core = th.k.Sched.Acquire(tp)
+		tk.State = task.StateRunning
+		fn(th)
+		th.exit()
+	})
+	return nil
+}
+
+// Migrate implements osi.Thread: the paper's thread context migration. The
+// thread leaves its current core, ships its context to the destination
+// kernel, and resumes there inside a dummy (or revived shadow) task.
+func (t *Thread) Migrate(kernelHint int) error {
+	if kernelHint == osi.AnyKernel {
+		return fmt.Errorf("core: Migrate needs an explicit destination kernel")
+	}
+	if kernelHint < 0 || kernelHint >= len(t.pr.os.cluster.Kernels) {
+		return fmt.Errorf("core: kernel %d out of range", kernelHint)
+	}
+	dst := msg.NodeID(kernelHint)
+	if dst == t.k.Node {
+		return nil
+	}
+	t.p.Sleep(t.k.Machine.Cost.SyscallTrap)
+	t.k.Sched.Release(t.p)
+	moved, err := t.k.TG.Migrate(t.p, t.pr.gid, t.task.ID, dst)
+	if err != nil {
+		// Failed migrations resume on the source kernel.
+		t.core = t.k.Sched.Acquire(t.p)
+		return err
+	}
+	t.task = moved
+	t.k = t.pr.os.cluster.Kernels[dst]
+	t.core = t.k.Sched.Acquire(t.p)
+	t.task.State = task.StateRunning
+	return nil
+}
+
+// MigrateToData moves the thread to the kernel currently holding the page
+// at addr (the paper's follow-the-data use case, automated: the directory
+// is asked where the data lives, then the ordinary migration protocol
+// runs). A no-op when the data is already local.
+func (t *Thread) MigrateToData(addr mem.Addr) error {
+	sp, err := t.space()
+	if err != nil {
+		return err
+	}
+	t.p.Sleep(t.k.Machine.Cost.SyscallTrap)
+	owner, err := sp.Whereis(t.p, addr)
+	if err != nil {
+		return err
+	}
+	return t.Migrate(int(owner))
+}
+
+// Prefetch batches read grants for [addr, addr+pages*PageSize) into one
+// origin round trip (madvise(WILLNEED) for the distributed address
+// space). Advisory; returns how many pages were installed.
+func (t *Thread) Prefetch(addr mem.Addr, pages int) (int, error) {
+	t.p.Sleep(t.k.Machine.Cost.SyscallTrap)
+	sp, err := t.space()
+	if err != nil {
+		return 0, err
+	}
+	return sp.Prefetch(t.p, t.core, addr, pages)
+}
+
+// Kill implements osi.Thread: the distributed signal path — routed via
+// shadows and the origin's member table to wherever the target runs.
+func (t *Thread) Kill(tid int64, sig int) error {
+	t.p.Sleep(t.k.Machine.Cost.SyscallTrap)
+	return t.k.TG.Signal(t.p, t.pr.gid, task.ID(tid), sig)
+}
+
+// SigWait implements osi.Thread. The thread yields its core while waiting.
+func (t *Thread) SigWait() ([]int, error) {
+	t.p.Sleep(t.k.Machine.Cost.SyscallTrap)
+	t.k.Sched.Release(t.p)
+	sigs, err := t.k.TG.WaitSignal(t.p, t.pr.gid, t.task.ID)
+	t.core = t.k.Sched.Acquire(t.p)
+	return sigs, err
+}
+
+// exit runs the thread-exit protocol and releases the core.
+func (t *Thread) exit() {
+	t.k.Sched.Release(t.p)
+	if err := t.k.TG.Exit(t.p, t.pr.gid, t.task.ID); err != nil {
+		panic(fmt.Sprintf("core: thread exit: %v", err))
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/osi"
+	"repro/internal/sim"
+)
+
+func bootWithPlacement(t *testing.T, pol PlacementPolicy) *OS {
+	t.Helper()
+	topo := hw.Topology{Cores: 8, NUMANodes: 2}
+	machine, err := hw.NewMachine(topo, hw.DefaultCostModel())
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	cc := kernel.DefaultClusterConfig(machine)
+	cc.Kernels = 4
+	cc.FramesPerKernel = 4096
+	os, err := Boot(Config{Topology: topo, Cluster: &cc, Placement: pol})
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	t.Cleanup(os.Close)
+	return os
+}
+
+func TestLeastLoadedAvoidsBusyKernel(t *testing.T) {
+	os := bootWithPlacement(t, PlaceLeastLoaded)
+	e := os.Engine()
+	counts := make(map[int]int)
+	e.Spawn("driver", func(p *sim.Proc) {
+		pr, _ := os.StartProcessOn(p, 0)
+		// Saturate kernel 0 with long-running pinned threads.
+		for i := 0; i < 4; i++ {
+			_ = pr.Spawn(p, 0, func(th osi.Thread) {
+				th.Compute(5 * time.Millisecond)
+			})
+		}
+		p.Sleep(10 * time.Microsecond)
+		// Auto-placed threads must land elsewhere.
+		for i := 0; i < 6; i++ {
+			_ = pr.Spawn(p, osi.AnyKernel, func(th osi.Thread) {
+				counts[th.KernelID()]++
+				th.Compute(time.Millisecond)
+			})
+		}
+		pr.Wait(p)
+		_ = pr.Close(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if counts[0] != 0 {
+		t.Fatalf("least-loaded placed %d threads on the saturated kernel (counts=%v)", counts[0], counts)
+	}
+	placed := 0
+	for k, n := range counts {
+		if k != 0 {
+			placed += n
+		}
+	}
+	if placed != 6 {
+		t.Fatalf("placed %d threads, want 6 (counts=%v)", placed, counts)
+	}
+}
+
+func TestRoundRobinIgnoresLoad(t *testing.T) {
+	os := bootWithPlacement(t, PlaceRoundRobin)
+	e := os.Engine()
+	hit0 := 0
+	e.Spawn("driver", func(p *sim.Proc) {
+		pr, _ := os.StartProcessOn(p, 0)
+		for i := 0; i < 4; i++ {
+			_ = pr.Spawn(p, 0, func(th osi.Thread) { th.Compute(time.Millisecond) })
+		}
+		p.Sleep(10 * time.Microsecond)
+		for i := 0; i < 4; i++ {
+			_ = pr.Spawn(p, osi.AnyKernel, func(th osi.Thread) {
+				if th.KernelID() == 0 {
+					hit0++
+				}
+			})
+		}
+		pr.Wait(p)
+		_ = pr.Close(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if hit0 == 0 {
+		t.Fatal("round robin never placed on kernel 0; expected exactly one of four")
+	}
+}
+
+func TestSnapshotReportsState(t *testing.T) {
+	os := bootWithPlacement(t, PlaceRoundRobin)
+	e := os.Engine()
+	e.Spawn("driver", func(p *sim.Proc) {
+		pr, _ := os.StartProcessOn(p, 0)
+		_ = pr.Spawn(p, 1, func(th osi.Thread) {
+			a, _ := th.Mmap(hw.PageSize, mem.ProtRead|mem.ProtWrite)
+			_ = th.Store(a, 1)
+			_ = th.Migrate(2)
+		})
+		pr.Wait(p)
+		_ = pr.Close(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	snap := os.Snapshot()
+	for _, want := range []string{"kernel 0", "kernel 3", "1 migrations", "remote spawns", "fabric"} {
+		if !strings.Contains(snap, want) {
+			t.Fatalf("snapshot missing %q:\n%s", want, snap)
+		}
+	}
+}

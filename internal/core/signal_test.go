@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/osi"
+	"repro/internal/sim"
+	"repro/internal/threadgroup"
+)
+
+func TestKillAcrossKernels(t *testing.T) {
+	os := boot(t, 4)
+	e := os.Engine()
+	var got []int
+	e.Spawn("driver", func(p *sim.Proc) {
+		pr, _ := os.StartProcessOn(p, 0)
+		var victimID int64
+		ready := sim.NewWaitGroup()
+		ready.Add(1)
+		_ = pr.Spawn(p, 3, func(th osi.Thread) {
+			victimID = th.ID()
+			ready.Done()
+			sigs, err := th.SigWait()
+			if err != nil {
+				t.Errorf("SigWait: %v", err)
+				return
+			}
+			got = sigs
+		})
+		_ = pr.Spawn(p, 1, func(th osi.Thread) {
+			ready.Wait(th.Proc())
+			th.Compute(10 * time.Microsecond)
+			if err := th.Kill(victimID, threadgroup.SigUsr1); err != nil {
+				t.Errorf("Kill: %v", err)
+			}
+		})
+		pr.Wait(p)
+		_ = pr.Close(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 1 || got[0] != threadgroup.SigUsr1 {
+		t.Fatalf("delivered signals = %v", got)
+	}
+}
+
+func TestSignalSurvivesMigration(t *testing.T) {
+	// The victim migrates while a signal is pending: delivery must follow
+	// the thread to its new kernel.
+	os := boot(t, 4)
+	e := os.Engine()
+	var got []int
+	var kernelAtWait int
+	e.Spawn("driver", func(p *sim.Proc) {
+		pr, _ := os.StartProcessOn(p, 0)
+		var victimID int64
+		ready := sim.NewWaitGroup()
+		ready.Add(1)
+		signalled := sim.NewWaitGroup()
+		signalled.Add(1)
+		_ = pr.Spawn(p, 0, func(th osi.Thread) {
+			victimID = th.ID()
+			ready.Done()
+			signalled.Wait(th.Proc())
+			// Migrate with the signal pending, then consume it there.
+			if err := th.Migrate(2); err != nil {
+				t.Errorf("Migrate: %v", err)
+				return
+			}
+			kernelAtWait = th.KernelID()
+			sigs, err := th.SigWait()
+			if err != nil {
+				t.Errorf("SigWait: %v", err)
+				return
+			}
+			got = sigs
+		})
+		_ = pr.Spawn(p, 1, func(th osi.Thread) {
+			ready.Wait(th.Proc())
+			if err := th.Kill(victimID, threadgroup.SigTerm); err != nil {
+				t.Errorf("Kill: %v", err)
+			}
+			signalled.Done()
+		})
+		pr.Wait(p)
+		_ = pr.Close(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 1 || got[0] != threadgroup.SigTerm {
+		t.Fatalf("signals after migration = %v", got)
+	}
+	if kernelAtWait != 2 {
+		t.Fatalf("victim consumed signal on kernel %d, want 2", kernelAtWait)
+	}
+}

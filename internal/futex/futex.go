@@ -1,0 +1,294 @@
+// Package futex implements the replicated-kernel OS's distributed futex:
+// the kernel-side wait/wake primitive POSIX synchronisation is built on.
+// Each futex word is homed at its thread group's origin kernel, which keeps
+// the wait queue; kernels hosting waiters forward WAIT and WAKE operations
+// there over the message fabric. The atomic check-the-value-then-sleep step
+// runs at the home under the bucket lock, so no wakeup can be lost — the
+// same guarantee Linux's futex gives via the hash-bucket spinlock, but
+// without any machine-global shared structure.
+package futex
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+// ErrWouldBlock is returned by Wait when the futex word no longer holds the
+// expected value at queue time (the EAGAIN of FUTEX_WAIT): the caller must
+// re-examine the word.
+var ErrWouldBlock = errors.New("futex: value changed before sleeping")
+
+// Resolver supplies group-level lookups the futex layer needs: where a
+// group's futexes are homed and the local space for value checks. The
+// thread-group layer implements it.
+type Resolver interface {
+	// FutexHome returns the home kernel for a group's futexes (its origin).
+	FutexHome(gid vm.GID) (msg.NodeID, bool)
+	// GroupSpace returns this kernel's address-space replica for the group.
+	GroupSpace(gid vm.GID) (*vm.Space, bool)
+}
+
+type key struct {
+	gid  vm.GID
+	addr mem.Addr
+}
+
+type bucket struct {
+	mu      *sim.Mutex
+	waiters []waiterRef
+}
+
+type waiterRef struct {
+	node  msg.NodeID
+	token uint64
+}
+
+type localWaiter struct {
+	p     *sim.Proc
+	woken bool
+}
+
+// Service is the per-kernel futex service.
+type Service struct {
+	e        *sim.Engine
+	node     msg.NodeID
+	ep       *msg.Endpoint
+	resolver Resolver
+	metrics  *stats.Registry
+	// homeCore is the representative core used to charge value-check
+	// accesses performed by the home-side handler.
+	homeCore int
+
+	buckets   map[key]*bucket
+	waiters   map[uint64]*localWaiter
+	nextToken uint64
+}
+
+// futexOp selects the home-side operation.
+type futexOp int
+
+const (
+	opWait futexOp = iota + 1
+	opWake
+	opRequeue
+)
+
+// futexOpReq is the wire request for a forwarded WAIT, WAKE or REQUEUE.
+type futexOpReq struct {
+	Op     futexOp
+	GID    vm.GID
+	Addr   mem.Addr
+	Addr2  mem.Addr
+	Expect int64
+	Count  int
+	Count2 int
+	Token  uint64
+}
+
+// futexOpReply is the home's response.
+type futexOpReply struct {
+	// Queued is true when a WAIT was enqueued.
+	Queued bool
+	// Woken is the number of waiters a WAKE or REQUEUE released.
+	Woken int
+	// Requeued is the number of waiters a REQUEUE moved.
+	Requeued int
+	Err      string
+}
+
+// futexWakeup releases a remotely queued waiter.
+type futexWakeup struct {
+	Token uint64
+}
+
+const reqSize = 64
+
+// NewService creates the kernel's futex service and registers its handlers.
+func NewService(e *sim.Engine, fabric *msg.Fabric, node msg.NodeID, homeCore int, resolver Resolver, metrics *stats.Registry) *Service {
+	if metrics == nil {
+		metrics = stats.NewRegistry()
+	}
+	s := &Service{
+		e:        e,
+		node:     node,
+		ep:       fabric.Endpoint(node),
+		resolver: resolver,
+		metrics:  metrics,
+		homeCore: homeCore,
+		buckets:  make(map[key]*bucket),
+		waiters:  make(map[uint64]*localWaiter),
+	}
+	s.ep.Handle(msg.TypeFutexOp, s.handleOp)
+	s.ep.Handle(msg.TypeFutexWakeup, s.handleWakeup)
+	return s
+}
+
+// Wait blocks p until a Wake on (gid, addr), provided the word still holds
+// expect when the home kernel examines it; otherwise ErrWouldBlock.
+func (s *Service) Wait(p *sim.Proc, gid vm.GID, addr mem.Addr, expect int64) error {
+	home, ok := s.resolver.FutexHome(gid)
+	if !ok {
+		return fmt.Errorf("futex: unknown group %d", gid)
+	}
+	s.nextToken++
+	token := s.nextToken
+	lw := &localWaiter{p: p}
+	s.waiters[token] = lw
+	defer delete(s.waiters, token)
+	s.metrics.Counter("futex.wait").Inc()
+
+	var queued bool
+	if home == s.node {
+		reply := s.doWait(p, gid, addr, expect, s.node, token)
+		if reply.Err != "" {
+			return fmt.Errorf("futex: %s", reply.Err)
+		}
+		queued = reply.Queued
+	} else {
+		s.metrics.Counter("futex.remote").Inc()
+		reply, err := s.ep.Call(p, &msg.Message{
+			Type: msg.TypeFutexOp, To: home, Size: reqSize,
+			Payload: &futexOpReq{Op: opWait, GID: gid, Addr: addr, Expect: expect, Token: token},
+		})
+		if err != nil {
+			return err
+		}
+		r := reply.Payload.(*futexOpReply)
+		if r.Err != "" {
+			return fmt.Errorf("futex: %s", r.Err)
+		}
+		queued = r.Queued
+	}
+	if !queued {
+		return ErrWouldBlock
+	}
+	if !lw.woken {
+		p.Suspend()
+	}
+	if !lw.woken {
+		return errors.New("futex: waiter woken without a wake")
+	}
+	return nil
+}
+
+// Wake releases up to count waiters on (gid, addr) and returns how many.
+func (s *Service) Wake(p *sim.Proc, gid vm.GID, addr mem.Addr, count int) (int, error) {
+	home, ok := s.resolver.FutexHome(gid)
+	if !ok {
+		return 0, fmt.Errorf("futex: unknown group %d", gid)
+	}
+	s.metrics.Counter("futex.wake").Inc()
+	if home == s.node {
+		reply := s.doWake(p, gid, addr, count)
+		return reply.Woken, nil
+	}
+	s.metrics.Counter("futex.remote").Inc()
+	reply, err := s.ep.Call(p, &msg.Message{
+		Type: msg.TypeFutexOp, To: home, Size: reqSize,
+		Payload: &futexOpReq{Op: opWake, GID: gid, Addr: addr, Count: count},
+	})
+	if err != nil {
+		return 0, err
+	}
+	r := reply.Payload.(*futexOpReply)
+	if r.Err != "" {
+		return 0, fmt.Errorf("futex: %s", r.Err)
+	}
+	return r.Woken, nil
+}
+
+// doWait runs the home-side half of FUTEX_WAIT: under the bucket lock,
+// re-read the word through the home's address-space replica and enqueue the
+// waiter only if it still matches.
+func (s *Service) doWait(p *sim.Proc, gid vm.GID, addr mem.Addr, expect int64, from msg.NodeID, token uint64) *futexOpReply {
+	sp, ok := s.resolver.GroupSpace(gid)
+	if !ok {
+		return &futexOpReply{Err: fmt.Sprintf("group %d not resident on home kernel %d", gid, s.node)}
+	}
+	b := s.bucket(key{gid: gid, addr: addr})
+	b.mu.Lock(p)
+	defer b.mu.Unlock(p)
+	val, err := sp.Load(p, s.homeCore, addr)
+	if err != nil {
+		return &futexOpReply{Err: err.Error()}
+	}
+	if val != expect {
+		s.metrics.Counter("futex.eagain").Inc()
+		return &futexOpReply{Queued: false}
+	}
+	b.waiters = append(b.waiters, waiterRef{node: from, token: token})
+	if d := uint64(len(b.waiters)); d > s.metrics.Counter("futex.queue.max").Value() {
+		c := s.metrics.Counter("futex.queue.max")
+		c.Add(d - c.Value())
+	}
+	return &futexOpReply{Queued: true}
+}
+
+// doWake runs the home-side half of FUTEX_WAKE.
+func (s *Service) doWake(p *sim.Proc, gid vm.GID, addr mem.Addr, count int) *futexOpReply {
+	if count <= 0 {
+		return &futexOpReply{}
+	}
+	b := s.bucket(key{gid: gid, addr: addr})
+	b.mu.Lock(p)
+	n := count
+	if n > len(b.waiters) {
+		n = len(b.waiters)
+	}
+	released := append([]waiterRef(nil), b.waiters[:n]...)
+	b.waiters = b.waiters[n:]
+	b.mu.Unlock(p)
+	for _, ref := range released {
+		s.release(p, ref)
+	}
+	return &futexOpReply{Woken: len(released)}
+}
+
+func (s *Service) bucket(k key) *bucket {
+	b, ok := s.buckets[k]
+	if !ok {
+		b = &bucket{mu: sim.NewMutex(s.e)}
+		s.buckets[k] = b
+	}
+	return b
+}
+
+func (s *Service) wakeLocal(token uint64) {
+	lw, ok := s.waiters[token]
+	if !ok {
+		s.metrics.Counter("futex.wakeup.orphan").Inc()
+		return
+	}
+	lw.woken = true
+	lw.p.Resume()
+}
+
+func (s *Service) handleOp(p *sim.Proc, m *msg.Message) *msg.Message {
+	req := m.Payload.(*futexOpReq)
+	var reply *futexOpReply
+	switch req.Op {
+	case opWait:
+		reply = s.doWait(p, req.GID, req.Addr, req.Expect, m.From, req.Token)
+	case opWake:
+		reply = s.doWake(p, req.GID, req.Addr, req.Count)
+	case opRequeue:
+		reply = s.doRequeue(p, req.GID, req.Addr, req.Addr2, req.Expect, req.Count, req.Count2)
+	default:
+		reply = &futexOpReply{Err: fmt.Sprintf("unknown futex op %d", req.Op)}
+	}
+	return &msg.Message{Size: reqSize, Payload: reply}
+}
+
+func (s *Service) handleWakeup(p *sim.Proc, m *msg.Message) *msg.Message {
+	s.wakeLocal(m.Payload.(*futexWakeup).Token)
+	return nil
+}
+
+// Metrics returns the registry this service records into.
+func (s *Service) Metrics() *stats.Registry { return s.metrics }

@@ -1,0 +1,118 @@
+package futex
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// Requeue implements FUTEX_CMP_REQUEUE: if the word at from still holds
+// expect, wake up to wake waiters of from and move up to requeue of the
+// remainder onto to's wait queue (so a condition-variable broadcast doesn't
+// stampede the mutex). Both words belong to the same group and therefore
+// share a home kernel, where the operation is atomic under the bucket
+// locks. Returns (woken, requeued).
+func (s *Service) Requeue(p *sim.Proc, gid vm.GID, from, to mem.Addr, expect int64, wake, requeue int) (int, int, error) {
+	home, ok := s.resolver.FutexHome(gid)
+	if !ok {
+		return 0, 0, fmt.Errorf("futex: unknown group %d", gid)
+	}
+	s.metrics.Counter("futex.requeue").Inc()
+	if home == s.node {
+		reply := s.doRequeue(p, gid, from, to, expect, wake, requeue)
+		if reply.Err != "" {
+			return 0, 0, requeueErr(reply.Err)
+		}
+		return reply.Woken, reply.Requeued, nil
+	}
+	s.metrics.Counter("futex.remote").Inc()
+	reply, err := s.ep.Call(p, &msg.Message{
+		Type: msg.TypeFutexOp, To: home, Size: reqSize,
+		Payload: &futexOpReq{
+			Op: opRequeue, GID: gid, Addr: from, Addr2: to,
+			Expect: expect, Count: wake, Count2: requeue,
+		},
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	r := reply.Payload.(*futexOpReply)
+	if r.Err != "" {
+		return 0, 0, requeueErr(r.Err)
+	}
+	return r.Woken, r.Requeued, nil
+}
+
+func requeueErr(s string) error {
+	if s == wouldBlockMarker {
+		return ErrWouldBlock
+	}
+	return fmt.Errorf("futex: %s", s)
+}
+
+// wouldBlockMarker carries ErrWouldBlock identity across the wire.
+const wouldBlockMarker = "EAGAIN"
+
+// doRequeue runs at the home kernel.
+func (s *Service) doRequeue(p *sim.Proc, gid vm.GID, from, to mem.Addr, expect int64, wake, requeue int) *futexOpReply {
+	sp, ok := s.resolver.GroupSpace(gid)
+	if !ok {
+		return &futexOpReply{Err: fmt.Sprintf("group %d not resident on home kernel %d", gid, s.node)}
+	}
+	bFrom := s.bucket(key{gid: gid, addr: from})
+	bTo := s.bucket(key{gid: gid, addr: to})
+	// Lock both queues in address order so concurrent requeues between the
+	// same pair cannot deadlock.
+	first, second := bFrom, bTo
+	if to < from {
+		first, second = bTo, bFrom
+	}
+	first.mu.Lock(p)
+	if second != first {
+		second.mu.Lock(p)
+	}
+	defer func() {
+		if second != first {
+			second.mu.Unlock(p)
+		}
+		first.mu.Unlock(p)
+	}()
+	val, err := sp.Load(p, s.homeCore, from)
+	if err != nil {
+		return &futexOpReply{Err: err.Error()}
+	}
+	if val != expect {
+		s.metrics.Counter("futex.eagain").Inc()
+		return &futexOpReply{Err: wouldBlockMarker}
+	}
+	woken := 0
+	for woken < wake && len(bFrom.waiters) > 0 {
+		ref := bFrom.waiters[0]
+		bFrom.waiters = bFrom.waiters[1:]
+		s.release(p, ref)
+		woken++
+	}
+	requeued := 0
+	for requeued < requeue && len(bFrom.waiters) > 0 {
+		ref := bFrom.waiters[0]
+		bFrom.waiters = bFrom.waiters[1:]
+		bTo.waiters = append(bTo.waiters, ref)
+		requeued++
+	}
+	return &futexOpReply{Woken: woken, Requeued: requeued}
+}
+
+// release wakes one waiter reference, locally or via message.
+func (s *Service) release(p *sim.Proc, ref waiterRef) {
+	if ref.node == s.node {
+		s.wakeLocal(ref.token)
+		return
+	}
+	s.ep.Send(p, &msg.Message{
+		Type: msg.TypeFutexWakeup, To: ref.node, Size: reqSize,
+		Payload: &futexWakeup{Token: ref.token},
+	})
+}

@@ -1,0 +1,214 @@
+// Package mem models physical memory: per-kernel frame allocators over
+// disjoint physical ranges (each kernel in the replicated-kernel OS owns a
+// partition of physical memory) and per-address-space page tables.
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+)
+
+// FrameID is a global physical frame number. NoFrame marks an empty PTE.
+type FrameID int64
+
+// NoFrame is the sentinel for "no physical frame".
+const NoFrame FrameID = -1
+
+// Addr is a virtual address.
+type Addr uint64
+
+// VPN is a virtual page number.
+type VPN uint64
+
+// PageOf returns the virtual page containing a.
+func PageOf(a Addr) VPN { return VPN(a / hw.PageSize) }
+
+// Base returns the first address of the page.
+func (v VPN) Base() Addr { return Addr(v) * hw.PageSize }
+
+// PagesSpanned returns how many pages the range [a, a+length) touches.
+func PagesSpanned(a Addr, length uint64) int {
+	if length == 0 {
+		return 0
+	}
+	first := PageOf(a)
+	last := PageOf(a + Addr(length) - 1)
+	return int(last-first) + 1
+}
+
+// Prot is a page protection bitmask.
+type Prot uint8
+
+// Protection bits.
+const (
+	ProtRead Prot = 1 << iota
+	ProtWrite
+	ProtExec
+)
+
+// Readable reports whether the read bit is set.
+func (p Prot) Readable() bool { return p&ProtRead != 0 }
+
+// Writable reports whether the write bit is set.
+func (p Prot) Writable() bool { return p&ProtWrite != 0 }
+
+func (p Prot) String() string {
+	b := []byte("---")
+	if p&ProtRead != 0 {
+		b[0] = 'r'
+	}
+	if p&ProtWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&ProtExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// FrameAllocator hands out physical frames from one kernel's partition.
+// Frames are identified globally so a frame's home NUMA node can always be
+// recovered, but each allocator only manages its own contiguous range.
+type FrameAllocator struct {
+	node      int // NUMA node the partition lives on
+	start     FrameID
+	count     int
+	free      []FrameID
+	allocated map[FrameID]struct{}
+}
+
+// NewFrameAllocator creates an allocator over frames [start, start+count)
+// homed on the given NUMA node.
+func NewFrameAllocator(node int, start FrameID, count int) (*FrameAllocator, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("mem: frame partition must be non-empty, got %d", count)
+	}
+	if start < 0 {
+		return nil, fmt.Errorf("mem: negative partition start %d", start)
+	}
+	a := &FrameAllocator{
+		node:      node,
+		start:     start,
+		count:     count,
+		free:      make([]FrameID, 0, count),
+		allocated: make(map[FrameID]struct{}),
+	}
+	// Fill the freelist in descending order so Alloc pops ascending IDs.
+	for i := count - 1; i >= 0; i-- {
+		a.free = append(a.free, start+FrameID(i))
+	}
+	return a, nil
+}
+
+// Node returns the NUMA node this partition is homed on.
+func (a *FrameAllocator) Node() int { return a.node }
+
+// Alloc returns a free frame or an error when the partition is exhausted.
+func (a *FrameAllocator) Alloc() (FrameID, error) {
+	if len(a.free) == 0 {
+		return NoFrame, fmt.Errorf("mem: partition [%d,%d) on node %d out of frames", a.start, a.start+FrameID(a.count), a.node)
+	}
+	f := a.free[len(a.free)-1]
+	a.free = a.free[:len(a.free)-1]
+	a.allocated[f] = struct{}{}
+	return f, nil
+}
+
+// Free returns a frame to the allocator. Freeing a frame that is not
+// allocated from this partition is an error.
+func (a *FrameAllocator) Free(f FrameID) error {
+	if f < a.start || f >= a.start+FrameID(a.count) {
+		return fmt.Errorf("mem: frame %d not in partition [%d,%d)", f, a.start, a.start+FrameID(a.count))
+	}
+	if _, ok := a.allocated[f]; !ok {
+		return fmt.Errorf("mem: double free of frame %d", f)
+	}
+	delete(a.allocated, f)
+	a.free = append(a.free, f)
+	return nil
+}
+
+// InUse returns the number of allocated frames.
+func (a *FrameAllocator) InUse() int { return len(a.allocated) }
+
+// Available returns the number of free frames.
+func (a *FrameAllocator) Available() int { return len(a.free) }
+
+// PTE is one page-table entry.
+type PTE struct {
+	Frame FrameID
+	Prot  Prot
+	// HomeNode is the NUMA node of the frame, cached for access costing.
+	HomeNode int
+}
+
+// PageTable maps virtual pages to frames for one address-space replica on
+// one kernel. Page tables are per-kernel in the replicated design: each
+// kernel installs only the mappings its local threads have faulted in.
+type PageTable struct {
+	entries map[VPN]PTE
+}
+
+// NewPageTable returns an empty page table.
+func NewPageTable() *PageTable {
+	return &PageTable{entries: make(map[VPN]PTE)}
+}
+
+// Lookup returns the entry for the page, if present.
+func (pt *PageTable) Lookup(v VPN) (PTE, bool) {
+	e, ok := pt.entries[v]
+	return e, ok
+}
+
+// Set installs or replaces the entry for the page.
+func (pt *PageTable) Set(v VPN, e PTE) { pt.entries[v] = e }
+
+// Clear removes the entry for the page, reporting whether one existed.
+func (pt *PageTable) Clear(v VPN) bool {
+	if _, ok := pt.entries[v]; !ok {
+		return false
+	}
+	delete(pt.entries, v)
+	return true
+}
+
+// ClearRange removes all entries in [lo, hi) and returns the cleared
+// entries (the caller frees frames / initiates shootdowns).
+func (pt *PageTable) ClearRange(lo, hi VPN) []PTE {
+	var cleared []PTE
+	for v := lo; v < hi; v++ {
+		if e, ok := pt.entries[v]; ok {
+			cleared = append(cleared, e)
+			delete(pt.entries, v)
+		}
+	}
+	return cleared
+}
+
+// Downgrade clears the write bit on all present entries in [lo, hi),
+// returning how many entries changed. Used when a page loses exclusive
+// ownership.
+func (pt *PageTable) Downgrade(lo, hi VPN) int {
+	n := 0
+	for v := lo; v < hi; v++ {
+		if e, ok := pt.entries[v]; ok && e.Prot.Writable() {
+			e.Prot &^= ProtWrite
+			pt.entries[v] = e
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of present entries.
+func (pt *PageTable) Len() int { return len(pt.entries) }
+
+// All returns a snapshot of every present entry, for teardown walks.
+func (pt *PageTable) All() map[VPN]PTE {
+	out := make(map[VPN]PTE, len(pt.entries))
+	for v, e := range pt.entries {
+		out[v] = e
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+)
+
+func TestPageOfAndBase(t *testing.T) {
+	if PageOf(0) != 0 || PageOf(hw.PageSize-1) != 0 || PageOf(hw.PageSize) != 1 {
+		t.Fatal("PageOf boundaries wrong")
+	}
+	if VPN(3).Base() != Addr(3*hw.PageSize) {
+		t.Fatalf("Base = %d", VPN(3).Base())
+	}
+}
+
+func TestPagesSpanned(t *testing.T) {
+	tests := []struct {
+		a      Addr
+		length uint64
+		want   int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, hw.PageSize, 1},
+		{0, hw.PageSize + 1, 2},
+		{hw.PageSize - 1, 2, 2},
+		{hw.PageSize, hw.PageSize, 1},
+		{100, 3 * hw.PageSize, 4},
+	}
+	for _, tt := range tests {
+		if got := PagesSpanned(tt.a, tt.length); got != tt.want {
+			t.Errorf("PagesSpanned(%d, %d) = %d, want %d", tt.a, tt.length, got, tt.want)
+		}
+	}
+}
+
+func TestProtBits(t *testing.T) {
+	p := ProtRead | ProtWrite
+	if !p.Readable() || !p.Writable() {
+		t.Fatal("bits not set")
+	}
+	if p.String() != "rw-" {
+		t.Fatalf("String = %q", p)
+	}
+	if (ProtRead | ProtExec).String() != "r-x" {
+		t.Fatalf("String = %q", ProtRead|ProtExec)
+	}
+}
+
+func TestFrameAllocatorBasics(t *testing.T) {
+	a, err := NewFrameAllocator(1, 100, 4)
+	if err != nil {
+		t.Fatalf("NewFrameAllocator: %v", err)
+	}
+	if a.Node() != 1 || a.Available() != 4 || a.InUse() != 0 {
+		t.Fatal("fresh allocator state wrong")
+	}
+	f1, err := a.Alloc()
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if f1 != 100 {
+		t.Fatalf("first frame = %d, want 100", f1)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := a.Alloc(); err != nil {
+			t.Fatalf("Alloc %d: %v", i, err)
+		}
+	}
+	if _, err := a.Alloc(); err == nil {
+		t.Fatal("exhausted allocator still allocated")
+	}
+	if err := a.Free(f1); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if a.Available() != 1 {
+		t.Fatalf("Available = %d after free", a.Available())
+	}
+}
+
+func TestFrameAllocatorRejectsBadFrees(t *testing.T) {
+	a, _ := NewFrameAllocator(0, 10, 4)
+	if err := a.Free(9); err == nil {
+		t.Error("freed frame below partition")
+	}
+	if err := a.Free(14); err == nil {
+		t.Error("freed frame above partition")
+	}
+	f, _ := a.Alloc()
+	if err := a.Free(f); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if err := a.Free(f); err == nil {
+		t.Error("double free accepted")
+	}
+}
+
+func TestFrameAllocatorValidation(t *testing.T) {
+	if _, err := NewFrameAllocator(0, 0, 0); err == nil {
+		t.Error("empty partition accepted")
+	}
+	if _, err := NewFrameAllocator(0, -5, 4); err == nil {
+		t.Error("negative start accepted")
+	}
+}
+
+func TestFrameAllocatorNoDoubleAllocationProperty(t *testing.T) {
+	// Property: any interleaving of allocs and frees never hands out a
+	// frame twice while it is outstanding.
+	f := func(ops []bool) bool {
+		a, err := NewFrameAllocator(0, 0, 16)
+		if err != nil {
+			return false
+		}
+		held := make(map[FrameID]bool)
+		var order []FrameID
+		for _, alloc := range ops {
+			if alloc {
+				fr, err := a.Alloc()
+				if err != nil {
+					continue // exhausted is fine
+				}
+				if held[fr] {
+					return false // double allocation!
+				}
+				held[fr] = true
+				order = append(order, fr)
+			} else if len(order) > 0 {
+				fr := order[0]
+				order = order[1:]
+				if err := a.Free(fr); err != nil {
+					return false
+				}
+				delete(held, fr)
+			}
+		}
+		return a.InUse() == len(held)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageTableSetLookupClear(t *testing.T) {
+	pt := NewPageTable()
+	if _, ok := pt.Lookup(5); ok {
+		t.Fatal("empty table has entry")
+	}
+	pt.Set(5, PTE{Frame: 42, Prot: ProtRead})
+	e, ok := pt.Lookup(5)
+	if !ok || e.Frame != 42 {
+		t.Fatalf("Lookup = %+v, %v", e, ok)
+	}
+	if pt.Len() != 1 {
+		t.Fatalf("Len = %d", pt.Len())
+	}
+	if !pt.Clear(5) {
+		t.Fatal("Clear returned false for present entry")
+	}
+	if pt.Clear(5) {
+		t.Fatal("Clear returned true for absent entry")
+	}
+}
+
+func TestPageTableClearRange(t *testing.T) {
+	pt := NewPageTable()
+	for v := VPN(0); v < 10; v++ {
+		pt.Set(v, PTE{Frame: FrameID(v), Prot: ProtRead})
+	}
+	cleared := pt.ClearRange(3, 7)
+	if len(cleared) != 4 {
+		t.Fatalf("cleared %d entries, want 4", len(cleared))
+	}
+	if pt.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", pt.Len())
+	}
+	if _, ok := pt.Lookup(3); ok {
+		t.Fatal("entry 3 survived ClearRange")
+	}
+	if _, ok := pt.Lookup(7); !ok {
+		t.Fatal("entry 7 (exclusive bound) was cleared")
+	}
+}
+
+func TestPageTableDowngrade(t *testing.T) {
+	pt := NewPageTable()
+	pt.Set(1, PTE{Frame: 1, Prot: ProtRead | ProtWrite})
+	pt.Set(2, PTE{Frame: 2, Prot: ProtRead})
+	n := pt.Downgrade(0, 10)
+	if n != 1 {
+		t.Fatalf("Downgrade changed %d entries, want 1", n)
+	}
+	e, _ := pt.Lookup(1)
+	if e.Prot.Writable() {
+		t.Fatal("entry 1 still writable after Downgrade")
+	}
+	if !e.Prot.Readable() {
+		t.Fatal("Downgrade removed the read bit")
+	}
+}
+
+func TestPageTableAllSnapshot(t *testing.T) {
+	pt := NewPageTable()
+	pt.Set(1, PTE{Frame: 10, Prot: ProtRead})
+	pt.Set(2, PTE{Frame: 20, Prot: ProtRead | ProtWrite})
+	snap := pt.All()
+	if len(snap) != 2 || snap[1].Frame != 10 || snap[2].Frame != 20 {
+		t.Fatalf("All = %v", snap)
+	}
+	// Mutating the snapshot must not affect the table.
+	delete(snap, 1)
+	if _, ok := pt.Lookup(1); !ok {
+		t.Fatal("snapshot mutation leaked into the table")
+	}
+}

@@ -1,0 +1,165 @@
+package msg
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Endpoint is one kernel's attachment to the fabric: an inbound queue
+// drained by a dispatcher process (the kernel's message work queue), a
+// handler table, and the RPC wait table.
+type Endpoint struct {
+	f    *Fabric
+	node NodeID
+
+	queue      []*Message
+	hasWork    *sim.Cond
+	handlers   map[Type]Handler
+	pending    map[uint64]*call
+	dispatcher *sim.Proc
+}
+
+type call struct {
+	waiter *sim.Proc
+	reply  *Message
+	done   bool
+}
+
+func newEndpoint(f *Fabric, node NodeID) *Endpoint {
+	ep := &Endpoint{
+		f:        f,
+		node:     node,
+		hasWork:  sim.NewCond(),
+		handlers: make(map[Type]Handler),
+		pending:  make(map[uint64]*call),
+	}
+	ep.dispatcher = f.e.SpawnDaemon(fmt.Sprintf("msg-dispatch-%d", node), ep.dispatch)
+	return ep
+}
+
+// Node returns the kernel this endpoint belongs to.
+func (ep *Endpoint) Node() NodeID { return ep.node }
+
+// Handle registers the handler for a message type. Registering twice for
+// the same type panics: handler wiring is static kernel configuration, and a
+// silent overwrite would hide a wiring bug.
+func (ep *Endpoint) Handle(t Type, h Handler) {
+	if _, dup := ep.handlers[t]; dup {
+		panic(fmt.Sprintf("msg: duplicate handler for %v on node %d", t, ep.node))
+	}
+	ep.handlers[t] = h
+}
+
+// Send transmits m asynchronously (fire-and-forget): the caller is charged
+// only the sender-side ring cost. m.From is set to this endpoint's node.
+func (ep *Endpoint) Send(p *sim.Proc, m *Message) {
+	ep.prepare(m)
+	ep.f.metrics.Counter("msg.sent").Inc()
+	ep.f.traceEvent("msg.send", m.From, "%v to k%d seq=%d size=%d reply=%v", m.Type, m.To, m.Seq, m.Size, m.IsReply)
+	entry := ep.f.reserve(m)
+	p.Sleep(ep.f.sendCost(m))
+	ep.f.commit(entry)
+}
+
+// Call transmits m and blocks p until the destination's handler returns a
+// reply. The round trip charges send cost here, receive+handler cost on the
+// remote kernel, and the reply's costs symmetrically.
+func (ep *Endpoint) Call(p *sim.Proc, m *Message) (*Message, error) {
+	if m.To == ep.node {
+		return nil, fmt.Errorf("msg: node %d RPC to itself (type %v)", ep.node, m.Type)
+	}
+	ep.prepare(m)
+	c := &call{waiter: p}
+	ep.pending[m.Seq] = c
+	ep.f.metrics.Counter("msg.sent").Inc()
+	ep.f.metrics.Counter("msg.rpc").Inc()
+	ep.f.traceEvent("msg.send", m.From, "%v to k%d seq=%d size=%d rpc", m.Type, m.To, m.Seq, m.Size)
+	start := p.Now()
+	entry := ep.f.reserve(m)
+	p.Sleep(ep.f.sendCost(m))
+	ep.f.commit(entry)
+	if !c.done {
+		p.Suspend()
+	}
+	delete(ep.pending, m.Seq)
+	if !c.done {
+		return nil, fmt.Errorf("msg: RPC %v to node %d woken without reply", m.Type, m.To)
+	}
+	ep.f.metrics.Histogram("msg.rpc.rtt").Observe(p.Now().Sub(start))
+	return c.reply, nil
+}
+
+// prepare stamps From and Seq and validates the destination.
+func (ep *Endpoint) prepare(m *Message) {
+	if int(m.To) < 0 || int(m.To) >= len(ep.f.endpoints) {
+		panic(fmt.Sprintf("msg: send to unknown node %d", m.To))
+	}
+	if m.Type == TypeInvalid {
+		panic("msg: send of invalid message type")
+	}
+	m.From = ep.node
+	if m.Seq == 0 {
+		ep.f.nextSeq++
+		m.Seq = ep.f.nextSeq
+	}
+}
+
+// deliver enqueues m at its destination endpoint.
+func (f *Fabric) deliver(m *Message) {
+	f.traceEvent("msg.deliver", m.To, "%v from k%d seq=%d size=%d reply=%v", m.Type, m.From, m.Seq, m.Size, m.IsReply)
+	dst := f.endpoints[m.To]
+	dst.queue = append(dst.queue, m)
+	depth := uint64(len(dst.queue))
+	f.metrics.Counter("msg.delivered").Inc()
+	if g := f.metrics.Counter("msg.queue.maxdepth"); depth > g.Value() {
+		g.Add(depth - g.Value())
+	}
+	dst.hasWork.Signal()
+}
+
+// dispatch is the endpoint's message work queue: it drains the inbound
+// queue in FIFO order, charges receive cost, and runs each handler in its
+// own process so handlers may block without stalling delivery.
+func (ep *Endpoint) dispatch(p *sim.Proc) {
+	for {
+		for len(ep.queue) == 0 {
+			ep.hasWork.Wait(p)
+		}
+		m := ep.queue[0]
+		ep.queue = ep.queue[1:]
+		p.Sleep(ep.f.recvCost(m))
+		if m.IsReply {
+			ep.completeCall(m)
+			continue
+		}
+		h, ok := ep.handlers[m.Type]
+		if !ok {
+			panic(fmt.Sprintf("msg: node %d has no handler for %v", ep.node, m.Type))
+		}
+		mm := m
+		ep.f.e.Spawn(fmt.Sprintf("msg-handler-%d-%v", ep.node, m.Type), func(hp *sim.Proc) {
+			reply := h(hp, mm)
+			if reply == nil {
+				return
+			}
+			reply.Type = mm.Type
+			reply.To = mm.From
+			reply.Seq = mm.Seq
+			reply.IsReply = true
+			ep.Send(hp, reply)
+		})
+	}
+}
+
+// completeCall matches a reply to its pending RPC and wakes the caller.
+func (ep *Endpoint) completeCall(m *Message) {
+	c, ok := ep.pending[m.Seq]
+	if !ok {
+		ep.f.metrics.Counter("msg.rpc.orphan").Inc()
+		return
+	}
+	c.reply = m
+	c.done = true
+	c.waiter.Resume()
+}

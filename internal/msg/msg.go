@@ -1,0 +1,293 @@
+// Package msg implements the inter-kernel message-passing layer of the
+// replicated-kernel OS. In Popcorn Linux, kernels share no data structures
+// and communicate exclusively over shared-memory message rings with
+// IPI-based notification; this package models that transport: typed
+// messages, slot-granular fragmentation costs, per-pair FIFO delivery, a
+// per-kernel dispatcher (the kernel's message work queue), and a
+// request/response (RPC) convention on top.
+package msg
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// NodeID identifies a kernel instance in the replicated-kernel OS.
+type NodeID int
+
+// Type enumerates the inter-kernel message types. The set mirrors the
+// protocol families the paper describes: thread-group management, context
+// migration, address-space consistency, futex, and control traffic.
+type Type int
+
+// Message types. Start at 1 so the zero value is invalid.
+const (
+	TypeInvalid Type = iota
+	// TypePing is control traffic used by tests and the T1 benchmark.
+	TypePing
+	// TypeThreadCreate asks a remote kernel to create a thread in a
+	// distributed thread group (remote clone).
+	TypeThreadCreate
+	// TypeGroupSetup instantiates a thread-group replica (address space
+	// skeleton) on a kernel about to host its first member thread.
+	TypeGroupSetup
+	// TypeMigrate carries a thread's execution context to its new kernel.
+	TypeMigrate
+	// TypeMigrateBack returns a migrated thread to its origin kernel.
+	TypeMigrateBack
+	// TypeExitNotify propagates a member thread's exit to the group origin.
+	TypeExitNotify
+	// TypeGroupExit broadcasts group-wide termination.
+	TypeGroupExit
+	// TypeVMAOp forwards an address-space operation (mmap/munmap/mprotect)
+	// from a remote kernel to the group origin, which owns the
+	// authoritative layout.
+	TypeVMAOp
+	// TypeVMAUpdate propagates an address-space layout change
+	// (mmap/munmap/mprotect/brk) from the group origin to replicas.
+	TypeVMAUpdate
+	// TypeVMAFetch asks the origin for the VMA covering a faulting address.
+	TypeVMAFetch
+	// TypePageFetch requests a page's contents/ownership from its owner.
+	TypePageFetch
+	// TypePageInvalidate revokes read replicas before a write.
+	TypePageInvalidate
+	// TypeFutexOp forwards a futex wait/wake/requeue to the key's home
+	// kernel.
+	TypeFutexOp
+	// TypeFutexWakeup wakes a remotely blocked futex waiter.
+	TypeFutexWakeup
+	// TypeSignal delivers a signal to a thread on another kernel.
+	TypeSignal
+	// TypeUser carries application-level traffic (the multikernel
+	// baseline's explicit inter-domain channels).
+	TypeUser
+)
+
+var typeNames = map[Type]string{
+	TypePing:           "ping",
+	TypeThreadCreate:   "thread-create",
+	TypeGroupSetup:     "group-setup",
+	TypeMigrate:        "migrate",
+	TypeMigrateBack:    "migrate-back",
+	TypeExitNotify:     "exit-notify",
+	TypeVMAOp:          "vma-op",
+	TypeGroupExit:      "group-exit",
+	TypeVMAUpdate:      "vma-update",
+	TypeVMAFetch:       "vma-fetch",
+	TypePageFetch:      "page-fetch",
+	TypePageInvalidate: "page-invalidate",
+	TypeFutexOp:        "futex-op",
+	TypeFutexWakeup:    "futex-wakeup",
+	TypeSignal:         "signal",
+	TypeUser:           "user",
+}
+
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("msg.Type(%d)", int(t))
+}
+
+// Message is one inter-kernel message. Size is the serialised payload size
+// in bytes and drives the fragmentation cost; Payload carries the typed
+// protocol body (the simulation passes pointers rather than serialising).
+type Message struct {
+	Type    Type
+	From    NodeID
+	To      NodeID
+	Seq     uint64
+	IsReply bool
+	Size    int
+	Payload any
+}
+
+// Handler processes one received message on the destination kernel. It runs
+// in its own simulated process and may block on simulator primitives. A
+// non-nil return value is sent back as the RPC reply.
+type Handler func(p *sim.Proc, m *Message) *Message
+
+// Config tunes the transport's cost structure.
+type Config struct {
+	// SlotBytes is the ring slot payload size; messages larger than one
+	// slot are fragmented and charged per slot. Popcorn's rings used
+	// cache-line-multiple slots.
+	SlotBytes int
+	// PerSlot is the cost of writing or reading one ring slot.
+	PerSlot time.Duration
+	// NotifyByIPI charges an IPI on the sender to notify the receiving
+	// kernel, as Popcorn does when the receiver is not already polling.
+	NotifyByIPI bool
+}
+
+// DefaultConfig returns the transport configuration used by the paper-style
+// experiments: 128-byte slots, ~120 ns per slot, IPI notification.
+func DefaultConfig() Config {
+	return Config{
+		SlotBytes:   128,
+		PerSlot:     120 * time.Nanosecond,
+		NotifyByIPI: true,
+	}
+}
+
+func (c Config) validate() error {
+	if c.SlotBytes <= 0 {
+		return fmt.Errorf("msg: SlotBytes must be positive, got %d", c.SlotBytes)
+	}
+	if c.PerSlot < 0 {
+		return fmt.Errorf("msg: PerSlot must be non-negative, got %v", c.PerSlot)
+	}
+	return nil
+}
+
+// slots returns the number of ring slots a payload of the given size needs
+// (header always occupies at least one slot).
+func (c Config) slots(size int) int {
+	if size <= 0 {
+		return 1
+	}
+	return (size + c.SlotBytes - 1) / c.SlotBytes
+}
+
+// Fabric is the machine-wide message transport connecting all kernels.
+type Fabric struct {
+	e         *sim.Engine
+	machine   *hw.Machine
+	cfg       Config
+	endpoints []*Endpoint
+	// nodeCore maps each kernel to a representative core, used for
+	// NUMA-aware IPI and transfer costs.
+	nodeCore []int
+	metrics  *stats.Registry
+	nextSeq  uint64
+	// wires holds the per-directed-pair rings. Slot order is reserved when
+	// a send begins and deliveries respect it, so messages between one
+	// kernel pair can never overtake each other (a large in-progress send
+	// head-of-line blocks later small ones, as on a real ring).
+	wires map[wireKey]*wire
+	// tracer, when attached, records send/deliver events.
+	tracer *trace.Buffer
+}
+
+// SetTrace attaches an event buffer; nil detaches it.
+func (f *Fabric) SetTrace(b *trace.Buffer) { f.tracer = b }
+
+func (f *Fabric) traceEvent(kind string, node NodeID, format string, args ...any) {
+	if f.tracer == nil {
+		return
+	}
+	f.tracer.Add(trace.Event{At: f.e.Now(), Kind: kind, Node: int(node), Detail: fmt.Sprintf(format, args...)})
+}
+
+type wireKey struct{ from, to NodeID }
+
+type wire struct{ entries []*wireEntry }
+
+type wireEntry struct {
+	m     *Message
+	ready bool
+}
+
+// reserve claims the next ring slot sequence for m on its pair's wire.
+func (f *Fabric) reserve(m *Message) *wireEntry {
+	k := wireKey{from: m.From, to: m.To}
+	w, ok := f.wires[k]
+	if !ok {
+		w = &wire{}
+		f.wires[k] = w
+	}
+	entry := &wireEntry{m: m}
+	w.entries = append(w.entries, entry)
+	return entry
+}
+
+// commit marks a reserved send complete and delivers every wire-order-ready
+// message at the head of the pair's queue.
+func (f *Fabric) commit(entry *wireEntry) {
+	entry.ready = true
+	k := wireKey{from: entry.m.From, to: entry.m.To}
+	w := f.wires[k]
+	for len(w.entries) > 0 && w.entries[0].ready {
+		head := w.entries[0]
+		w.entries = w.entries[1:]
+		f.deliver(head.m)
+	}
+}
+
+// NewFabric creates a transport for `nodes` kernels. nodeCore[i] gives a
+// representative core of kernel i for NUMA cost purposes; it must have
+// exactly `nodes` entries.
+func NewFabric(e *sim.Engine, machine *hw.Machine, nodes int, nodeCore []int, cfg Config, metrics *stats.Registry) (*Fabric, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if nodes <= 0 {
+		return nil, fmt.Errorf("msg: need at least one node, got %d", nodes)
+	}
+	if len(nodeCore) != nodes {
+		return nil, fmt.Errorf("msg: nodeCore has %d entries for %d nodes", len(nodeCore), nodes)
+	}
+	if metrics == nil {
+		metrics = stats.NewRegistry()
+	}
+	f := &Fabric{
+		e:        e,
+		machine:  machine,
+		cfg:      cfg,
+		nodeCore: append([]int(nil), nodeCore...),
+		metrics:  metrics,
+		wires:    make(map[wireKey]*wire),
+	}
+	f.endpoints = make([]*Endpoint, nodes)
+	for i := 0; i < nodes; i++ {
+		f.endpoints[i] = newEndpoint(f, NodeID(i))
+	}
+	return f, nil
+}
+
+// Nodes returns the number of kernels on the fabric.
+func (f *Fabric) Nodes() int { return len(f.endpoints) }
+
+// Endpoint returns kernel n's endpoint.
+func (f *Fabric) Endpoint(n NodeID) *Endpoint {
+	if int(n) < 0 || int(n) >= len(f.endpoints) {
+		panic(fmt.Sprintf("msg: endpoint %d out of range [0,%d)", n, len(f.endpoints)))
+	}
+	return f.endpoints[n]
+}
+
+// Metrics returns the registry the fabric records into.
+func (f *Fabric) Metrics() *stats.Registry { return f.metrics }
+
+// sendCost is the sender-side cost of pushing m onto the destination ring.
+func (f *Fabric) sendCost(m *Message) time.Duration {
+	slots := f.cfg.slots(m.Size)
+	cost := time.Duration(slots) * f.cfg.PerSlot
+	if f.cfg.NotifyByIPI {
+		cost += f.machine.IPI(f.nodeCore[m.From], f.nodeCore[m.To])
+	}
+	return cost
+}
+
+// recvCost is the receiver-side cost of draining m from the ring: the
+// per-slot processing, one latency-bound line pull to reach the sender's
+// dirty data, then a bandwidth-bound streaming copy of the payload (bulk
+// transfers pipeline; they do not pay the single-line latency per line).
+func (f *Fabric) recvCost(m *Message) time.Duration {
+	slots := f.cfg.slots(m.Size)
+	cross := !f.machine.Topology.SameNode(f.nodeCore[m.From], f.nodeCore[m.To])
+	line := f.machine.Cost.LineTransferLocal
+	perKB := f.machine.Cost.BulkPerKBLocal
+	if cross {
+		line = f.machine.Cost.LineTransferRemote
+		perKB = f.machine.Cost.BulkPerKBRemote
+	}
+	bulk := time.Duration(m.Size) * perKB / 1024
+	return time.Duration(slots)*f.cfg.PerSlot + line + bulk
+}

@@ -1,0 +1,47 @@
+package msg
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// CallEach performs one RPC to every target in parallel and blocks p until
+// all replies arrive. build constructs the per-target request. Replies are
+// returned indexed like targets. The paper's address-space consistency
+// protocol uses this shape for VMA-update acks and page invalidations.
+func (ep *Endpoint) CallEach(p *sim.Proc, targets []NodeID, build func(to NodeID) *Message) ([]*Message, error) {
+	replies := make([]*Message, len(targets))
+	if len(targets) == 0 {
+		return replies, nil
+	}
+	for _, to := range targets {
+		if to == ep.node {
+			return nil, fmt.Errorf("msg: CallEach target includes self (node %d)", ep.node)
+		}
+	}
+	wg := sim.NewWaitGroup()
+	wg.Add(len(targets))
+	var firstErr error
+	for i, to := range targets {
+		i, to := i, to
+		ep.f.e.Spawn(fmt.Sprintf("msg-calleach-%d-%d", ep.node, to), func(cp *sim.Proc) {
+			defer wg.Done()
+			reply, err := ep.Call(cp, build(to))
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			replies[i] = reply
+		})
+	}
+	wg.Wait(p)
+	return replies, firstErr
+}
+
+// SendEach fire-and-forgets one message to every target, charging the
+// sender's ring cost for each.
+func (ep *Endpoint) SendEach(p *sim.Proc, targets []NodeID, build func(to NodeID) *Message) {
+	for _, to := range targets {
+		ep.Send(p, build(to))
+	}
+}

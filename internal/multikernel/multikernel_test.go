@@ -1,0 +1,218 @@
+package multikernel
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+func boot(t *testing.T, kernels int) *OS {
+	t.Helper()
+	os, err := Boot(Config{
+		Topology:        hw.Topology{Cores: 8, NUMANodes: 2},
+		Kernels:         kernels,
+		FramesPerKernel: 4096,
+	})
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	t.Cleanup(os.Close)
+	return os
+}
+
+func TestBootValidation(t *testing.T) {
+	if _, err := Boot(Config{Topology: hw.Topology{Cores: 8, NUMANodes: 2}, Kernels: 3}); err == nil {
+		t.Fatal("8 cores over 3 kernels accepted")
+	}
+	os := boot(t, 4)
+	if os.Kernels() != 4 || os.Name() != "multikernel" {
+		t.Fatalf("Kernels=%d Name=%q", os.Kernels(), os.Name())
+	}
+}
+
+func TestDomainPrivateMemory(t *testing.T) {
+	os := boot(t, 2)
+	e := os.Engine()
+	wg := sim.NewWaitGroup()
+	e.Spawn("driver", func(p *sim.Proc) {
+		_, err := os.SpawnDomain(p, 0, wg, func(d *Domain) {
+			addr, err := d.Alloc(2)
+			if err != nil {
+				t.Errorf("Alloc: %v", err)
+				return
+			}
+			if err := d.Store(addr, 42); err != nil {
+				t.Errorf("Store: %v", err)
+			}
+			if v, _ := d.Load(addr); v != 42 {
+				t.Errorf("Load = %d", v)
+			}
+			if _, err := d.Load(0xdead000); err == nil {
+				t.Error("load of unmapped succeeded")
+			}
+			if err := d.Free(addr, 2); err != nil {
+				t.Errorf("Free: %v", err)
+			}
+			if _, err := d.Load(addr); err == nil {
+				t.Error("load after free succeeded")
+			}
+		})
+		if err != nil {
+			t.Errorf("SpawnDomain: %v", err)
+		}
+		wg.Wait(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestCrossKernelChannels(t *testing.T) {
+	os := boot(t, 2)
+	e := os.Engine()
+	wg := sim.NewWaitGroup()
+	e.Spawn("driver", func(p *sim.Proc) {
+		echo, err := os.SpawnDomain(p, 1, wg, func(d *Domain) {
+			for i := 0; i < 3; i++ {
+				payload, size := d.Recv()
+				req := payload.(map[string]any)
+				reply := req["from"].(*Domain)
+				d.Send(reply, size, req["n"].(int)*2)
+			}
+		})
+		if err != nil {
+			t.Errorf("SpawnDomain echo: %v", err)
+			return
+		}
+		_, err = os.SpawnDomain(p, 0, wg, func(d *Domain) {
+			for i := 1; i <= 3; i++ {
+				d.Send(echo, 64, map[string]any{"from": d, "n": i})
+				got, _ := d.Recv()
+				if got.(int) != i*2 {
+					t.Errorf("echo(%d) = %v", i, got)
+				}
+			}
+		})
+		if err != nil {
+			t.Errorf("SpawnDomain client: %v", err)
+		}
+		wg.Wait(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestSameKernelChannelCheaperThanCross(t *testing.T) {
+	os := boot(t, 2)
+	e := os.Engine()
+	wg := sim.NewWaitGroup()
+	var localRTT, remoteRTT time.Duration
+	e.Spawn("driver", func(p *sim.Proc) {
+		mkEcho := func(k int) *Domain {
+			d, err := os.SpawnDomain(p, k, wg, func(d *Domain) {
+				payload, size := d.Recv()
+				d.Send(payload.(*Domain), size, nil)
+			})
+			if err != nil {
+				t.Errorf("SpawnDomain: %v", err)
+			}
+			return d
+		}
+		echoLocal := mkEcho(0)
+		echoRemote := mkEcho(1)
+		_, _ = os.SpawnDomain(p, 0, wg, func(d *Domain) {
+			start := d.Proc().Now()
+			d.Send(echoLocal, 64, d)
+			d.Recv()
+			localRTT = d.Proc().Now().Sub(start)
+			start = d.Proc().Now()
+			d.Send(echoRemote, 64, d)
+			d.Recv()
+			remoteRTT = d.Proc().Now().Sub(start)
+		})
+		wg.Wait(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if localRTT >= remoteRTT {
+		t.Fatalf("local RTT %v not below cross-kernel RTT %v", localRTT, remoteRTT)
+	}
+}
+
+func TestDomainExitFreesFrames(t *testing.T) {
+	os := boot(t, 2)
+	e := os.Engine()
+	wg := sim.NewWaitGroup()
+	e.Spawn("driver", func(p *sim.Proc) {
+		_, _ = os.SpawnDomain(p, 0, wg, func(d *Domain) {
+			if _, err := d.Alloc(8); err != nil {
+				t.Errorf("Alloc: %v", err)
+			}
+			// Exit without freeing: teardown reclaims.
+		})
+		wg.Wait(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := os.nodes[0].frames.Allocator().InUse(); got != 0 {
+		t.Fatalf("domain exit leaked %d frames", got)
+	}
+}
+
+func TestSpawnDomainValidation(t *testing.T) {
+	os := boot(t, 2)
+	e := os.Engine()
+	e.Spawn("driver", func(p *sim.Proc) {
+		if _, err := os.SpawnDomain(p, 9, nil, func(*Domain) {}); err == nil {
+			t.Error("SpawnDomain on bogus kernel accepted")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestTryRecvAndDropAccounting(t *testing.T) {
+	os := boot(t, 2)
+	e := os.Engine()
+	wg := sim.NewWaitGroup()
+	e.Spawn("driver", func(p *sim.Proc) {
+		var peer *Domain
+		ready := sim.NewWaitGroup()
+		ready.Add(1)
+		d1, err := os.SpawnDomain(p, 0, wg, func(d *Domain) {
+			ready.Done()
+			if _, _, ok := d.TryRecv(); ok {
+				t.Error("TryRecv on empty inbox succeeded")
+			}
+			payload, size := d.Recv()
+			if payload.(string) != "hi" || size != 16 {
+				t.Errorf("Recv = %v, %d", payload, size)
+			}
+			// The second message is in flight; give the fabric time.
+			d.Proc().Sleep(20 * time.Microsecond)
+			if v, _, ok := d.TryRecv(); !ok || v.(string) != "again" {
+				t.Errorf("TryRecv = %v, %v", v, ok)
+			}
+		})
+		if err != nil {
+			t.Errorf("SpawnDomain: %v", err)
+			return
+		}
+		peer = d1
+		_, _ = os.SpawnDomain(p, 1, wg, func(d *Domain) {
+			ready.Wait(d.Proc())
+			d.Send(peer, 16, "hi")
+			d.Send(peer, 8, "again")
+		})
+		wg.Wait(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

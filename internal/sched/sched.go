@@ -1,0 +1,170 @@
+// Package sched implements the per-kernel CPU scheduler of the replicated
+// kernel: each kernel instance owns a fixed set of cores and schedules its
+// local tasks on them with no cross-kernel shared state — the design point
+// the paper credits for removing run-queue and task-list contention.
+//
+// Scheduling is modelled at the occupancy level: a task must hold a core to
+// execute, queued tasks wait FIFO, long executions are sliced at the
+// scheduling quantum so runnable tasks interleave, and every hand-off
+// charges the context-switch cost.
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// DefaultQuantum is the scheduling timeslice: the longest a task runs while
+// others wait before it is preempted.
+const DefaultQuantum = 100 * time.Microsecond
+
+// Scheduler multiplexes one kernel's tasks onto its cores.
+type Scheduler struct {
+	e       *sim.Engine
+	machine *hw.Machine
+	coreIDs []int
+	quantum time.Duration
+	metrics *stats.Registry
+
+	free    []int // free global core IDs, LIFO for cache warmth
+	runq    []*schedWaiter
+	running map[int64]int // proc ID -> global core ID
+}
+
+type schedWaiter struct {
+	p     *sim.Proc
+	since sim.Time
+	core  int
+}
+
+// Option configures a Scheduler.
+type Option func(*Scheduler)
+
+// WithQuantum overrides the scheduling timeslice.
+func WithQuantum(q time.Duration) Option {
+	return func(s *Scheduler) {
+		if q > 0 {
+			s.quantum = q
+		}
+	}
+}
+
+// New creates a scheduler over the given global core IDs.
+func New(e *sim.Engine, machine *hw.Machine, coreIDs []int, metrics *stats.Registry, opts ...Option) (*Scheduler, error) {
+	if len(coreIDs) == 0 {
+		return nil, fmt.Errorf("sched: scheduler needs at least one core")
+	}
+	if metrics == nil {
+		metrics = stats.NewRegistry()
+	}
+	s := &Scheduler{
+		e:       e,
+		machine: machine,
+		coreIDs: append([]int(nil), coreIDs...),
+		quantum: DefaultQuantum,
+		metrics: metrics,
+		running: make(map[int64]int),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	// Free list starts in reverse so cores are handed out in ID order.
+	for i := len(s.coreIDs) - 1; i >= 0; i-- {
+		s.free = append(s.free, s.coreIDs[i])
+	}
+	return s, nil
+}
+
+// Cores returns the number of cores this scheduler drives.
+func (s *Scheduler) Cores() int { return len(s.coreIDs) }
+
+// CoreIDs returns a copy of the global core IDs.
+func (s *Scheduler) CoreIDs() []int { return append([]int(nil), s.coreIDs...) }
+
+// Acquire blocks p until a core is available and returns its global ID.
+// Waking from the run queue charges a context switch.
+func (s *Scheduler) Acquire(p *sim.Proc) int {
+	if n := len(s.free); n > 0 {
+		core := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.running[p.ID()] = core
+		return core
+	}
+	w := &schedWaiter{p: p, since: s.e.Now(), core: -1}
+	s.runq = append(s.runq, w)
+	if d := uint64(len(s.runq)); d > s.metrics.Counter("sched.runq.max").Value() {
+		c := s.metrics.Counter("sched.runq.max")
+		c.Add(d - c.Value())
+	}
+	p.Suspend()
+	if w.core < 0 {
+		panic("sched: waiter woken without a core")
+	}
+	s.metrics.Histogram("sched.wait").Observe(s.e.Now().Sub(w.since))
+	p.Sleep(s.machine.Cost.ContextSwitch)
+	s.metrics.Counter("sched.switches").Inc()
+	s.running[p.ID()] = w.core
+	return w.core
+}
+
+// Release gives p's core back, handing it to the oldest queued task.
+func (s *Scheduler) Release(p *sim.Proc) {
+	core, ok := s.running[p.ID()]
+	if !ok {
+		panic("sched: Release by a task not holding a core")
+	}
+	delete(s.running, p.ID())
+	if len(s.runq) > 0 {
+		w := s.runq[0]
+		s.runq = s.runq[1:]
+		w.core = core
+		w.p.Resume()
+		return
+	}
+	s.free = append(s.free, core)
+}
+
+// Core returns the core p currently holds, if any.
+func (s *Scheduler) Core(p *sim.Proc) (int, bool) {
+	c, ok := s.running[p.ID()]
+	return c, ok
+}
+
+// Run executes d of CPU work on p's held core, yielding at every quantum
+// boundary while other tasks are queued. It returns the core p holds when
+// the work completes (preemption may move the task between cores).
+func (s *Scheduler) Run(p *sim.Proc, d time.Duration) int {
+	core, ok := s.running[p.ID()]
+	if !ok {
+		panic("sched: Run by a task not holding a core")
+	}
+	for d > 0 {
+		slice := d
+		if slice > s.quantum {
+			slice = s.quantum
+		}
+		p.Sleep(slice)
+		d -= slice
+		if d > 0 && len(s.runq) > 0 {
+			// Preempt: cycle through the run queue.
+			s.Release(p)
+			core = s.Acquire(p)
+			s.metrics.Counter("sched.preemptions").Inc()
+		}
+	}
+	return core
+}
+
+// Load returns the number of running plus queued tasks; the thread-group
+// layer uses it for placement decisions.
+func (s *Scheduler) Load() int { return len(s.running) + len(s.runq) }
+
+// Queued returns the current run-queue depth.
+func (s *Scheduler) Queued() int { return len(s.runq) }
+
+// RunningTasks returns how many tasks currently hold cores.
+func (s *Scheduler) RunningTasks() int { return len(s.running) }

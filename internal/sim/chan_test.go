@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestChanUnbufferedRendezvous(t *testing.T) {
+	e := NewEngine()
+	ch := NewChan[int](e, 0)
+	var got int
+	var sentAt, recvAt Time
+	e.Spawn("sender", func(p *Proc) {
+		p.Sleep(5 * time.Microsecond)
+		ch.Send(p, 99)
+		sentAt = p.Now()
+	})
+	e.Spawn("receiver", func(p *Proc) {
+		v, ok := ch.Recv(p)
+		if !ok {
+			t.Error("Recv reported closed")
+		}
+		got = v
+		recvAt = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got != 99 {
+		t.Fatalf("got %d, want 99", got)
+	}
+	if sentAt != Time(5*time.Microsecond) || recvAt != Time(5*time.Microsecond) {
+		t.Fatalf("rendezvous at send=%v recv=%v, want both 5µs", sentAt, recvAt)
+	}
+}
+
+func TestChanBufferedDecouples(t *testing.T) {
+	e := NewEngine()
+	ch := NewChan[int](e, 2)
+	var sendDone Time
+	e.Spawn("sender", func(p *Proc) {
+		ch.Send(p, 1)
+		ch.Send(p, 2)
+		sendDone = p.Now()
+	})
+	var got []int
+	e.Spawn("receiver", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		for i := 0; i < 2; i++ {
+			v, _ := ch.Recv(p)
+			got = append(got, v)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sendDone != 0 {
+		t.Fatalf("buffered sends blocked until %v, want 0", sendDone)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got %v, want [1 2]", got)
+	}
+}
+
+func TestChanBufferFullBlocksSender(t *testing.T) {
+	e := NewEngine()
+	ch := NewChan[int](e, 1)
+	var thirdSentAt Time
+	e.Spawn("sender", func(p *Proc) {
+		ch.Send(p, 1)
+		ch.Send(p, 2) // blocks: buffer full
+		thirdSentAt = p.Now()
+	})
+	e.Spawn("receiver", func(p *Proc) {
+		p.Sleep(7 * time.Microsecond)
+		if v, _ := ch.Recv(p); v != 1 {
+			t.Errorf("first recv = %d, want 1", v)
+		}
+		if v, _ := ch.Recv(p); v != 2 {
+			t.Errorf("second recv = %d, want 2", v)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if thirdSentAt != Time(7*time.Microsecond) {
+		t.Fatalf("blocked send completed at %v, want 7µs", thirdSentAt)
+	}
+}
+
+func TestChanFIFOAcrossManySenders(t *testing.T) {
+	e := NewEngine()
+	ch := NewChan[int](e, 0)
+	for i := 0; i < 8; i++ {
+		i := i
+		e.Spawn("sender", func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Microsecond)
+			ch.Send(p, i)
+		})
+	}
+	var got []int
+	e.Spawn("receiver", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		for i := 0; i < 8; i++ {
+			v, _ := ch.Recv(p)
+			got = append(got, v)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got %v, want FIFO order", got)
+		}
+	}
+}
+
+func TestChanCloseWakesReceivers(t *testing.T) {
+	e := NewEngine()
+	ch := NewChan[int](e, 0)
+	var ok bool = true
+	e.Spawn("receiver", func(p *Proc) {
+		_, ok = ch.Recv(p)
+	})
+	e.Spawn("closer", func(p *Proc) {
+		p.Sleep(time.Microsecond)
+		ch.Close()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ok {
+		t.Fatal("Recv on closed channel reported ok=true")
+	}
+}
+
+func TestChanCloseDrainsBufferFirst(t *testing.T) {
+	e := NewEngine()
+	ch := NewChan[int](e, 4)
+	e.Spawn("p", func(p *Proc) {
+		ch.Send(p, 1)
+		ch.Send(p, 2)
+		ch.Close()
+		if v, ok := ch.Recv(p); !ok || v != 1 {
+			t.Errorf("recv = %d,%v want 1,true", v, ok)
+		}
+		if v, ok := ch.Recv(p); !ok || v != 2 {
+			t.Errorf("recv = %d,%v want 2,true", v, ok)
+		}
+		if _, ok := ch.Recv(p); ok {
+			t.Error("recv after drain reported ok=true")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestChanSendOnClosedPanics(t *testing.T) {
+	e := NewEngine()
+	ch := NewChan[int](e, 0)
+	ch.Close()
+	e.Spawn("p", func(p *Proc) { ch.Send(p, 1) })
+	if err := e.Run(); err == nil {
+		t.Fatal("send on closed channel did not fail the engine")
+	}
+}
+
+func TestChanTrySendTryRecv(t *testing.T) {
+	e := NewEngine()
+	ch := NewChan[int](e, 1)
+	e.Spawn("p", func(p *Proc) {
+		if _, ok := ch.TryRecv(); ok {
+			t.Error("TryRecv on empty channel succeeded")
+		}
+		if !ch.TrySend(5) {
+			t.Error("TrySend with free buffer failed")
+		}
+		if ch.TrySend(6) {
+			t.Error("TrySend with full buffer succeeded")
+		}
+		if v, ok := ch.TryRecv(); !ok || v != 5 {
+			t.Errorf("TryRecv = %d,%v want 5,true", v, ok)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestChanLenCap(t *testing.T) {
+	e := NewEngine()
+	ch := NewChan[string](e, 3)
+	if ch.Cap() != 3 || ch.Len() != 0 {
+		t.Fatalf("cap=%d len=%d, want 3,0", ch.Cap(), ch.Len())
+	}
+	ch.TrySend("a")
+	if ch.Len() != 1 {
+		t.Fatalf("len = %d, want 1", ch.Len())
+	}
+}

@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since engine start.
+type Time int64
+
+// Add returns the time d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u (t - u).
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts t to a duration since the engine epoch.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// ErrKilled is the panic value used to unwind a process goroutine when the
+// engine shuts down. User code never observes it: the spawn wrapper recovers
+// it before the goroutine exits.
+var ErrKilled = errors.New("sim: process killed by engine shutdown")
+
+// ErrDeadlock is returned by Run when processes remain blocked but no events
+// are pending, so virtual time can never advance again.
+var ErrDeadlock = errors.New("sim: deadlock: blocked processes with no pending events")
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+	// canceled events stay in the heap but are skipped on pop.
+	canceled bool
+}
+
+// Engine is a deterministic discrete-event simulation engine. The zero value
+// is not usable; create engines with NewEngine.
+//
+// All Engine methods must be called either from outside Run (to set up the
+// simulation) or from within a running process; the engine is not safe for
+// concurrent use from arbitrary goroutines.
+type Engine struct {
+	now       Time
+	seq       uint64
+	heap      eventHeap
+	rng       *rand.Rand
+	procs     map[int64]*Proc
+	nextPID   int64
+	current   *Proc
+	parked    chan struct{}
+	failure   error
+	closed    bool
+	processed uint64
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithSeed sets the seed for the engine's deterministic random source.
+func WithSeed(seed int64) Option {
+	return func(e *Engine) { e.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// NewEngine returns a new engine with virtual time zero.
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{
+		rng:    rand.New(rand.NewSource(1)),
+		procs:  make(map[int64]*Proc),
+		parked: make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source. It must only be
+// used from simulation processes or between Run calls.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Err returns the first failure (process panic) recorded by the engine.
+func (e *Engine) Err() error { return e.failure }
+
+// EventsProcessed returns how many events the engine has dispatched — a
+// measure of simulation work, useful for harness footers and regression
+// tracking.
+func (e *Engine) EventsProcessed() uint64 { return e.processed }
+
+// Schedule arranges for fn to run at time now+d on the engine loop. It
+// returns a handle that can cancel the callback before it fires. fn runs in
+// engine context: it must not block on simulator primitives, but it may
+// spawn processes, wake waiters, and schedule further events.
+func (e *Engine) Schedule(d time.Duration, fn func()) *EventHandle {
+	if d < 0 {
+		d = 0
+	}
+	ev := &event{at: e.now.Add(d), seq: e.nextSeq(), fn: fn}
+	e.heap.push(ev)
+	return &EventHandle{ev: ev}
+}
+
+// EventHandle allows cancelling a scheduled callback.
+type EventHandle struct{ ev *event }
+
+// Cancel prevents the callback from firing. It reports whether the callback
+// had not yet fired (and is now guaranteed not to).
+func (h *EventHandle) Cancel() bool {
+	if h == nil || h.ev == nil || h.ev.canceled || h.ev.fn == nil {
+		return false
+	}
+	h.ev.canceled = true
+	return true
+}
+
+func (e *Engine) nextSeq() uint64 {
+	e.seq++
+	return e.seq
+}
+
+// Run drains the event heap, advancing virtual time, until no events remain
+// or a process panics. It returns ErrDeadlock if blocked processes remain
+// while the heap is empty, and the panic error if a process failed.
+func (e *Engine) Run() error {
+	return e.run(func() bool { return true })
+}
+
+// RunUntil processes events with timestamps <= t, then advances the clock to
+// t. Events after t remain queued. Unlike Run, processes left blocked at t
+// are not a deadlock: more work may be scheduled before the next RunUntil.
+func (e *Engine) RunUntil(t Time) error {
+	err := e.run(func() bool { return e.heap.peek().at <= t })
+	if err != nil && !errors.Is(err, ErrDeadlock) {
+		return err
+	}
+	if e.now < t {
+		e.now = t
+	}
+	return nil
+}
+
+// RunFor processes events for d of virtual time from the current clock.
+func (e *Engine) RunFor(d time.Duration) error { return e.RunUntil(e.now.Add(d)) }
+
+func (e *Engine) run(cond func() bool) error {
+	if e.closed {
+		return errors.New("sim: engine is closed")
+	}
+	for e.heap.len() > 0 && cond() {
+		ev := e.heap.pop()
+		if ev.canceled {
+			continue
+		}
+		if ev.at < e.now {
+			return fmt.Errorf("sim: event scheduled in the past (%v < %v)", ev.at, e.now)
+		}
+		e.now = ev.at
+		e.processed++
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		if e.failure != nil {
+			return e.failure
+		}
+	}
+	if e.heap.len() == 0 && e.blockedCount() > 0 {
+		return fmt.Errorf("%w (%d blocked)", ErrDeadlock, e.blockedCount())
+	}
+	return nil
+}
+
+func (e *Engine) blockedCount() int {
+	n := 0
+	for _, p := range e.procs {
+		if !p.finished && !p.daemon {
+			n++
+		}
+	}
+	return n
+}
+
+// BlockedProcs returns the names of non-daemon processes that are alive but
+// blocked.
+func (e *Engine) BlockedProcs() []string {
+	var names []string
+	for _, p := range e.procs {
+		if !p.finished && !p.daemon {
+			names = append(names, p.name)
+		}
+	}
+	return names
+}
+
+// Close terminates all live process goroutines. The engine cannot be used
+// afterwards. It is safe to call multiple times.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, p := range e.procs {
+		if p.finished {
+			continue
+		}
+		p.killed = true
+		// Resume the goroutine; its blocking primitive panics with
+		// ErrKilled, which the spawn wrapper swallows.
+		p.resume <- struct{}{}
+		<-e.parked
+	}
+}
+
+func (e *Engine) fail(err error) {
+	if e.failure == nil {
+		e.failure = err
+	}
+}

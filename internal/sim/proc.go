@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Proc is a simulated process: a goroutine that runs cooperatively under the
+// engine. A Proc may only call blocking primitives (Sleep, Suspend, channel
+// and mutex operations) from its own goroutine while it is the running
+// process.
+type Proc struct {
+	e        *Engine
+	id       int64
+	name     string
+	resume   chan struct{}
+	finished bool
+	killed   bool
+	// daemon processes (message dispatchers, service loops) are expected to
+	// block forever and do not count toward deadlock detection.
+	daemon bool
+	// waking guards against double-wakeups: a proc that is already
+	// scheduled to resume must not be woken again.
+	waking bool
+}
+
+// Spawn starts fn as a new simulated process. The process begins running at
+// the current virtual time (as a scheduled event, so the caller continues
+// first). The name is used in diagnostics.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.spawn(name, false, fn)
+}
+
+// SpawnDaemon starts fn as a daemon process: a service loop that is expected
+// to remain blocked when the simulation quiesces, and therefore does not
+// trigger deadlock detection in Run.
+func (e *Engine) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
+	return e.spawn(name, true, fn)
+}
+
+func (e *Engine) spawn(name string, daemon bool, fn func(p *Proc)) *Proc {
+	e.nextPID++
+	p := &Proc{
+		e:      e,
+		id:     e.nextPID,
+		name:   name,
+		resume: make(chan struct{}),
+		daemon: daemon,
+	}
+	e.procs[p.id] = p
+	go func() {
+		<-p.resume
+		defer func() {
+			p.finished = true
+			delete(e.procs, p.id)
+			if r := recover(); r != nil {
+				if err, ok := r.(error); ok && err == ErrKilled {
+					// Engine shutdown: exit quietly.
+				} else {
+					e.fail(fmt.Errorf("sim: process %q panicked: %v", p.name, r))
+				}
+			}
+			e.parked <- struct{}{}
+		}()
+		if p.killed {
+			// Engine closed before the process ever ran.
+			return
+		}
+		fn(p)
+	}()
+	e.Schedule(0, func() { e.dispatch(p) })
+	return p
+}
+
+// dispatch hands the CPU to p until it parks or finishes.
+func (e *Engine) dispatch(p *Proc) {
+	if p.finished {
+		return
+	}
+	prev := e.current
+	e.current = p
+	p.waking = false
+	p.resume <- struct{}{}
+	<-e.parked
+	e.current = prev
+}
+
+// park returns control from the running process to the engine and blocks
+// until the process is dispatched again.
+func (p *Proc) park() {
+	p.e.parked <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(error(ErrKilled))
+	}
+}
+
+// wake schedules p to resume at the current virtual time. It is idempotent
+// while a wake is pending.
+func (p *Proc) wake() {
+	if p.waking || p.finished {
+		return
+	}
+	p.waking = true
+	p.e.Schedule(0, func() { p.e.dispatch(p) })
+}
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the engine-unique process id.
+func (p *Proc) ID() int64 { return p.id }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// Sleep blocks the process for d of virtual time. Non-positive durations
+// still yield: the process re-enters the run queue behind same-instant
+// events.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.waking = true
+	p.e.Schedule(d, func() { p.e.dispatch(p) })
+	p.park()
+}
+
+// Yield gives up the CPU until all currently pending same-instant events
+// have run.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Suspend parks the process indefinitely; another process or an engine
+// callback resumes it with Resume. Suspend/Resume is the low-level wait
+// primitive used to build condition-variable style synchronisation.
+func (p *Proc) Suspend() { p.park() }
+
+// Resume wakes a process parked in Suspend. Waking a process that is not
+// suspended (or already scheduled to wake) is a no-op.
+func (p *Proc) Resume() { p.wake() }
+
+// Finished reports whether the process function has returned.
+func (p *Proc) Finished() bool { return p.finished }

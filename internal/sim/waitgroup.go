@@ -1,0 +1,79 @@
+package sim
+
+// WaitGroup is a simulated analogue of sync.WaitGroup: processes block in
+// Wait until the counter returns to zero.
+type WaitGroup struct {
+	n       int
+	waiters []*Proc
+}
+
+// NewWaitGroup returns a WaitGroup with a zero counter.
+func NewWaitGroup() *WaitGroup { return &WaitGroup{} }
+
+// Add adds delta to the counter. Panics if the counter goes negative. When
+// the counter reaches zero, all waiters wake.
+func (wg *WaitGroup) Add(delta int) {
+	wg.n += delta
+	if wg.n < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if wg.n == 0 {
+		for _, p := range wg.waiters {
+			p.wake()
+		}
+		wg.waiters = nil
+	}
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Wait blocks p until the counter is zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	if wg.n == 0 {
+		return
+	}
+	wg.waiters = append(wg.waiters, p)
+	p.park()
+}
+
+// Pending returns the current counter value.
+func (wg *WaitGroup) Pending() int { return wg.n }
+
+// Cond is a simulated condition variable tied to caller-managed state.
+// Unlike sync.Cond there is no associated lock: the simulator's run-to-block
+// execution makes checks and waits atomic with respect to other processes.
+type Cond struct {
+	waiters []*Proc
+}
+
+// NewCond returns an empty condition variable.
+func NewCond() *Cond { return &Cond{} }
+
+// Wait parks p until Signal or Broadcast wakes it. Callers must re-check
+// their predicate after waking, as with any condition variable.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.park()
+}
+
+// Signal wakes the oldest waiter, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	p.wake()
+}
+
+// Broadcast wakes all waiters.
+func (c *Cond) Broadcast() {
+	for _, p := range c.waiters {
+		p.wake()
+	}
+	c.waiters = nil
+}
+
+// Waiters returns the number of parked processes.
+func (c *Cond) Waiters() int { return len(c.waiters) }

@@ -1,0 +1,365 @@
+package smp
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/futex"
+	"repro/internal/hw"
+	"repro/internal/mem"
+	"repro/internal/osi"
+	"repro/internal/sim"
+)
+
+func boot(t *testing.T) *OS {
+	t.Helper()
+	os, err := Boot(Config{Topology: hw.Topology{Cores: 8, NUMANodes: 2}, FramesPerNode: 4096})
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	t.Cleanup(os.Close)
+	return os
+}
+
+func TestBoot(t *testing.T) {
+	os := boot(t)
+	if os.Name() != "smp" || os.Kernels() != 1 {
+		t.Fatalf("Name=%q Kernels=%d", os.Name(), os.Kernels())
+	}
+}
+
+func TestMapStoreLoad(t *testing.T) {
+	os := boot(t)
+	e := os.Engine()
+	e.Spawn("driver", func(p *sim.Proc) {
+		pr, err := os.StartProcess(p)
+		if err != nil {
+			t.Errorf("StartProcess: %v", err)
+			return
+		}
+		_ = pr.Spawn(p, 0, func(th osi.Thread) {
+			addr, err := th.Mmap(2*hw.PageSize, mem.ProtRead|mem.ProtWrite)
+			if err != nil {
+				t.Errorf("Mmap: %v", err)
+				return
+			}
+			if err := th.Store(addr, 42); err != nil {
+				t.Errorf("Store: %v", err)
+			}
+			if v, _ := th.Load(addr); v != 42 {
+				t.Errorf("Load = %d", v)
+			}
+			if _, err := th.Load(0xdead000); !errors.Is(err, ErrSegv) {
+				t.Errorf("unmapped Load = %v, want segv", err)
+			}
+		})
+		pr.Wait(p)
+		_ = pr.Close(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestThreadsShareMemoryCoherently(t *testing.T) {
+	os := boot(t)
+	e := os.Engine()
+	e.Spawn("driver", func(p *sim.Proc) {
+		pr, _ := os.StartProcess(p)
+		var addr mem.Addr
+		ready := sim.NewWaitGroup()
+		ready.Add(1)
+		done := sim.NewWaitGroup()
+		done.Add(4)
+		_ = pr.Spawn(p, 0, func(th osi.Thread) {
+			addr, _ = th.Mmap(hw.PageSize, mem.ProtRead|mem.ProtWrite)
+			ready.Done()
+			done.Wait(th.Proc())
+			if v, _ := th.Load(addr); v != 4*25 {
+				t.Errorf("counter = %d, want 100", v)
+			}
+		})
+		for i := 0; i < 4; i++ {
+			_ = pr.Spawn(p, 0, func(th osi.Thread) {
+				ready.Wait(th.Proc())
+				for j := 0; j < 25; j++ {
+					if _, err := th.FetchAdd(addr, 1); err != nil {
+						t.Errorf("FetchAdd: %v", err)
+						return
+					}
+				}
+				done.Done()
+			})
+		}
+		pr.Wait(p)
+		_ = pr.Close(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestMunmapThenAccessSegfaults(t *testing.T) {
+	os := boot(t)
+	e := os.Engine()
+	e.Spawn("driver", func(p *sim.Proc) {
+		pr, _ := os.StartProcess(p)
+		_ = pr.Spawn(p, 0, func(th osi.Thread) {
+			addr, _ := th.Mmap(2*hw.PageSize, mem.ProtRead|mem.ProtWrite)
+			_ = th.Store(addr, 1)
+			_ = th.Store(addr+hw.PageSize, 2)
+			if err := th.Munmap(addr, hw.PageSize); err != nil {
+				t.Errorf("Munmap: %v", err)
+			}
+			if _, err := th.Load(addr); !errors.Is(err, ErrSegv) {
+				t.Errorf("Load after munmap = %v", err)
+			}
+			if v, err := th.Load(addr + hw.PageSize); err != nil || v != 2 {
+				t.Errorf("surviving page = %d, %v", v, err)
+			}
+		})
+		pr.Wait(p)
+		_ = pr.Close(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestMprotectEnforced(t *testing.T) {
+	os := boot(t)
+	e := os.Engine()
+	e.Spawn("driver", func(p *sim.Proc) {
+		pr, _ := os.StartProcess(p)
+		_ = pr.Spawn(p, 0, func(th osi.Thread) {
+			addr, _ := th.Mmap(hw.PageSize, mem.ProtRead|mem.ProtWrite)
+			_ = th.Store(addr, 9)
+			if err := th.Mprotect(addr, hw.PageSize, mem.ProtRead); err != nil {
+				t.Errorf("Mprotect: %v", err)
+			}
+			if err := th.Store(addr, 10); !errors.Is(err, ErrAccess) {
+				t.Errorf("Store on RO = %v", err)
+			}
+			if err := th.Mprotect(addr, hw.PageSize, mem.ProtRead|mem.ProtWrite); err != nil {
+				t.Errorf("Mprotect back: %v", err)
+			}
+			if err := th.Store(addr, 10); err != nil {
+				t.Errorf("Store after re-enable: %v", err)
+			}
+		})
+		pr.Wait(p)
+		_ = pr.Close(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestFutexWaitWake(t *testing.T) {
+	os := boot(t)
+	e := os.Engine()
+	var wokenAt, wakeAt sim.Time
+	e.Spawn("driver", func(p *sim.Proc) {
+		pr, _ := os.StartProcess(p)
+		var addr mem.Addr
+		ready := sim.NewWaitGroup()
+		ready.Add(1)
+		_ = pr.Spawn(p, 0, func(th osi.Thread) {
+			addr, _ = th.Mmap(hw.PageSize, mem.ProtRead|mem.ProtWrite)
+			ready.Done()
+			if err := th.FutexWait(addr, 0); err != nil {
+				t.Errorf("FutexWait: %v", err)
+			}
+			wokenAt = th.Proc().Now()
+		})
+		_ = pr.Spawn(p, 0, func(th osi.Thread) {
+			ready.Wait(th.Proc())
+			th.Compute(time.Millisecond)
+			_ = th.Store(addr, 1)
+			wakeAt = th.Proc().Now()
+			if n, err := th.FutexWake(addr, 1); err != nil || n != 1 {
+				t.Errorf("FutexWake = %d, %v", n, err)
+			}
+		})
+		pr.Wait(p)
+		_ = pr.Close(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if wokenAt < wakeAt {
+		t.Fatalf("woken at %v before wake at %v", wokenAt, wakeAt)
+	}
+}
+
+func TestFutexEagain(t *testing.T) {
+	os := boot(t)
+	e := os.Engine()
+	e.Spawn("driver", func(p *sim.Proc) {
+		pr, _ := os.StartProcess(p)
+		_ = pr.Spawn(p, 0, func(th osi.Thread) {
+			addr, _ := th.Mmap(hw.PageSize, mem.ProtRead|mem.ProtWrite)
+			_ = th.Store(addr, 5)
+			if err := th.FutexWait(addr, 0); !errors.Is(err, futex.ErrWouldBlock) {
+				t.Errorf("FutexWait on changed value = %v", err)
+			}
+		})
+		pr.Wait(p)
+		_ = pr.Close(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestFutexIsolatedBetweenProcesses(t *testing.T) {
+	// Two processes use the same virtual address: a wake in one must not
+	// wake the other's waiter even though they hash to the same bucket.
+	os := boot(t)
+	e := os.Engine()
+	crossWake := false
+	e.Spawn("driver", func(p *sim.Proc) {
+		prA, _ := os.StartProcess(p)
+		prB, _ := os.StartProcess(p)
+		var addrA, addrB mem.Addr
+		ready := sim.NewWaitGroup()
+		ready.Add(2)
+		_ = prA.Spawn(p, 0, func(th osi.Thread) {
+			addrA, _ = th.Mmap(hw.PageSize, mem.ProtRead|mem.ProtWrite)
+			ready.Done()
+			if err := th.FutexWait(addrA, 0); err == nil {
+				crossWake = true // must only happen via A's own wake below
+			}
+		})
+		_ = prB.Spawn(p, 0, func(th osi.Thread) {
+			addrB, _ = th.Mmap(hw.PageSize, mem.ProtRead|mem.ProtWrite)
+			ready.Done()
+			th.Proc().Sleep(time.Millisecond)
+			// B wakes its own address — which equals A's numerically.
+			if addrA != addrB {
+				t.Errorf("test setup: addresses differ (%#x vs %#x)", uint64(addrA), uint64(addrB))
+			}
+			if n, _ := th.FutexWake(addrB, 10); n != 0 {
+				t.Errorf("B woke %d waiters of A", n)
+			}
+		})
+		prB.Wait(p)
+		// Now wake A properly so the test can finish.
+		_ = prA.Spawn(p, 0, func(th osi.Thread) {
+			if _, err := th.FutexWake(addrA, 1); err != nil {
+				t.Errorf("A wake: %v", err)
+			}
+		})
+		prA.Wait(p)
+		_ = prA.Close(p)
+		_ = prB.Close(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if crossWake {
+		// A woke: fine only if it was A's own wake; the error cases above
+		// would have flagged B's cross-wake already.
+		_ = crossWake
+	}
+}
+
+func TestMigrateUnsupported(t *testing.T) {
+	os := boot(t)
+	e := os.Engine()
+	e.Spawn("driver", func(p *sim.Proc) {
+		pr, _ := os.StartProcess(p)
+		_ = pr.Spawn(p, 0, func(th osi.Thread) {
+			if err := th.Migrate(1); !errors.Is(err, osi.ErrUnsupported) {
+				t.Errorf("Migrate(1) = %v, want ErrUnsupported", err)
+			}
+			if err := th.Migrate(0); err != nil {
+				t.Errorf("Migrate(0) = %v, want nil no-op", err)
+			}
+		})
+		pr.Wait(p)
+		_ = pr.Close(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestSpawnRejectsNonZeroKernel(t *testing.T) {
+	os := boot(t)
+	e := os.Engine()
+	e.Spawn("driver", func(p *sim.Proc) {
+		pr, _ := os.StartProcess(p)
+		if err := pr.Spawn(p, 3, func(th osi.Thread) {}); err == nil {
+			t.Error("Spawn on kernel 3 accepted by single-kernel OS")
+		}
+		pr.Wait(p)
+		_ = pr.Close(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestCloseFreesFrames(t *testing.T) {
+	os := boot(t)
+	e := os.Engine()
+	e.Spawn("driver", func(p *sim.Proc) {
+		pr, _ := os.StartProcess(p)
+		_ = pr.Spawn(p, 0, func(th osi.Thread) {
+			addr, _ := th.Mmap(8*hw.PageSize, mem.ProtRead|mem.ProtWrite)
+			for i := 0; i < 8; i++ {
+				_ = th.Store(addr+mem.Addr(i*hw.PageSize), 1)
+			}
+		})
+		pr.Wait(p)
+		_ = pr.Close(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for n, z := range os.zones {
+		if z.Allocator().InUse() != 0 {
+			t.Errorf("zone %d leaked %d frames", n, z.Allocator().InUse())
+		}
+	}
+}
+
+func TestContentionGrowsLockWait(t *testing.T) {
+	// More concurrently cloning threads must produce more tasklist
+	// contention — the mechanism behind F1.
+	cloneStorm := func(threads int) time.Duration {
+		os := boot(t)
+		e := os.Engine()
+		var wait time.Duration
+		e.Spawn("driver", func(p *sim.Proc) {
+			pr, _ := os.StartProcess(p)
+			done := sim.NewWaitGroup()
+			done.Add(threads)
+			for i := 0; i < threads; i++ {
+				_ = pr.Spawn(p, 0, func(th osi.Thread) {
+					for j := 0; j < 5; j++ {
+						if err := th.Spawn(0, func(osi.Thread) {}); err != nil {
+							t.Errorf("nested Spawn: %v", err)
+							return
+						}
+					}
+					done.Done()
+				})
+			}
+			done.Wait(p)
+			pr.Wait(p)
+			_ = pr.Close(p)
+			wait = os.tasklist.Stats().TotalWait
+		})
+		if err := e.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return wait
+	}
+	low, high := cloneStorm(1), cloneStorm(6)
+	if high <= low {
+		t.Fatalf("tasklist wait with 6 cloners (%v) not above 1 cloner (%v)", high, low)
+	}
+}

@@ -1,0 +1,494 @@
+package smp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/futex"
+	"repro/internal/hw"
+	"repro/internal/mem"
+	"repro/internal/osi"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// Errors mirroring the replicated kernel's so workloads are portable.
+var (
+	ErrSegv   = vm.ErrSegv
+	ErrAccess = vm.ErrAccess
+)
+
+// Thread is a running SMP thread.
+type Thread struct {
+	pr   *Process
+	p    *sim.Proc
+	tid  int64
+	core int
+}
+
+var _ osi.Thread = (*Thread)(nil)
+
+// Proc implements osi.Thread.
+func (t *Thread) Proc() *sim.Proc { return t.p }
+
+// ID implements osi.Thread.
+func (t *Thread) ID() int64 { return t.tid }
+
+// KernelID implements osi.Thread: SMP has a single kernel 0.
+func (t *Thread) KernelID() int { return 0 }
+
+// Core implements osi.Thread.
+func (t *Thread) Core() int { return t.core }
+
+// Compute implements osi.Thread.
+func (t *Thread) Compute(d time.Duration) {
+	t.core = t.pr.os.sched.Run(t.p, d)
+}
+
+// Mmap implements osi.Thread: mmap_sem exclusive plus the VMA work.
+func (t *Thread) Mmap(length uint64, prot mem.Prot) (mem.Addr, error) {
+	if length == 0 {
+		return 0, fmt.Errorf("%w: zero-length map", vm.ErrBadRange)
+	}
+	o := t.pr.os
+	mm := t.pr.mm
+	t.p.Sleep(o.machine.Cost.SyscallTrap)
+	o.metrics.Counter("smp.mmap").Inc()
+	start := t.p.Now()
+	mm.mmapSem.Lock(t.p)
+	t.p.Sleep(o.machine.LineBounce(o.capSharers(mm.mmapSem.Waiters()), o.crossNode()) + o.machine.Cost.VMAOp)
+	pages := int((length + hw.PageSize - 1) / hw.PageSize)
+	addr := mm.nextMap
+	mm.nextMap += mem.Addr(pages * hw.PageSize)
+	lo := mem.PageOf(addr)
+	err := mm.vmas.Insert(vm.VMA{Lo: lo, Hi: lo + mem.VPN(pages), Prot: prot})
+	mm.mmapSem.Unlock(t.p)
+	o.metrics.Histogram("smp.mmap.latency").Observe(t.p.Now().Sub(start))
+	if err != nil {
+		return 0, err
+	}
+	return addr, nil
+}
+
+// Sbrk implements osi.Thread: brk(2) under mmap_sem.
+func (t *Thread) Sbrk(delta int64) (mem.Addr, error) {
+	o := t.pr.os
+	mm := t.pr.mm
+	t.p.Sleep(o.machine.Cost.SyscallTrap)
+	mm.mmapSem.Lock(t.p)
+	defer mm.mmapSem.Unlock(t.p)
+	t.p.Sleep(o.machine.LineBounce(o.capSharers(mm.mmapSem.Waiters()), o.crossNode()) + o.machine.Cost.VMAOp)
+	old := mm.brk
+	if delta == 0 {
+		return old, nil
+	}
+	pages := (delta + hw.PageSize - 1) / hw.PageSize
+	if delta < 0 {
+		pages = -((-delta + hw.PageSize - 1) / hw.PageSize)
+	}
+	newBrk := old + mem.Addr(pages*hw.PageSize)
+	if newBrk < heapBase {
+		return 0, fmt.Errorf("%w: brk below heap base", vm.ErrBadRange)
+	}
+	if delta > 0 {
+		if err := mm.vmas.Insert(vm.VMA{Lo: mem.PageOf(old), Hi: mem.PageOf(newBrk), Prot: mem.ProtRead | mem.ProtWrite}); err != nil {
+			return 0, err
+		}
+		mm.brk = newBrk
+		return old, nil
+	}
+	lo, hi := mem.PageOf(newBrk), mem.PageOf(old)
+	freed := 0
+	for _, r := range mm.vmas.Remove(lo, hi) {
+		for _, pte := range mm.pt.ClearRange(r.Lo, r.Hi) {
+			if pte.Frame != mem.NoFrame {
+				o.zones[pte.HomeNode].FreeFrame(t.p, pte.Frame)
+				freed++
+			}
+		}
+		for v := r.Lo; v < r.Hi; v++ {
+			delete(mm.values, v)
+			delete(mm.lastWriter, v)
+		}
+	}
+	mm.brk = newBrk
+	if freed > 0 {
+		remote, cross := mm.shootdownRemote()
+		t.p.Sleep(o.machine.TLBShootdown(remote, cross))
+	}
+	return old, nil
+}
+
+// Munmap implements osi.Thread: mmap_sem exclusive, PTE teardown, zone
+// frees and a machine-wide TLB shootdown.
+func (t *Thread) Munmap(addr mem.Addr, length uint64) error {
+	if err := checkRange(addr, length); err != nil {
+		return err
+	}
+	o := t.pr.os
+	mm := t.pr.mm
+	t.p.Sleep(o.machine.Cost.SyscallTrap)
+	o.metrics.Counter("smp.munmap").Inc()
+	mm.mmapSem.Lock(t.p)
+	t.p.Sleep(o.machine.LineBounce(o.capSharers(mm.mmapSem.Waiters()), o.crossNode()) + o.machine.Cost.VMAOp)
+	lo := mem.PageOf(addr)
+	hi := lo + mem.VPN((length+hw.PageSize-1)/hw.PageSize)
+	removed := mm.vmas.Remove(lo, hi)
+	freed := 0
+	for _, r := range removed {
+		for _, pte := range mm.pt.ClearRange(r.Lo, r.Hi) {
+			if pte.Frame != mem.NoFrame {
+				o.zones[pte.HomeNode].FreeFrame(t.p, pte.Frame)
+				freed++
+			}
+		}
+		for v := r.Lo; v < r.Hi; v++ {
+			delete(mm.values, v)
+			delete(mm.lastWriter, v)
+		}
+	}
+	if freed > 0 {
+		// Shoot down the cores in the process's mm_cpumask.
+		remote, cross := mm.shootdownRemote()
+		t.p.Sleep(o.machine.TLBShootdown(remote, cross))
+	}
+	mm.mmapSem.Unlock(t.p)
+	return nil
+}
+
+// Mprotect implements osi.Thread.
+func (t *Thread) Mprotect(addr mem.Addr, length uint64, prot mem.Prot) error {
+	if err := checkRange(addr, length); err != nil {
+		return err
+	}
+	o := t.pr.os
+	mm := t.pr.mm
+	t.p.Sleep(o.machine.Cost.SyscallTrap)
+	o.metrics.Counter("smp.mprotect").Inc()
+	mm.mmapSem.Lock(t.p)
+	defer mm.mmapSem.Unlock(t.p)
+	t.p.Sleep(o.machine.LineBounce(o.capSharers(mm.mmapSem.Waiters()), o.crossNode()) + o.machine.Cost.VMAOp)
+	lo := mem.PageOf(addr)
+	hi := lo + mem.VPN((length+hw.PageSize-1)/hw.PageSize)
+	if !mm.vmas.Covered(lo, hi) {
+		return fmt.Errorf("%w: mprotect range not fully mapped", vm.ErrBadRange)
+	}
+	changed := mm.vmas.Protect(lo, hi, prot)
+	if len(changed) == 0 {
+		return nil
+	}
+	touched := 0
+	for v := lo; v < hi; v++ {
+		if pte, ok := mm.pt.Lookup(v); ok {
+			np := pte.Prot & prot
+			if np != pte.Prot {
+				pte.Prot = np
+				mm.pt.Set(v, pte)
+				touched++
+			}
+		}
+	}
+	if touched > 0 {
+		remote, cross := mm.shootdownRemote()
+		t.p.Sleep(o.machine.TLBShootdown(remote, cross))
+	}
+	return nil
+}
+
+func checkRange(addr mem.Addr, length uint64) error {
+	if length == 0 {
+		return fmt.Errorf("%w: zero length", vm.ErrBadRange)
+	}
+	if uint64(addr)%hw.PageSize != 0 {
+		return fmt.Errorf("%w: address %#x not page-aligned", vm.ErrBadRange, uint64(addr))
+	}
+	return nil
+}
+
+// access is the SMP memory path: hardware-coherent, so no protocol — just
+// the fault path (mmap_sem shared + zone alloc) on first touch and
+// cache-line transfer costs for cross-core sharing.
+func (t *Thread) access(addr mem.Addr, op accessOp) (int64, error) {
+	o := t.pr.os
+	mm := t.pr.mm
+	vpn := mem.PageOf(addr)
+	write := op.write || op.rmw != nil
+	pte, ok := mm.pt.Lookup(vpn)
+	if !ok || !pte.Prot.Readable() || (write && !pte.Prot.Writable()) {
+		// Page fault (or protection check through the VMA).
+		t.p.Sleep(o.machine.Cost.PageFaultTrap)
+		mm.mmapSem.RLock(t.p)
+		area, found := mm.vmas.Find(vpn)
+		if !found {
+			mm.mmapSem.RUnlock(t.p)
+			return 0, fmt.Errorf("%w: page %#x", ErrSegv, uint64(vpn.Base()))
+		}
+		if write && !area.Prot.Writable() {
+			mm.mmapSem.RUnlock(t.p)
+			return 0, fmt.Errorf("%w: write to %v page", ErrAccess, area.Prot)
+		}
+		if !area.Prot.Readable() {
+			mm.mmapSem.RUnlock(t.p)
+			return 0, fmt.Errorf("%w: %v page", ErrAccess, area.Prot)
+		}
+		if !ok {
+			frame, home, err := o.zones[o.machine.Topology.NodeOf(t.core)].AllocFrame(t.p)
+			if err != nil {
+				mm.mmapSem.RUnlock(t.p)
+				return 0, fmt.Errorf("%w: %v", vm.ErrNoSpace, err)
+			}
+			t.p.Sleep(o.machine.Cost.PageCopyLocal + o.machine.Cost.PTESet) // zero-fill
+			pte = mem.PTE{Frame: frame, Prot: area.Prot, HomeNode: home}
+			mm.pt.Set(vpn, pte)
+			o.metrics.Counter("smp.fault").Inc()
+		} else {
+			// Present but insufficient: refresh protections from the VMA.
+			pte.Prot = area.Prot
+			mm.pt.Set(vpn, pte)
+			t.p.Sleep(o.machine.Cost.PTESet)
+		}
+		mm.mmapSem.RUnlock(t.p)
+	}
+	// Hardware coherence: pulling a line another core dirtied costs a
+	// transfer; the directory is the cache hierarchy, not software.
+	if last, wrote := mm.lastWriter[vpn]; wrote && last != t.core {
+		t.p.Sleep(o.machine.LineBounce(1, !o.machine.Topology.SameNode(last, t.core)))
+	}
+	var result int64
+	switch {
+	case op.rmw != nil:
+		old := mm.values[vpn]
+		if next, doWrite := op.rmw(old); doWrite {
+			mm.values[vpn] = next
+		}
+		result = old
+		mm.lastWriter[vpn] = t.core
+	case op.write:
+		mm.values[vpn] = op.val
+		result = op.val
+		mm.lastWriter[vpn] = t.core
+	default:
+		result = mm.values[vpn]
+	}
+	t.p.Sleep(o.machine.MemAccess(t.core, pte.HomeNode))
+	return result, nil
+}
+
+type accessOp struct {
+	write bool
+	val   int64
+	rmw   func(old int64) (int64, bool)
+}
+
+// Load implements osi.Thread.
+func (t *Thread) Load(addr mem.Addr) (int64, error) {
+	return t.access(addr, accessOp{})
+}
+
+// Store implements osi.Thread.
+func (t *Thread) Store(addr mem.Addr, val int64) error {
+	_, err := t.access(addr, accessOp{write: true, val: val})
+	return err
+}
+
+// CompareAndSwap implements osi.Thread.
+func (t *Thread) CompareAndSwap(addr mem.Addr, old, new int64) (bool, error) {
+	swapped := false
+	_, err := t.access(addr, accessOp{rmw: func(cur int64) (int64, bool) {
+		if cur == old {
+			swapped = true
+			return new, true
+		}
+		return 0, false
+	}})
+	return swapped, err
+}
+
+// FetchAdd implements osi.Thread.
+func (t *Thread) FetchAdd(addr mem.Addr, delta int64) (int64, error) {
+	return t.access(addr, accessOp{rmw: func(cur int64) (int64, bool) { return cur + delta, true }})
+}
+
+// FutexWait implements osi.Thread: the global hash bucket serialises the
+// value check and the enqueue, bouncing its lock word across sockets.
+func (t *Thread) FutexWait(addr mem.Addr, expect int64) error {
+	o := t.pr.os
+	t.p.Sleep(o.machine.Cost.SyscallTrap)
+	b := o.futexes[int(addr/hw.CacheLineSize)%futexBuckets]
+	b.mu.Lock(t.p)
+	t.p.Sleep(o.machine.LineBounce(o.capSharers(b.mu.Waiters()), o.crossNode()))
+	val, err := t.access(addr, accessOp{})
+	if err != nil {
+		b.mu.Unlock(t.p)
+		return err
+	}
+	if val != expect {
+		b.mu.Unlock(t.p)
+		o.metrics.Counter("smp.futex.eagain").Inc()
+		return futex.ErrWouldBlock
+	}
+	w := &smpWaiter{proc: t.p, mm: t.pr.mm}
+	b.waiters[addr] = append(b.waiters[addr], w)
+	b.mu.Unlock(t.p)
+	o.metrics.Counter("smp.futex.wait").Inc()
+	o.sched.Release(t.p)
+	if !w.woken {
+		t.p.Suspend()
+	}
+	t.core = o.sched.Acquire(t.p)
+	if !w.woken {
+		return errors.New("smp: futex waiter woken without wake")
+	}
+	return nil
+}
+
+// FutexWake implements osi.Thread.
+func (t *Thread) FutexWake(addr mem.Addr, count int) (int, error) {
+	o := t.pr.os
+	t.p.Sleep(o.machine.Cost.SyscallTrap)
+	if count <= 0 {
+		return 0, nil
+	}
+	b := o.futexes[int(addr/hw.CacheLineSize)%futexBuckets]
+	b.mu.Lock(t.p)
+	t.p.Sleep(o.machine.LineBounce(o.capSharers(b.mu.Waiters()), o.crossNode()))
+	q := b.waiters[addr]
+	// Wake only waiters of this process (keys are per-mm in Linux; the
+	// bucket is shared, the queue entries carry the mm).
+	woken := 0
+	remaining := q[:0]
+	for _, w := range q {
+		if woken < count && w.mm == t.pr.mm {
+			w.woken = true
+			w.proc.Resume()
+			woken++
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	if len(remaining) == 0 {
+		delete(b.waiters, addr)
+	} else {
+		b.waiters[addr] = append([]*smpWaiter(nil), remaining...)
+	}
+	b.mu.Unlock(t.p)
+	o.metrics.Counter("smp.futex.wake").Inc()
+	return woken, nil
+}
+
+// FutexRequeue implements osi.Thread: both buckets lock in address order,
+// the value check and the queue moves are atomic under them.
+func (t *Thread) FutexRequeue(from, to mem.Addr, expect int64, wake, requeue int) (int, int, error) {
+	o := t.pr.os
+	t.p.Sleep(o.machine.Cost.SyscallTrap)
+	bFrom := o.futexes[int(from/hw.CacheLineSize)%futexBuckets]
+	bTo := o.futexes[int(to/hw.CacheLineSize)%futexBuckets]
+	first, second := bFrom, bTo
+	if to < from {
+		first, second = bTo, bFrom
+	}
+	first.mu.Lock(t.p)
+	if second != first {
+		second.mu.Lock(t.p)
+	}
+	defer func() {
+		if second != first {
+			second.mu.Unlock(t.p)
+		}
+		first.mu.Unlock(t.p)
+	}()
+	t.p.Sleep(o.machine.LineBounce(o.capSharers(first.mu.Waiters()+second.mu.Waiters()), o.crossNode()))
+	val, err := t.access(from, accessOp{})
+	if err != nil {
+		return 0, 0, err
+	}
+	if val != expect {
+		o.metrics.Counter("smp.futex.eagain").Inc()
+		return 0, 0, futex.ErrWouldBlock
+	}
+	q := bFrom.waiters[from]
+	woken, requeued := 0, 0
+	var remaining []*smpWaiter
+	for _, w := range q {
+		switch {
+		case w.mm != t.pr.mm:
+			remaining = append(remaining, w)
+		case woken < wake:
+			w.woken = true
+			w.proc.Resume()
+			woken++
+		case requeued < requeue:
+			bTo.waiters[to] = append(bTo.waiters[to], w)
+			requeued++
+		default:
+			remaining = append(remaining, w)
+		}
+	}
+	if len(remaining) == 0 {
+		delete(bFrom.waiters, from)
+	} else {
+		bFrom.waiters[from] = remaining
+	}
+	return woken, requeued, nil
+}
+
+// Spawn implements osi.Thread.
+func (t *Thread) Spawn(kernelHint int, fn osi.ThreadFunc) error {
+	return t.pr.Spawn(t.p, kernelHint, fn)
+}
+
+// Migrate implements osi.Thread: SMP has one kernel, so kernel-directed
+// migration does not exist.
+func (t *Thread) Migrate(kernel int) error {
+	if kernel == 0 || kernel == osi.AnyKernel {
+		return nil
+	}
+	return osi.ErrUnsupported
+}
+
+// Kill implements osi.Thread: within one kernel, delivery is a queue
+// append under the (global) task-list lock.
+func (t *Thread) Kill(tid int64, sig int) error {
+	o := t.pr.os
+	t.p.Sleep(o.machine.Cost.SyscallTrap)
+	o.tasklist.Lock(t.p)
+	t.p.Sleep(o.machine.LineBounce(o.capSharers(o.tasklist.Waiters()), o.crossNode()))
+	t.pr.signals[tid] = append(t.pr.signals[tid], sig)
+	w := t.pr.sigWaiters[tid]
+	delete(t.pr.sigWaiters, tid)
+	o.tasklist.Unlock(t.p)
+	if w != nil {
+		w.Resume()
+	}
+	return nil
+}
+
+// SigWait implements osi.Thread.
+func (t *Thread) SigWait() ([]int, error) {
+	o := t.pr.os
+	t.p.Sleep(o.machine.Cost.SyscallTrap)
+	if len(t.pr.signals[t.tid]) == 0 {
+		if _, busy := t.pr.sigWaiters[t.tid]; busy {
+			return nil, errors.New("smp: thread already has a signal waiter")
+		}
+		t.pr.sigWaiters[t.tid] = t.p
+		o.sched.Release(t.p)
+		t.p.Suspend()
+		t.core = o.sched.Acquire(t.p)
+	}
+	sigs := t.pr.signals[t.tid]
+	delete(t.pr.signals, t.tid)
+	return sigs, nil
+}
+
+// exit runs thread teardown under the global locks.
+func (t *Thread) exit() {
+	o := t.pr.os
+	t.pr.mm.activeThreads--
+	o.tasklist.Lock(t.p)
+	t.p.Sleep(o.machine.LineBounce(o.capSharers(o.tasklist.Waiters()), o.crossNode()))
+	o.tasklist.Unlock(t.p)
+	o.metrics.Counter("smp.exit").Inc()
+	o.sched.Release(t.p)
+}

@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// CSV writes the table as RFC-4180-ish CSV (quotes only where needed).
+func (t *Table) CSV(w io.Writer) error {
+	if err := writeCSVRow(w, t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := writeCSVRow(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes the series as CSV: the X column followed by one column per
+// line.
+func (s *Series) CSV(w io.Writer) error {
+	headers := make([]string, 0, len(s.lines)+1)
+	headers = append(headers, s.XLabel)
+	for _, l := range s.lines {
+		headers = append(headers, l.name)
+	}
+	if err := writeCSVRow(w, headers); err != nil {
+		return err
+	}
+	row := make([]string, len(headers))
+	for i, x := range s.X {
+		row[0] = formatNum(x)
+		for j, l := range s.lines {
+			row[j+1] = formatNum(l.ys[i])
+		}
+		if err := writeCSVRow(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeCSVRow(w io.Writer, cells []string) error {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		if strings.ContainsAny(c, ",\"\n") {
+			c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+		}
+		parts[i] = c
+	}
+	_, err := fmt.Fprintln(w, strings.Join(parts, ","))
+	return err
+}

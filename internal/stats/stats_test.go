@@ -1,0 +1,250 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero counter = %d", c.Value())
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+}
+
+func TestHistogramBasicStats(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{10, 20, 30, 40} {
+		h.Observe(d * time.Microsecond)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", h.Count())
+	}
+	if h.Mean() != 25*time.Microsecond {
+		t.Fatalf("Mean = %v, want 25µs", h.Mean())
+	}
+	if h.Min() != 10*time.Microsecond || h.Max() != 40*time.Microsecond {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	if h.Sum() != 100*time.Microsecond {
+		t.Fatalf("Sum = %v", h.Sum())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("negative observation not clamped: min=%v max=%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	p50 := h.Quantile(0.5)
+	// Bucket resolution is power-of-two, so accept [500µs/2, 500µs*2].
+	if p50 < 250*time.Microsecond || p50 > 2*time.Millisecond {
+		t.Fatalf("p50 = %v, outside plausible range", p50)
+	}
+	if h.Quantile(1.0) > h.Max()*2 {
+		t.Fatalf("p100 = %v way above max %v", h.Quantile(1.0), h.Max())
+	}
+	if h.Quantile(0) == 0 {
+		t.Fatal("q=0 should return the first bucket edge, not 0")
+	}
+}
+
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	f := func(samples []uint32) bool {
+		var h Histogram
+		for _, s := range samples {
+			h.Observe(time.Duration(s))
+		}
+		prev := time.Duration(0)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketOfEdges(t *testing.T) {
+	tests := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3},
+	}
+	for _, tt := range tests {
+		if got := bucketOf(tt.d); got != tt.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestRegistryReusesMetrics(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x")
+	c1.Inc()
+	if r.Counter("x").Value() != 1 {
+		t.Fatal("Counter did not return the same instance")
+	}
+	h1 := r.Histogram("y")
+	h1.Observe(time.Second)
+	if r.Histogram("y").Count() != 1 {
+		t.Fatal("Histogram did not return the same instance")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "x" || names[1] != "y" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestRegistryDumpContainsMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ops").Add(7)
+	r.Histogram("lat").Observe(time.Millisecond)
+	out := r.Dump()
+	if !strings.Contains(out, "ops") || !strings.Contains(out, "7") {
+		t.Fatalf("Dump missing counter: %q", out)
+	}
+	if !strings.Contains(out, "lat") {
+		t.Fatalf("Dump missing histogram: %q", out)
+	}
+}
+
+func TestTableAlignsColumns(t *testing.T) {
+	tab := NewTable("T", "name", "value")
+	tab.AddRow("a", "1")
+	tab.AddRow("longer-name", "22")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "== T ==") {
+		t.Fatalf("missing title: %q", lines[0])
+	}
+	// All data lines should have the value column at the same offset.
+	idx1 := strings.Index(lines[3], "1")
+	idx2 := strings.Index(lines[4], "22")
+	if idx1 != idx2 {
+		t.Fatalf("columns not aligned:\n%s", out)
+	}
+}
+
+func TestTableRowPaddingAndTruncation(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow("only-one")
+	tab.AddRow("x", "y", "dropped")
+	if tab.Rows() != 2 {
+		t.Fatalf("Rows = %d", tab.Rows())
+	}
+	out := tab.String()
+	if strings.Contains(out, "dropped") {
+		t.Fatalf("extra cell not dropped:\n%s", out)
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tab := NewTable("", "n", "d")
+	tab.AddRowf(42, 3*time.Millisecond)
+	out := tab.String()
+	if !strings.Contains(out, "42") || !strings.Contains(out, "3ms") {
+		t.Fatalf("AddRowf output missing cells:\n%s", out)
+	}
+}
+
+func TestSeriesLineValidation(t *testing.T) {
+	s := NewSeries("fig", "threads", "ops/s", 1, 2, 4)
+	if err := s.AddLine("popcorn", []float64{10, 20, 40}); err != nil {
+		t.Fatalf("AddLine: %v", err)
+	}
+	if err := s.AddLine("bad", []float64{1}); err == nil {
+		t.Fatal("mismatched line accepted")
+	}
+	if s.Lines() != 1 {
+		t.Fatalf("Lines = %d, want 1", s.Lines())
+	}
+	ys, ok := s.Line("popcorn")
+	if !ok || ys[2] != 40 {
+		t.Fatalf("Line lookup = %v,%v", ys, ok)
+	}
+	if _, ok := s.Line("missing"); ok {
+		t.Fatal("missing line reported present")
+	}
+}
+
+func TestSeriesStringRendersAllLines(t *testing.T) {
+	s := NewSeries("F4", "threads", "ops/s", 1, 64)
+	_ = s.AddLine("popcorn", []float64{100, 6400})
+	_ = s.AddLine("smp", []float64{100, 3200})
+	out := s.String()
+	for _, want := range []string{"F4", "threads", "popcorn", "smp", "6400", "3200"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("series output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatNum(t *testing.T) {
+	if got := formatNum(64); got != "64" {
+		t.Fatalf("formatNum(64) = %q", got)
+	}
+	if got := formatNum(0.5); got != "0.5" {
+		t.Fatalf("formatNum(0.5) = %q", got)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("T", "name", "value")
+	tab.AddRow("plain", "1")
+	tab.AddRow("with,comma", `quote"inside`)
+	var sb strings.Builder
+	if err := tab.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := "name,value\nplain,1\n\"with,comma\",\"quote\"\"inside\"\n"
+	if out != want {
+		t.Fatalf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	s := NewSeries("fig", "threads", "ops", 1, 2)
+	_ = s.AddLine("a", []float64{10, 20})
+	_ = s.AddLine("b", []float64{1.5, 2.5})
+	var sb strings.Builder
+	if err := s.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "threads,a,b\n1,10,1.5\n2,20,2.5\n"
+	if sb.String() != want {
+		t.Fatalf("CSV = %q, want %q", sb.String(), want)
+	}
+}

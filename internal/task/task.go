@@ -1,0 +1,146 @@
+// Package task defines the kernel's view of a thread: the task struct, its
+// lifecycle states, the migratable user context, and the shadow/dummy roles
+// the paper's migration protocol creates on the source and destination
+// kernels.
+package task
+
+import "fmt"
+
+// ID is a task (thread) identifier, unique across the whole machine. The
+// replicated-kernel OS partitions the PID space so each kernel can allocate
+// globally unique IDs without coordination.
+type ID int64
+
+// NoTask is the zero, invalid task ID.
+const NoTask ID = 0
+
+// State is a task's lifecycle state.
+type State int
+
+// Task states.
+const (
+	StateNew State = iota + 1
+	// StateRunnable means queued on a run queue.
+	StateRunnable
+	// StateRunning means currently on a core.
+	StateRunning
+	// StateBlocked means waiting on a futex, page fault, or message.
+	StateBlocked
+	// StateShadow means the task migrated away; this husk remains at its
+	// former kernel holding kernel-side resources for back-migration.
+	StateShadow
+	// StateExited means the thread has terminated.
+	StateExited
+)
+
+var stateNames = map[State]string{
+	StateNew:      "new",
+	StateRunnable: "runnable",
+	StateRunning:  "running",
+	StateBlocked:  "blocked",
+	StateShadow:   "shadow",
+	StateExited:   "exited",
+}
+
+func (s State) String() string {
+	if n, ok := stateNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("task.State(%d)", int(s))
+}
+
+// Role distinguishes the task structs the migration protocol creates.
+type Role int
+
+// Task roles.
+const (
+	// RoleNormal is an ordinary thread.
+	RoleNormal Role = iota + 1
+	// RoleShadow is the husk left on the source kernel after migration.
+	RoleShadow
+	// RoleDummy is the pre-created destination task a migrating context is
+	// imported into. Once resumed it becomes RoleNormal.
+	RoleDummy
+)
+
+var roleNames = map[Role]string{
+	RoleNormal: "normal",
+	RoleShadow: "shadow",
+	RoleDummy:  "dummy",
+}
+
+func (r Role) String() string {
+	if n, ok := roleNames[r]; ok {
+		return n
+	}
+	return fmt.Sprintf("task.Role(%d)", int(r))
+}
+
+// Context is the migratable user execution context: what the paper ships in
+// a migration message. Sizes follow x86-64: 16 GPRs + instruction and stack
+// pointers + flags, XSAVE-style FPU/SSE area, and the TLS base.
+type Context struct {
+	Regs  [16]uint64
+	IP    uint64
+	SP    uint64
+	Flags uint64
+	FPU   [512]byte
+	TLS   uint64
+}
+
+// Bytes returns the serialised size of the context, used to cost the
+// migration message.
+func (c *Context) Bytes() int {
+	return 16*8 + 3*8 + len(c.FPU) + 8
+}
+
+// Task is the kernel-side descriptor for one thread.
+type Task struct {
+	// ID is the machine-global thread ID.
+	ID ID
+	// TGID identifies the (distributed) thread group the task belongs to.
+	TGID ID
+	// Kernel is the kernel instance currently hosting the task.
+	Kernel int
+	// Origin is the kernel where the thread was created; shadows live there.
+	Origin int
+	// State is the lifecycle state.
+	State State
+	// Role distinguishes normal, shadow, and dummy tasks.
+	Role Role
+	// Ctx is the user execution context (valid while not running).
+	Ctx Context
+	// MigratedTo records, for a shadow, which kernel the live thread went
+	// to. Valid only when Role == RoleShadow.
+	MigratedTo int
+	// Migrations counts how many times this thread has moved.
+	Migrations int
+	// Hops lists the kernels this thread left shadows on, in migration
+	// order; they are reaped when the thread exits.
+	Hops []int
+	// PendingSignals holds delivered-but-unconsumed signal numbers, in
+	// delivery order. Pending signals migrate with the thread.
+	PendingSignals []int
+}
+
+// New returns a normal task in StateNew.
+func New(id, tgid ID, kernel int) *Task {
+	return &Task{
+		ID:     id,
+		TGID:   tgid,
+		Kernel: kernel,
+		Origin: kernel,
+		State:  StateNew,
+		Role:   RoleNormal,
+	}
+}
+
+// Alive reports whether the task represents a live thread on its kernel
+// (shadows and exited tasks are not alive).
+func (t *Task) Alive() bool {
+	return t.State != StateExited && t.Role != RoleShadow
+}
+
+func (t *Task) String() string {
+	return fmt.Sprintf("task{id=%d tgid=%d kernel=%d %v/%v}", t.ID, t.TGID, t.Kernel, t.Role, t.State)
+}

@@ -1,0 +1,149 @@
+package threadgroup
+
+import (
+	"fmt"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/vm"
+)
+
+// Exit terminates the live thread (gid, id) hosted on this kernel: the
+// task leaves the local table, shadows on former hop kernels are reaped,
+// the origin updates group membership, and the last exit tears the whole
+// distributed group down on every kernel.
+func (s *Service) Exit(p *sim.Proc, gid vm.GID, id task.ID) error {
+	g, ok := s.groups[gid]
+	if !ok {
+		return fmt.Errorf("%w: group %d on kernel %d", ErrNoGroup, gid, s.node)
+	}
+	t, ok := g.local[id]
+	if !ok {
+		return fmt.Errorf("threadgroup: exit of task %d which is not live on kernel %d", id, s.node)
+	}
+	s.tasklist.Lock(p)
+	p.Sleep(s.machine.LineBounce(s.capSharers(s.tasklist.Waiters()), false))
+	delete(g.local, id)
+	t.State = task.StateExited
+	s.tasklist.Unlock(p)
+	if sp, ok := s.vmsvc.Space(gid); ok {
+		sp.ThreadLeft()
+	}
+	s.metrics.Counter("tg.exit").Inc()
+
+	// Reap the shadows this thread left along its migration path.
+	for _, hop := range t.Hops {
+		if hop == int(s.node) {
+			continue
+		}
+		s.ep.Send(p, &msg.Message{
+			Type: msg.TypeExitNotify, To: msg.NodeID(hop), Size: 64,
+			Payload: &exitNotify{GID: gid, TaskID: id, Reap: true},
+		})
+	}
+
+	if g.isOrigin {
+		return s.originMemberExited(p, g, id)
+	}
+	reply, err := s.ep.Call(p, &msg.Message{
+		Type: msg.TypeExitNotify, To: g.origin, Size: 64,
+		Payload: &exitNotify{GID: gid, TaskID: id},
+	})
+	if err != nil {
+		return err
+	}
+	if r := reply.Payload.(*exitReply); r.Err != "" {
+		return fmt.Errorf("threadgroup: exit notify: %s", r.Err)
+	}
+	return nil
+}
+
+// originMemberExited updates the origin's member table and tears the group
+// down when the last member leaves.
+func (s *Service) originMemberExited(p *sim.Proc, g *group, id task.ID) error {
+	delete(g.members, id)
+	if len(g.members) > 0 {
+		return nil
+	}
+	if g.exited {
+		return nil
+	}
+	g.exited = true
+	s.metrics.Counter("tg.groupexit").Inc()
+	// Tear down every replica, then the origin's own state.
+	targets := make([]msg.NodeID, 0, len(g.replicas))
+	for n := range g.replicas {
+		if n != s.node {
+			targets = append(targets, n)
+		}
+	}
+	sortNodes(targets)
+	if len(targets) > 0 {
+		if _, err := s.ep.CallEach(p, targets, func(to msg.NodeID) *msg.Message {
+			return &msg.Message{Type: msg.TypeGroupExit, To: to, Size: 64, Payload: &groupExit{GID: g.gid}}
+		}); err != nil {
+			return err
+		}
+	}
+	s.teardownLocal(p, g)
+	g.emptyWaiters.Broadcast()
+	return nil
+}
+
+// teardownLocal drops this kernel's group state and address-space replica.
+func (s *Service) teardownLocal(p *sim.Proc, g *group) {
+	s.vmsvc.Drop(p, g.gid)
+	delete(s.groups, g.gid)
+}
+
+// handleExitNotify handles both shadow reaping (on hop kernels) and member
+// exit registration (at the origin).
+func (s *Service) handleExitNotify(p *sim.Proc, m *msg.Message) *msg.Message {
+	req := m.Payload.(*exitNotify)
+	g, ok := s.groups[req.GID]
+	if !ok {
+		if req.Reap {
+			return nil // group already torn down; nothing to reap
+		}
+		return &msg.Message{Size: 64, Payload: &exitReply{Err: fmt.Sprintf("group %d not resident on kernel %d", req.GID, s.node)}}
+	}
+	if req.Reap {
+		if sh, ok := g.shadows[req.TaskID]; ok {
+			delete(g.shadows, req.TaskID)
+			sh.State = task.StateExited
+			s.metrics.Counter("tg.shadow.reaped").Inc()
+		}
+		return nil
+	}
+	if !g.isOrigin {
+		return &msg.Message{Size: 64, Payload: &exitReply{Err: fmt.Sprintf("kernel %d is not origin of group %d", s.node, req.GID)}}
+	}
+	if err := s.originMemberExited(p, g, req.TaskID); err != nil {
+		return &msg.Message{Size: 64, Payload: &exitReply{Err: err.Error()}}
+	}
+	return &msg.Message{Size: 64, Payload: &exitReply{}}
+}
+
+// handleGroupExit tears down a replica kernel's state for an exited group.
+func (s *Service) handleGroupExit(p *sim.Proc, m *msg.Message) *msg.Message {
+	req := m.Payload.(*groupExit)
+	g, ok := s.groups[req.GID]
+	if ok {
+		for id, sh := range g.shadows {
+			sh.State = task.StateExited
+			delete(g.shadows, id)
+			s.metrics.Counter("tg.shadow.reaped").Inc()
+		}
+		s.teardownLocal(p, g)
+	}
+	return &msg.Message{Size: 64, Payload: &exitReply{}}
+}
+
+func sortNodes(ns []msg.NodeID) {
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && ns[j] < ns[j-1]; j-- {
+			ns[j], ns[j-1] = ns[j-1], ns[j]
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package threadgroup
+
+import (
+	"fmt"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/vm"
+)
+
+// Migrate moves the live thread (gid, id) from this kernel to dst: the
+// paper's thread context migration protocol. The source checkpoints the
+// user context and downgrades its task to a shadow; the destination
+// instantiates (or revives) a task, imports the context, and registers the
+// new location with the origin. The returned task is the destination-side
+// descriptor the runtime resumes.
+func (s *Service) Migrate(p *sim.Proc, gid vm.GID, id task.ID, dst msg.NodeID) (*task.Task, error) {
+	g, ok := s.groups[gid]
+	if !ok {
+		return nil, fmt.Errorf("%w: group %d on kernel %d", ErrNoGroup, gid, s.node)
+	}
+	t, ok := g.local[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: task %d not live on kernel %d", ErrBadMigration, id, s.node)
+	}
+	if dst == s.node {
+		return nil, fmt.Errorf("%w: task %d already on kernel %d", ErrBadMigration, id, dst)
+	}
+	totalStart := p.Now()
+
+	// Phase 1 — claim the task: downgrade it to a shadow *before* any
+	// blocking work, so a racing migration or exit observes a consistent
+	// not-live-here state instead of double-claiming the thread.
+	delete(g.local, id)
+	t.Role = task.RoleShadow
+	t.State = task.StateShadow
+	t.MigratedTo = int(dst)
+	g.shadows[id] = t
+	if sp, ok := s.vmsvc.Space(gid); ok {
+		sp.ThreadLeft()
+	}
+
+	// Phase 2 — checkpoint: save the register file, FPU state and TLS into
+	// the migration payload.
+	p.Sleep(s.machine.Cost.ContextSwitch)
+	s.metrics.Histogram("tg.migrate.checkpoint").Observe(p.Now().Sub(totalStart))
+
+	hops := append(append([]int(nil), t.Hops...), int(s.node))
+	req := &migrateReq{
+		GID:        gid,
+		Origin:     g.origin,
+		TaskID:     id,
+		Ctx:        t.Ctx,
+		Hops:       hops,
+		Migrations: t.Migrations + 1,
+		Pending:    append([]int(nil), t.PendingSignals...),
+	}
+	t.PendingSignals = nil
+
+	// Phase 3 — ship the context and wait for the destination to resume.
+	rpcStart := p.Now()
+	reply, err := s.ep.Call(p, &msg.Message{
+		Type: msg.TypeMigrate, To: dst, Size: t.Ctx.Bytes() + 64, Payload: req,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := reply.Payload.(*migrateReply)
+	if r.Err != "" {
+		// Roll back: revive the source task.
+		delete(g.shadows, id)
+		t.Role = task.RoleNormal
+		t.State = task.StateRunnable
+		g.local[id] = t
+		return nil, fmt.Errorf("threadgroup: migrate to kernel %d: %s", dst, r.Err)
+	}
+	s.metrics.Histogram("tg.migrate.rpc").Observe(p.Now().Sub(rpcStart))
+	s.metrics.Histogram("tg.migrate.total").Observe(p.Now().Sub(totalStart))
+	s.metrics.Counter("tg.migrate").Inc()
+	return r.Task, nil
+}
+
+// handleMigrate is the destination half of the migration protocol.
+func (s *Service) handleMigrate(p *sim.Proc, m *msg.Message) *msg.Message {
+	req := m.Payload.(*migrateReq)
+	g, err := s.ensureReplica(p, req.GID, req.Origin)
+	if err != nil {
+		return &msg.Message{Size: 64, Payload: &migrateReply{Err: err.Error()}}
+	}
+
+	var t *task.Task
+	if shadow, ok := g.shadows[req.TaskID]; ok {
+		// Back-migration: revive the shadow left here on the way out.
+		delete(g.shadows, req.TaskID)
+		t = shadow
+		t.Role = task.RoleNormal
+		s.metrics.Counter("tg.migrate.revive").Inc()
+	} else {
+		setupStart := p.Now()
+		s.tasklist.Lock(p)
+		p.Sleep(s.machine.LineBounce(s.capSharers(s.tasklist.Waiters()), false))
+		if s.dummies > 0 {
+			// A pre-created dummy thread absorbs the task-setup cost.
+			s.dummies--
+			s.metrics.Counter("tg.migrate.dummyhit").Inc()
+			s.refillDummy()
+		} else {
+			p.Sleep(s.machine.Cost.ThreadSetup)
+			s.metrics.Counter("tg.migrate.dummymiss").Inc()
+		}
+		s.tasklist.Unlock(p)
+		t = task.New(req.TaskID, task.ID(req.GID), int(s.node))
+		s.metrics.Histogram("tg.migrate.setup").Observe(p.Now().Sub(setupStart))
+	}
+
+	// Import the context into the (dummy) task and make it runnable.
+	importStart := p.Now()
+	t.Ctx = req.Ctx
+	t.Kernel = int(s.node)
+	t.State = task.StateRunnable
+	t.Migrations = req.Migrations
+	t.Hops = hopsWithout(req.Hops, int(s.node))
+	p.Sleep(s.machine.Cost.ContextSwitch / 2)
+	t.PendingSignals = append(t.PendingSignals, req.Pending...)
+	g.local[req.TaskID] = t
+	if sp, ok := s.vmsvc.Space(req.GID); ok {
+		sp.ThreadArrived()
+	}
+	s.adoptOrphanSignals(g, t)
+	s.metrics.Histogram("tg.migrate.import").Observe(p.Now().Sub(importStart))
+
+	// Register the new location with the origin.
+	if g.isOrigin {
+		g.members[req.TaskID] = s.node
+	} else {
+		if err := s.notifyOriginMoved(p, g, req.TaskID); err != nil {
+			return &msg.Message{Size: 64, Payload: &migrateReply{Err: err.Error()}}
+		}
+	}
+	return &msg.Message{Size: 64, Payload: &migrateReply{Task: t}}
+}
+
+// hopsWithout drops this kernel from the hop list (a revived shadow means
+// the thread no longer owes a reap here).
+func hopsWithout(hops []int, node int) []int {
+	out := make([]int, 0, len(hops))
+	for _, h := range hops {
+		if h != node {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// refillDummy asynchronously rebuilds the dummy pool, the way Popcorn's
+// worker pre-creates dummy threads off the migration critical path.
+func (s *Service) refillDummy() {
+	s.e.Spawn(fmt.Sprintf("tg-dummy-refill-%d", s.node), func(p *sim.Proc) {
+		s.tasklist.Lock(p)
+		p.Sleep(s.machine.Cost.ThreadSetup)
+		s.dummies++
+		s.tasklist.Unlock(p)
+	})
+}
+
+// ensureReplica makes sure this kernel hosts group state and an
+// address-space replica for gid, registering with the origin on first use.
+// Concurrent setups for the same group (two inbound migrations, say)
+// serialise: the first does the work, the rest wait and reuse it.
+func (s *Service) ensureReplica(p *sim.Proc, gid vm.GID, origin msg.NodeID) (*group, error) {
+	for {
+		if g, ok := s.groups[gid]; ok {
+			return g, nil
+		}
+		cond, busy := s.setupPending[gid]
+		if !busy {
+			break
+		}
+		cond.Wait(p)
+	}
+	if origin == s.node {
+		return nil, fmt.Errorf("threadgroup: group %d claims origin %d but is not resident", gid, origin)
+	}
+	cond := sim.NewCond()
+	s.setupPending[gid] = cond
+	defer func() {
+		delete(s.setupPending, gid)
+		cond.Broadcast()
+	}()
+	// Register with the origin first so layout updates reach this kernel
+	// before any state is cached here.
+	reply, err := s.ep.Call(p, &msg.Message{
+		Type: msg.TypeGroupSetup, To: origin, Size: 64,
+		Payload: &groupSetupReq{GID: gid, Node: s.node},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if r := reply.Payload.(*groupSetupReply); r.Err != "" {
+		return nil, fmt.Errorf("threadgroup: replica setup: %s", r.Err)
+	}
+	if _, err := s.vmsvc.Attach(gid, origin); err != nil {
+		return nil, err
+	}
+	g := &group{
+		gid:     gid,
+		origin:  origin,
+		local:   make(map[task.ID]*task.Task),
+		shadows: make(map[task.ID]*task.Task),
+	}
+	s.groups[gid] = g
+	s.metrics.Counter("tg.replica.setup").Inc()
+	return g, nil
+}
+
+// handleThreadCreate serves a remote clone on the destination kernel.
+func (s *Service) handleThreadCreate(p *sim.Proc, m *msg.Message) *msg.Message {
+	req := m.Payload.(*threadCreateReq)
+	g, err := s.ensureReplica(p, req.GID, req.Origin)
+	if err != nil {
+		return &msg.Message{Size: 64, Payload: &threadCreateReply{Err: err.Error()}}
+	}
+	t, err := s.spawnLocal(p, g)
+	if err != nil {
+		return &msg.Message{Size: 64, Payload: &threadCreateReply{Err: err.Error()}}
+	}
+	// The origin records membership when its Spawn call returns (it
+	// initiated this create) or via the GroupSetup ack for third-party
+	// creates.
+	if !g.isOrigin && m.From != g.origin {
+		if err := s.notifyOriginSpawn(p, g, t.ID); err != nil {
+			return &msg.Message{Size: 64, Payload: &threadCreateReply{Err: err.Error()}}
+		}
+	}
+	return &msg.Message{Size: 64, Payload: &threadCreateReply{TaskID: t.ID, Task: t}}
+}
+
+// notifyOriginMoved updates the origin's member table after a migration.
+func (s *Service) notifyOriginMoved(p *sim.Proc, g *group, id task.ID) error {
+	reply, err := s.ep.Call(p, &msg.Message{
+		Type: msg.TypeGroupSetup, To: g.origin, Size: 64,
+		Payload: &groupSetupReq{GID: g.gid, Node: s.node, MovedMember: id},
+	})
+	if err != nil {
+		return err
+	}
+	if r := reply.Payload.(*groupSetupReply); r.Err != "" {
+		return fmt.Errorf("threadgroup: move registration: %s", r.Err)
+	}
+	return nil
+}
+
+// handleGroupSetup runs at the origin: register a replica kernel and/or
+// record a new or moved member.
+func (s *Service) handleGroupSetup(p *sim.Proc, m *msg.Message) *msg.Message {
+	req := m.Payload.(*groupSetupReq)
+	g, ok := s.groups[req.GID]
+	if !ok || !g.isOrigin {
+		return &msg.Message{Size: 64, Payload: &groupSetupReply{Err: fmt.Sprintf("kernel %d is not origin of group %d", s.node, req.GID)}}
+	}
+	if _, fresh := g.replicas[req.Node]; !fresh {
+		g.replicas[req.Node] = struct{}{}
+		if err := s.vmsvc.RegisterReplica(req.GID, req.Node); err != nil {
+			return &msg.Message{Size: 64, Payload: &groupSetupReply{Err: err.Error()}}
+		}
+	}
+	if req.NewMember != task.NoTask {
+		g.members[req.NewMember] = req.Node
+	}
+	if req.MovedMember != task.NoTask {
+		g.members[req.MovedMember] = req.Node
+	}
+	return &msg.Message{Size: 64, Payload: &groupSetupReply{}}
+}

@@ -1,0 +1,71 @@
+package threadgroup
+
+import (
+	"repro/internal/msg"
+	"repro/internal/task"
+	"repro/internal/vm"
+)
+
+// threadCreateReq asks a kernel to create a member thread (remote clone).
+type threadCreateReq struct {
+	GID    vm.GID
+	Origin msg.NodeID
+}
+
+// threadCreateReply returns the new task. The Task pointer is the
+// simulation's stand-in for the destination kernel's task struct; protocol
+// cost is carried by the message size, not the pointer.
+type threadCreateReply struct {
+	TaskID task.ID
+	Task   *task.Task
+	Err    string
+}
+
+// groupSetupReq registers a replica kernel and/or membership changes with
+// the origin.
+type groupSetupReq struct {
+	GID  vm.GID
+	Node msg.NodeID
+	// NewMember records a thread created on Node.
+	NewMember task.ID
+	// MovedMember records a thread that migrated to Node.
+	MovedMember task.ID
+}
+
+type groupSetupReply struct {
+	Err string
+}
+
+// migrateReq carries a thread's execution context to its new kernel.
+type migrateReq struct {
+	GID        vm.GID
+	Origin     msg.NodeID
+	TaskID     task.ID
+	Ctx        task.Context
+	Hops       []int
+	Migrations int
+	// Pending carries the thread's undelivered signals to the new kernel.
+	Pending []int
+}
+
+type migrateReply struct {
+	Task *task.Task
+	Err  string
+}
+
+// exitNotify reports a member exit to the origin (Reap=false) or reaps a
+// shadow on a hop kernel (Reap=true).
+type exitNotify struct {
+	GID    vm.GID
+	TaskID task.ID
+	Reap   bool
+}
+
+type exitReply struct {
+	Err string
+}
+
+// groupExit tears down a replica's group state after the last member exit.
+type groupExit struct {
+	GID vm.GID
+}

@@ -1,0 +1,332 @@
+// Package threadgroup implements the paper's primary contribution: thread
+// groups whose member threads execute on different kernel instances while
+// presenting single-process semantics. It provides distributed thread-group
+// creation (remote clone with on-demand replica setup), thread context
+// migration (checkpoint, transfer, dummy-thread resume, shadow tasks and
+// back-migration), and group-wide exit, all over the inter-kernel message
+// fabric.
+package threadgroup
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/task"
+	"repro/internal/vm"
+)
+
+// Errors reported by group operations.
+var (
+	// ErrNoGroup is returned for operations on groups this kernel does not
+	// host.
+	ErrNoGroup = errors.New("threadgroup: group not resident on this kernel")
+	// ErrNotOrigin is returned when an origin-only operation runs elsewhere.
+	ErrNotOrigin = errors.New("threadgroup: kernel is not the group origin")
+	// ErrBadMigration is returned for invalid migration requests.
+	ErrBadMigration = errors.New("threadgroup: invalid migration")
+)
+
+// pid allocation: the PID space is partitioned by kernel so every kernel
+// allocates globally unique IDs with a purely local counter — the paper's
+// answer to SMP Linux's global PID-map lock.
+const pidShift = 44
+
+// group is one kernel's view of a distributed thread group.
+type group struct {
+	gid    vm.GID
+	origin msg.NodeID
+	// local holds the live member tasks hosted on this kernel.
+	local map[task.ID]*task.Task
+	// shadows holds husks of threads that migrated away from this kernel.
+	shadows map[task.ID]*task.Task
+
+	// Origin-only state.
+	isOrigin bool
+	// members maps every live member to its current kernel.
+	members map[task.ID]msg.NodeID
+	// replicas is the set of kernels hosting (or having hosted) members.
+	replicas map[msg.NodeID]struct{}
+	// emptyWaiters are processes blocked in WaitEmpty.
+	emptyWaiters *sim.Cond
+	exited       bool
+}
+
+// Config tunes the thread-group service.
+type Config struct {
+	// DummyPool pre-creates this many dummy threads per kernel; migrations
+	// that hit the pool skip the task-setup cost (the paper's dummy-thread
+	// optimisation). Zero disables the pool (the D2 ablation).
+	DummyPool int
+}
+
+// Service is the per-kernel thread-group service.
+type Service struct {
+	e       *sim.Engine
+	machine *hw.Machine
+	node    msg.NodeID
+	ep      *msg.Endpoint
+	vmsvc   *vm.Service
+	metrics *stats.Registry
+	cfg     Config
+
+	groups map[vm.GID]*group
+	// tasklist serialises task creation/teardown on this kernel — the
+	// per-kernel analogue of SMP Linux's global tasklist_lock.
+	tasklist *sim.Mutex
+	nextPID  int64
+	nextGID  int64
+	// dummies is the current dummy-thread pool depth.
+	dummies int
+	// setupPending serialises concurrent replica setups for one group
+	// (two inbound migrations racing to attach would otherwise collide).
+	setupPending map[vm.GID]*sim.Cond
+	// orphanSignals parks signals that arrive ahead of their target's
+	// in-flight migration.
+	orphanSignals map[task.ID][]int
+	// sigWaiters holds tasks blocked in WaitSignal.
+	sigWaiters map[task.ID]*sigWaiter
+}
+
+// NewService creates the kernel's thread-group service and registers its
+// message handlers.
+func NewService(e *sim.Engine, machine *hw.Machine, fabric *msg.Fabric, node msg.NodeID, vmsvc *vm.Service, cfg Config, metrics *stats.Registry) *Service {
+	if metrics == nil {
+		metrics = stats.NewRegistry()
+	}
+	s := &Service{
+		e:             e,
+		machine:       machine,
+		node:          node,
+		ep:            fabric.Endpoint(node),
+		vmsvc:         vmsvc,
+		metrics:       metrics,
+		cfg:           cfg,
+		groups:        make(map[vm.GID]*group),
+		tasklist:      sim.NewMutex(e),
+		dummies:       cfg.DummyPool,
+		setupPending:  make(map[vm.GID]*sim.Cond),
+		orphanSignals: make(map[task.ID][]int),
+		sigWaiters:    make(map[task.ID]*sigWaiter),
+	}
+	s.ep.Handle(msg.TypeThreadCreate, s.handleThreadCreate)
+	s.ep.Handle(msg.TypeGroupSetup, s.handleGroupSetup)
+	s.ep.Handle(msg.TypeMigrate, s.handleMigrate)
+	s.ep.Handle(msg.TypeExitNotify, s.handleExitNotify)
+	s.ep.Handle(msg.TypeGroupExit, s.handleGroupExit)
+	s.ep.Handle(msg.TypeSignal, s.handleSignal)
+	return s
+}
+
+// Node returns the kernel this service runs on.
+func (s *Service) Node() msg.NodeID { return s.node }
+
+// Metrics returns the registry this service records into.
+func (s *Service) Metrics() *stats.Registry { return s.metrics }
+
+// FutexHome implements futex.Resolver: a group's futexes are homed at its
+// origin kernel.
+func (s *Service) FutexHome(gid vm.GID) (msg.NodeID, bool) {
+	g, ok := s.groups[gid]
+	if !ok {
+		return 0, false
+	}
+	return g.origin, true
+}
+
+// GroupSpace implements futex.Resolver.
+func (s *Service) GroupSpace(gid vm.GID) (*vm.Space, bool) {
+	return s.vmsvc.Space(gid)
+}
+
+// capSharers bounds a lock's bounce term by this kernel's core count.
+func (s *Service) capSharers(waiters int) int {
+	max := s.vmsvc.LocalCores() - 1
+	if max < 0 {
+		max = 0
+	}
+	if waiters > max {
+		return max
+	}
+	return waiters
+}
+
+// allocPID returns a machine-unique task ID from this kernel's partition.
+func (s *Service) allocPID() task.ID {
+	s.nextPID++
+	return task.ID(int64(s.node)<<pidShift | s.nextPID)
+}
+
+// CreateGroup starts a new thread group (process) with this kernel as
+// origin and returns the group ID and its initial (main) thread.
+func (s *Service) CreateGroup(p *sim.Proc) (vm.GID, *task.Task, error) {
+	s.nextGID++
+	gid := vm.GID(int64(s.node)<<pidShift | s.nextGID)
+	if _, err := s.vmsvc.Create(gid); err != nil {
+		return 0, nil, err
+	}
+	g := &group{
+		gid:          gid,
+		origin:       s.node,
+		isOrigin:     true,
+		local:        make(map[task.ID]*task.Task),
+		shadows:      make(map[task.ID]*task.Task),
+		members:      make(map[task.ID]msg.NodeID),
+		replicas:     make(map[msg.NodeID]struct{}),
+		emptyWaiters: sim.NewCond(),
+	}
+	s.groups[gid] = g
+	main, err := s.spawnLocal(p, g)
+	if err != nil {
+		return 0, nil, err
+	}
+	return gid, main, nil
+}
+
+// spawnLocal creates a member task on this kernel under the tasklist lock.
+func (s *Service) spawnLocal(p *sim.Proc, g *group) (*task.Task, error) {
+	s.tasklist.Lock(p)
+	p.Sleep(s.machine.LineBounce(s.capSharers(s.tasklist.Waiters()), false))
+	p.Sleep(s.machine.Cost.ThreadSetup)
+	t := task.New(s.allocPID(), task.ID(g.gid), int(s.node))
+	t.State = task.StateRunnable
+	g.local[t.ID] = t
+	s.tasklist.Unlock(p)
+	if sp, ok := s.vmsvc.Space(g.gid); ok {
+		sp.ThreadArrived()
+	}
+	s.metrics.Counter("tg.spawn.local").Inc()
+	if g.isOrigin {
+		g.members[t.ID] = s.node
+	} else {
+		// Remote member: the origin learns via the create/migrate path
+		// that invoked us.
+		s.metrics.Counter("tg.spawn.replica").Inc()
+	}
+	return t, nil
+}
+
+// Spawn clones a new member thread of gid onto the dst kernel. Local
+// spawns touch only this kernel's structures; remote spawns run the
+// distributed-thread-group creation protocol (replica setup on first use,
+// then remote task creation).
+func (s *Service) Spawn(p *sim.Proc, gid vm.GID, dst msg.NodeID) (*task.Task, error) {
+	g, ok := s.groups[gid]
+	if !ok {
+		return nil, fmt.Errorf("%w: group %d on kernel %d", ErrNoGroup, gid, s.node)
+	}
+	if dst == s.node {
+		t, err := s.spawnLocal(p, g)
+		if err != nil {
+			return nil, err
+		}
+		if !g.isOrigin {
+			// Register the member with the origin.
+			if err := s.notifyOriginSpawn(p, g, t.ID); err != nil {
+				return nil, err
+			}
+		}
+		return t, nil
+	}
+	start := p.Now()
+	reply, err := s.ep.Call(p, &msg.Message{
+		Type: msg.TypeThreadCreate, To: dst, Size: 128,
+		Payload: &threadCreateReq{GID: gid, Origin: g.origin},
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := reply.Payload.(*threadCreateReply)
+	if r.Err != "" {
+		return nil, fmt.Errorf("threadgroup: remote clone on kernel %d: %s", dst, r.Err)
+	}
+	s.metrics.Counter("tg.spawn.remote").Inc()
+	s.metrics.Histogram("tg.spawn.remote.latency").Observe(p.Now().Sub(start))
+	t := task.New(r.TaskID, task.ID(gid), int(dst))
+	t.State = task.StateRunnable
+	if g.isOrigin {
+		g.members[t.ID] = dst
+		g.replicas[dst] = struct{}{}
+	}
+	return t, nil
+}
+
+// notifyOriginSpawn tells the origin a member was created on this kernel.
+func (s *Service) notifyOriginSpawn(p *sim.Proc, g *group, id task.ID) error {
+	reply, err := s.ep.Call(p, &msg.Message{
+		Type: msg.TypeGroupSetup, To: g.origin, Size: 64,
+		Payload: &groupSetupReq{GID: g.gid, Node: s.node, NewMember: id},
+	})
+	if err != nil {
+		return err
+	}
+	if r := reply.Payload.(*groupSetupReply); r.Err != "" {
+		return fmt.Errorf("threadgroup: origin registration: %s", r.Err)
+	}
+	return nil
+}
+
+// Task returns this kernel's task with the given ID, if present.
+func (s *Service) Task(gid vm.GID, id task.ID) (*task.Task, bool) {
+	g, ok := s.groups[gid]
+	if !ok {
+		return nil, false
+	}
+	if t, ok := g.local[id]; ok {
+		return t, true
+	}
+	t, ok := g.shadows[id]
+	return t, ok
+}
+
+// Members returns, at the origin, the current member->kernel map.
+func (s *Service) Members(gid vm.GID) (map[task.ID]msg.NodeID, error) {
+	g, ok := s.groups[gid]
+	if !ok {
+		return nil, ErrNoGroup
+	}
+	if !g.isOrigin {
+		return nil, ErrNotOrigin
+	}
+	out := make(map[task.ID]msg.NodeID, len(g.members))
+	for id, n := range g.members {
+		out[id] = n
+	}
+	return out, nil
+}
+
+// LocalTasks returns how many live member tasks of gid run on this kernel.
+func (s *Service) LocalTasks(gid vm.GID) int {
+	g, ok := s.groups[gid]
+	if !ok {
+		return 0
+	}
+	return len(g.local)
+}
+
+// Shadows returns how many shadow tasks of gid remain on this kernel.
+func (s *Service) Shadows(gid vm.GID) int {
+	g, ok := s.groups[gid]
+	if !ok {
+		return 0
+	}
+	return len(g.shadows)
+}
+
+// WaitEmpty blocks p (at the origin) until every member of gid has exited.
+func (s *Service) WaitEmpty(p *sim.Proc, gid vm.GID) error {
+	g, ok := s.groups[gid]
+	if !ok {
+		return ErrNoGroup
+	}
+	if !g.isOrigin {
+		return ErrNotOrigin
+	}
+	for len(g.members) > 0 {
+		g.emptyWaiters.Wait(p)
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestBufferRetainsInOrder(t *testing.T) {
+	b := NewBuffer(8)
+	for i := 0; i < 5; i++ {
+		b.Add(Event{At: sim.Time(i), Kind: "k", Node: i})
+	}
+	evs := b.Events()
+	if len(evs) != 5 || b.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d", len(evs), b.Dropped())
+	}
+	for i, ev := range evs {
+		if ev.Node != i {
+			t.Fatalf("order broken: %v", evs)
+		}
+	}
+}
+
+func TestBufferWrapsAndCountsDrops(t *testing.T) {
+	b := NewBuffer(4)
+	for i := 0; i < 10; i++ {
+		b.Add(Event{At: sim.Time(i), Node: i, Kind: "k"})
+	}
+	evs := b.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len = %d, want capacity 4", len(evs))
+	}
+	if b.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", b.Dropped())
+	}
+	// Chronological: the last four events 6,7,8,9.
+	for i, ev := range evs {
+		if ev.Node != 6+i {
+			t.Fatalf("wrapped order = %v", evs)
+		}
+	}
+}
+
+func TestFilterByKindPrefix(t *testing.T) {
+	b := NewBuffer(8)
+	b.Add(Event{Kind: "msg.send"})
+	b.Add(Event{Kind: "msg.deliver"})
+	b.Add(Event{Kind: "vm.fault"})
+	if got := len(b.Filter("msg.")); got != 2 {
+		t.Fatalf("Filter(msg.) = %d events", got)
+	}
+	if got := len(b.Filter("vm.")); got != 1 {
+		t.Fatalf("Filter(vm.) = %d events", got)
+	}
+}
+
+func TestDumpRendersEvents(t *testing.T) {
+	b := NewBuffer(2)
+	b.Add(Event{At: sim.Time(1000), Kind: "msg.send", Node: 3, Detail: "ping to k1"})
+	b.Add(Event{Kind: "x"})
+	b.Add(Event{Kind: "y"}) // forces a drop
+	var sb strings.Builder
+	if err := b.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "dropped") {
+		t.Fatalf("dump missing drop note:\n%s", out)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	b := NewBuffer(0)
+	for i := 0; i < 2000; i++ {
+		b.Add(Event{})
+	}
+	if b.Len() != 1024 {
+		t.Fatalf("default capacity = %d", b.Len())
+	}
+}

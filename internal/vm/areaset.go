@@ -1,0 +1,28 @@
+package vm
+
+import "repro/internal/mem"
+
+// AreaSet is an exported façade over the VMA set for the baseline OSes
+// (the SMP baseline manages one process-wide VMA tree with the same
+// split/merge semantics, just without replication).
+type AreaSet struct {
+	s vmaSet
+}
+
+// Insert adds a non-overlapping area.
+func (a *AreaSet) Insert(v VMA) error { return a.s.insert(v) }
+
+// Remove unmaps [lo, hi), returning the previously mapped sub-ranges.
+func (a *AreaSet) Remove(lo, hi mem.VPN) []VMA { return a.s.remove(lo, hi) }
+
+// Protect re-protects mapped pages in [lo, hi), returning changed ranges.
+func (a *AreaSet) Protect(lo, hi mem.VPN, prot mem.Prot) []VMA { return a.s.protect(lo, hi, prot) }
+
+// Find returns the area containing the page.
+func (a *AreaSet) Find(p mem.VPN) (VMA, bool) { return a.s.find(p) }
+
+// Covered reports whether [lo, hi) is fully mapped.
+func (a *AreaSet) Covered(lo, hi mem.VPN) bool { return a.s.covered(lo, hi) }
+
+// Len returns the number of areas.
+func (a *AreaSet) Len() int { return a.s.len() }

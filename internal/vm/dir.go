@@ -1,0 +1,166 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// dirTransaction is the origin-side heart of the consistency protocol: it
+// serialises on the page's directory entry, revokes conflicting copies, and
+// produces the grant for the requesting kernel. The caller holds the
+// address-space lock shared.
+func (sp *Space) dirTransaction(p *sim.Proc, req msg.NodeID, vpn mem.VPN, write bool) (*pageGrant, error) {
+	vma, ok := sp.vmas.find(vpn)
+	if !ok {
+		return &pageGrant{Code: codeSegv, Err: fmt.Sprintf("page %#x unmapped", uint64(vpn.Base()))}, nil
+	}
+	if write && !vma.Prot.Writable() {
+		return &pageGrant{Code: codeAccess, Err: fmt.Sprintf("write to %v page", vma.Prot)}, nil
+	}
+	if !vma.Prot.Readable() {
+		return &pageGrant{Code: codeAccess, Err: fmt.Sprintf("%v page", vma.Prot)}, nil
+	}
+	de, ok := sp.dir[vpn]
+	if !ok {
+		de = &dirEntry{state: pageUnmapped, mu: sim.NewMutex(sp.svc.e)}
+		sp.dir[vpn] = de
+	}
+	de.mu.Lock(p)
+	defer de.mu.Unlock(p)
+
+	sharedProt := vma.Prot &^ mem.ProtWrite
+	exclusiveProt := vma.Prot
+
+	switch de.state {
+	case pageUnmapped:
+		de.value = 0
+		if write {
+			de.state = pageModified
+			de.owner = req
+			return &pageGrant{Value: 0, Src: srcZeroFill, Prot: exclusiveProt}, nil
+		}
+		de.state = pageShared
+		de.sharers = map[msg.NodeID]struct{}{req: {}}
+		return &pageGrant{Value: 0, Src: srcZeroFill, Prot: sharedProt}, nil
+
+	case pageShared:
+		_, isSharer := de.sharers[req]
+		if !write {
+			de.sharers[req] = struct{}{}
+			src := int(sp.origin)
+			if isSharer {
+				src = srcHaveCopy
+			}
+			return &pageGrant{Value: de.value, Src: src, Prot: sharedProt}, nil
+		}
+		// Write on a shared page: revoke every other copy, then grant
+		// exclusive.
+		others := nodeSet(de.sharers, req)
+		sp.revokeCopies(p, others, vpn, false)
+		de.state = pageModified
+		de.owner = req
+		de.sharers = nil
+		src := int(sp.origin)
+		if isSharer {
+			src = srcHaveCopy
+		}
+		return &pageGrant{Value: de.value, Src: src, Prot: exclusiveProt}, nil
+
+	case pageModified:
+		if de.owner == req {
+			// The owner lost PTE bits (mprotect round trip) but still has
+			// the data; re-grant in place.
+			return &pageGrant{Src: srcHaveCopy, Prot: exclusiveProt}, nil
+		}
+		old := de.owner
+		ack := sp.revokeOwner(p, old, vpn, !write)
+		if ack.HadCopy {
+			de.value = ack.Value
+		}
+		if write {
+			de.owner = req
+			return &pageGrant{Value: de.value, Src: int(old), Prot: exclusiveProt}, nil
+		}
+		de.state = pageShared
+		de.sharers = map[msg.NodeID]struct{}{req: {}}
+		if ack.HadCopy {
+			// The old owner kept a downgraded read copy.
+			de.sharers[old] = struct{}{}
+		}
+		de.owner = 0
+		return &pageGrant{Value: de.value, Src: int(old), Prot: sharedProt}, nil
+	}
+	return nil, fmt.Errorf("vm: directory entry for %#x in impossible state %d", uint64(vpn.Base()), de.state)
+}
+
+// revokeCopies invalidates read copies at the given kernels (the origin's
+// own copy is handled locally; remote copies over the fabric, in parallel).
+func (sp *Space) revokeCopies(p *sim.Proc, targets []msg.NodeID, vpn mem.VPN, downgrade bool) {
+	remote := targets[:0:0]
+	for _, t := range targets {
+		if t == sp.svc.node {
+			sp.applyInval(p, vpn, downgrade)
+		} else {
+			remote = append(remote, t)
+		}
+	}
+	if len(remote) == 0 {
+		return
+	}
+	sp.svc.metrics.Counter("vm.inval.sent").Add(uint64(len(remote)))
+	_, err := sp.svc.ep.CallEach(p, remote, func(to msg.NodeID) *msg.Message {
+		return &msg.Message{Type: msg.TypePageInvalidate, To: to, Size: sizeSmallReq,
+			Payload: &pageInval{GID: sp.gid, VPN: vpn, Downgrade: downgrade}}
+	})
+	if err != nil {
+		panic(fmt.Sprintf("vm: invalidation fan-out failed: %v", err))
+	}
+}
+
+// revokeOwner revokes (or downgrades) the exclusive copy at the owning
+// kernel and returns the written-back contents.
+func (sp *Space) revokeOwner(p *sim.Proc, owner msg.NodeID, vpn mem.VPN, downgrade bool) pageInvalAck {
+	if owner == sp.svc.node {
+		return sp.applyInval(p, vpn, downgrade)
+	}
+	sp.svc.metrics.Counter("vm.inval.sent").Inc()
+	reply, err := sp.svc.ep.Call(p, &msg.Message{
+		Type: msg.TypePageInvalidate, To: owner, Size: sizeSmallReq,
+		Payload: &pageInval{GID: sp.gid, VPN: vpn, Downgrade: downgrade}})
+	if err != nil {
+		panic(fmt.Sprintf("vm: owner revocation failed: %v", err))
+	}
+	return *reply.Payload.(*pageInvalAck)
+}
+
+// applyInval executes an invalidation against this kernel's copy of the
+// page: mark racing faults stale, strip the PTE (or its write bit), release
+// the frame on full invalidation, and charge the TLB shootdown.
+func (sp *Space) applyInval(p *sim.Proc, vpn mem.VPN, downgrade bool) pageInvalAck {
+	var ack pageInvalAck
+	if pend, ok := sp.pending[vpn]; ok {
+		pend.invalidated = true
+	}
+	pte, ok := sp.pt.Lookup(vpn)
+	if !ok {
+		return ack
+	}
+	ack.HadCopy = true
+	ack.Value = sp.values[vpn]
+	if downgrade {
+		pte.Prot &^= mem.ProtWrite
+		sp.pt.Set(vpn, pte)
+	} else {
+		sp.pt.Clear(vpn)
+		if pte.Frame != mem.NoFrame {
+			sp.svc.frames.FreeFrame(p, pte.Frame)
+		}
+		delete(sp.values, vpn)
+	}
+	p.Sleep(sp.svc.machine.TLBShootdown(sp.shootdownCores(), false))
+	sp.svc.metrics.Counter("vm.inval.applied").Inc()
+	return ack
+}

@@ -1,0 +1,132 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func TestEagerMapPushPopulatesReplicaCaches(t *testing.T) {
+	ev := newEnv(t, 3, 64)
+	sps := ev.group(t, 1)
+	ev.svcs[0].SetEagerMapPush(true)
+	ev.run(t, func(p *sim.Proc) {
+		addr, err := sps[0].Map(p, 2*hw.PageSize, mem.ProtRead|mem.ProtWrite)
+		if err != nil {
+			t.Fatalf("Map: %v", err)
+		}
+		// Replicas already know the area: faulting must not issue a VMA
+		// fetch RPC.
+		if err := sps[1].Store(p, 2, addr, 1); err != nil {
+			t.Fatalf("replica Store: %v", err)
+		}
+		if err := sps[2].Store(p, 4, addr+hw.PageSize, 2); err != nil {
+			t.Fatalf("replica Store: %v", err)
+		}
+	})
+	for k := 1; k <= 2; k++ {
+		if got := ev.svcs[k].metrics.Counter("vm.vmafetch").Value(); got != 0 {
+			t.Errorf("kernel %d issued %d VMA fetches despite eager push", k, got)
+		}
+	}
+	if got := ev.svcs[0].metrics.Counter("vm.update.pushed").Value(); got == 0 {
+		t.Error("eager push recorded no update pushes")
+	}
+}
+
+func TestLazyMapLeavesReplicasCold(t *testing.T) {
+	ev := newEnv(t, 2, 64)
+	sps := ev.group(t, 1)
+	ev.run(t, func(p *sim.Proc) {
+		addr, _ := sps[0].Map(p, hw.PageSize, mem.ProtRead|mem.ProtWrite)
+		if err := sps[1].Store(p, 2, addr, 1); err != nil {
+			t.Fatalf("replica Store: %v", err)
+		}
+	})
+	if got := ev.svcs[1].metrics.Counter("vm.vmafetch").Value(); got != 1 {
+		t.Errorf("lazy replica issued %d VMA fetches, want 1", got)
+	}
+	if got := ev.svcs[0].metrics.Counter("vm.update.pushed").Value(); got != 0 {
+		t.Errorf("lazy map pushed %d updates, want 0", got)
+	}
+}
+
+// TestVersionMonotonicOnReplica checks that a replica's observed layout
+// version never decreases through any mix of operations.
+func TestVersionMonotonicOnReplica(t *testing.T) {
+	ev := newEnv(t, 2, 128)
+	sps := ev.group(t, 1)
+	ev.run(t, func(p *sim.Proc) {
+		last := sps[1].Version()
+		checkpoint := func(tag string) {
+			if v := sps[1].Version(); v < last {
+				t.Fatalf("%s: version went backwards %d -> %d", tag, last, v)
+			} else {
+				last = v
+			}
+		}
+		addr, _ := sps[0].Map(p, 8*hw.PageSize, mem.ProtRead|mem.ProtWrite)
+		checkpoint("after map")
+		_ = sps[1].Store(p, 2, addr, 1)
+		checkpoint("after replica fault")
+		_ = sps[0].Protect(p, addr, hw.PageSize, mem.ProtRead)
+		checkpoint("after protect")
+		_ = sps[0].Unmap(p, addr+4*hw.PageSize, 2*hw.PageSize)
+		checkpoint("after unmap")
+		_, _ = sps[1].Map(p, hw.PageSize, mem.ProtRead)
+		checkpoint("after remote map")
+	})
+}
+
+func TestSbrkGrowTouchShrink(t *testing.T) {
+	ev := newEnv(t, 2, 64)
+	sps := ev.group(t, 1)
+	ev.run(t, func(p *sim.Proc) {
+		base, err := sps[0].Sbrk(p, 2*hw.PageSize)
+		if err != nil {
+			t.Fatalf("Sbrk grow: %v", err)
+		}
+		if err := sps[0].Store(p, 0, base, 5); err != nil {
+			t.Fatalf("heap store: %v", err)
+		}
+		// The heap is part of the shared address space: remote access works.
+		if v, err := sps[1].Load(p, 2, base); err != nil || v != 5 {
+			t.Fatalf("remote heap load = %d, %v", v, err)
+		}
+		// Remote Sbrk forwards to the origin.
+		if _, err := sps[1].Sbrk(p, hw.PageSize); err != nil {
+			t.Fatalf("remote Sbrk: %v", err)
+		}
+		cur, err := sps[0].Sbrk(p, 0)
+		if err != nil {
+			t.Fatalf("Sbrk(0): %v", err)
+		}
+		if cur != base+3*hw.PageSize {
+			t.Fatalf("break = %#x, want %#x", uint64(cur), uint64(base+3*hw.PageSize))
+		}
+		// Shrink everything; remote copies must be revoked.
+		if _, err := sps[0].Sbrk(p, -3*hw.PageSize); err != nil {
+			t.Fatalf("Sbrk shrink: %v", err)
+		}
+		if _, err := sps[1].Load(p, 2, base); err == nil {
+			t.Fatal("heap readable after shrink")
+		}
+	})
+	for k, a := range ev.allocs {
+		if a.InUse() != 0 {
+			t.Errorf("kernel %d leaked %d frames", k, a.InUse())
+		}
+	}
+}
+
+func TestSbrkBelowBaseRejected(t *testing.T) {
+	ev := newEnv(t, 1, 8)
+	sps := ev.group(t, 1)
+	ev.run(t, func(p *sim.Proc) {
+		if _, err := sps[0].Sbrk(p, -hw.PageSize); err == nil {
+			t.Fatal("shrinking below the heap base succeeded")
+		}
+	})
+}

@@ -1,0 +1,536 @@
+package vm
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mem"
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// accessOp describes one memory access: a plain load, a plain store, or an
+// atomic read-modify-write (rmw non-nil implies exclusive ownership; the
+// function maps the old value to the new one and whether to write it).
+type accessOp struct {
+	write bool
+	val   int64
+	rmw   func(old int64) (int64, bool)
+	// fwdCode/fwdVal/fwdOld describe the operation for write forwarding
+	// (rmw closures cannot cross the wire).
+	fwdCode int
+	fwdVal  int64
+	fwdOld  int64
+}
+
+func (op accessOp) needsWrite() bool { return op.write || op.rmw != nil }
+
+// Load reads the word at addr from a thread running on the given core of
+// this kernel, resolving faults through the consistency protocol as needed.
+func (sp *Space) Load(p *sim.Proc, core int, addr mem.Addr) (int64, error) {
+	return sp.access(p, core, addr, accessOp{})
+}
+
+// Store writes val to addr from a thread running on the given core of this
+// kernel, acquiring exclusive page ownership as needed.
+func (sp *Space) Store(p *sim.Proc, core int, addr mem.Addr, val int64) error {
+	_, err := sp.access(p, core, addr, accessOp{write: true, val: val})
+	return err
+}
+
+// CompareAndSwap atomically replaces the word at addr with new if it equals
+// old, reporting whether the swap happened. The page is brought in
+// exclusively either way, as a hardware CAS would.
+func (sp *Space) CompareAndSwap(p *sim.Proc, core int, addr mem.Addr, old, new int64) (bool, error) {
+	swapped := false
+	observed, err := sp.access(p, core, addr, accessOp{
+		fwdCode: fwdCAS, fwdVal: new, fwdOld: old,
+		rmw: func(cur int64) (int64, bool) {
+			if cur == old {
+				swapped = true
+				return new, true
+			}
+			return 0, false
+		}})
+	if err != nil {
+		return false, err
+	}
+	if sp.svc.writeForwarding && !sp.isOrigin {
+		_ = observed
+		return sp.lastForwardSwap, nil
+	}
+	return swapped, err
+}
+
+// FetchAdd atomically adds delta to the word at addr and returns the
+// previous value.
+func (sp *Space) FetchAdd(p *sim.Proc, core int, addr mem.Addr, delta int64) (int64, error) {
+	return sp.access(p, core, addr, accessOp{
+		fwdCode: fwdFetchAdd, fwdVal: delta,
+		rmw: func(cur int64) (int64, bool) {
+			return cur + delta, true
+		}})
+}
+
+// Touch is a Load (write=false) or a FetchAdd of zero (write=true) that
+// discards the value; convenient for fault benchmarks.
+func (sp *Space) Touch(p *sim.Proc, core int, addr mem.Addr, write bool) error {
+	if write {
+		_, err := sp.FetchAdd(p, core, addr, 0)
+		return err
+	}
+	_, err := sp.access(p, core, addr, accessOp{})
+	return err
+}
+
+// maxFaultRetries bounds fault retry loops; a page ping-ponging this many
+// times in one access indicates a protocol bug, not workload behaviour.
+const maxFaultRetries = 64
+
+func (sp *Space) access(p *sim.Proc, core int, addr mem.Addr, op accessOp) (int64, error) {
+	vpn := mem.PageOf(addr)
+	write := op.needsWrite()
+	if write && sp.svc.writeForwarding && !sp.isOrigin {
+		return sp.forwardWrite(p, addr, op)
+	}
+	for attempt := 0; attempt < maxFaultRetries; attempt++ {
+		vma, err := sp.lookupVMA(p, vpn)
+		if err != nil {
+			return 0, err
+		}
+		if write && !vma.Prot.Writable() {
+			return 0, fmt.Errorf("%w: write to %v page %#x", ErrAccess, vma.Prot, uint64(addr))
+		}
+		if !write && !vma.Prot.Readable() {
+			return 0, fmt.Errorf("%w: read of %v page %#x", ErrAccess, vma.Prot, uint64(addr))
+		}
+		// Fast path: a sufficient PTE means the hardware walk succeeds.
+		// The value mutation happens atomically at the check (before any
+		// blocking), matching TLB-shootdown semantics: once an
+		// invalidation has been acknowledged, no core can still land a
+		// write through the revoked mapping.
+		if pte, ok := sp.pt.Lookup(vpn); ok {
+			sufficient := pte.Prot.Readable() && (!write || pte.Prot.Writable())
+			if sufficient {
+				res := sp.performAccess(vpn, op)
+				p.Sleep(sp.svc.machine.MemAccess(core, pte.HomeNode))
+				return res.value, nil
+			}
+		}
+		// Page fault.
+		p.Sleep(sp.svc.machine.Cost.PageFaultTrap)
+		faultStart := p.Now()
+		if pend, ok := sp.pending[vpn]; ok {
+			// Another local thread is resolving this page: coalesce.
+			sp.svc.metrics.Counter("vm.fault.coalesced").Inc()
+			pend.done.Wait(p)
+			continue
+		}
+		pend := &pendingFault{done: sim.NewCond()}
+		sp.pending[vpn] = pend
+		res, err := sp.resolveFault(p, vpn, op, pend)
+		delete(sp.pending, vpn)
+		pend.done.Broadcast()
+		if err != nil {
+			return 0, err
+		}
+		if sp.isOrigin {
+			sp.svc.metrics.Histogram("vm.fault.latency.local").Observe(p.Now().Sub(faultStart))
+		} else {
+			sp.svc.metrics.Histogram("vm.fault.latency.remote").Observe(p.Now().Sub(faultStart))
+		}
+		if res.completed {
+			// The faulting access was performed atomically at install
+			// time (the analogue of the CPU retrying the instruction
+			// before the next shootdown IPI lands), so progress is
+			// guaranteed even under heavy write contention.
+			return res.value, nil
+		}
+		sp.svc.metrics.Counter("vm.fault.retried").Inc()
+		// A racing invalidation or layout change voided the grant; redo
+		// the walk from the top.
+	}
+	return 0, fmt.Errorf("vm: access to %#x did not settle after %d fault retries", uint64(addr), maxFaultRetries)
+}
+
+// accessResult is the outcome of a fault resolution: completed means the
+// faulting access itself was performed during installation.
+type accessResult struct {
+	value     int64
+	completed bool
+}
+
+// lookupVMA finds the VMA covering the page, consulting the origin on a
+// replica cache miss.
+func (sp *Space) lookupVMA(p *sim.Proc, vpn mem.VPN) (VMA, error) {
+	if v, ok := sp.vmas.find(vpn); ok {
+		return v, nil
+	}
+	if sp.isOrigin {
+		return VMA{}, fmt.Errorf("%w: page %#x", ErrSegv, uint64(vpn.Base()))
+	}
+	sp.svc.metrics.Counter("vm.vmafetch").Inc()
+	reply, err := sp.svc.ep.Call(p, &msg.Message{
+		Type: msg.TypeVMAFetch, To: sp.origin, Size: sizeSmallReq,
+		Payload: &vmaFetchReq{GID: sp.gid, VPN: vpn},
+	})
+	if err != nil {
+		return VMA{}, err
+	}
+	r := reply.Payload.(*vmaFetchReply)
+	if !r.OK {
+		return VMA{}, fmt.Errorf("%w: page %#x", ErrSegv, uint64(vpn.Base()))
+	}
+	sp.cacheVMA(r.VMA, r.Version)
+	return r.VMA, nil
+}
+
+// resolveFault obtains access to the page from the directory (locally at
+// the origin, over a PageFetch RPC elsewhere) and installs the result,
+// performing the faulting access atomically with the installation unless a
+// racing invalidation voided the grant.
+func (sp *Space) resolveFault(p *sim.Proc, vpn mem.VPN, op accessOp, pend *pendingFault) (accessResult, error) {
+	write := op.needsWrite()
+	var grant *pageGrant
+	if sp.isOrigin {
+		sp.svc.metrics.Counter("vm.fault.local").Inc()
+		sp.asLock.RLock(p)
+		g, err := sp.dirTransaction(p, sp.svc.node, vpn, write)
+		sp.asLock.RUnlock(p)
+		if err != nil {
+			return accessResult{}, err
+		}
+		grant = g
+	} else {
+		sp.svc.metrics.Counter("vm.fault.remote").Inc()
+		reply, err := sp.svc.ep.Call(p, &msg.Message{
+			Type: msg.TypePageFetch, To: sp.origin, Size: sizeSmallReq,
+			Payload: &pageFetchReq{GID: sp.gid, VPN: vpn, Write: write},
+		})
+		if err != nil {
+			return accessResult{}, err
+		}
+		grant = reply.Payload.(*pageGrant)
+	}
+	if grant.Err != "" {
+		switch grant.Code {
+		case codeSegv:
+			return accessResult{}, fmt.Errorf("%w: %s", ErrSegv, grant.Err)
+		case codeAccess:
+			return accessResult{}, fmt.Errorf("%w: %s", ErrAccess, grant.Err)
+		default:
+			return accessResult{}, fmt.Errorf("vm: page fetch %#x: %s", uint64(vpn.Base()), grant.Err)
+		}
+	}
+	// Everything the wire delivered to this kernel before the grant is
+	// already processed (per-pair FIFO), so any invalidation marks so far
+	// predate the grant and are consistent with its view: clear them. Only
+	// invalidations arriving from here on genuinely race the install.
+	pend.invalidated = false
+	return sp.install(p, vpn, grant, pend, op)
+}
+
+// install materialises a grant and performs the faulting access. The state
+// mutation and the access happen atomically at the invalidation check (no
+// blocking in between); the hardware costs are charged afterwards. This
+// guarantees that a granted fault makes progress: the access linearises
+// before any later revocation, which will then simply write the new
+// contents back.
+func (sp *Space) install(p *sim.Proc, vpn mem.VPN, g *pageGrant, pend *pendingFault, op accessOp) (accessResult, error) {
+	if g.Src == srcHaveCopy {
+		if pend.invalidated {
+			return accessResult{}, nil
+		}
+		pte, ok := sp.pt.Lookup(vpn)
+		if !ok {
+			// The copy was reclaimed while the upgrade was in flight; the
+			// caller's access loop retries from the top.
+			return accessResult{}, nil
+		}
+		pte.Prot = g.Prot
+		sp.pt.Set(vpn, pte)
+		res := sp.performAccess(vpn, op)
+		p.Sleep(sp.svc.machine.Cost.PTESet)
+		return res, nil
+	}
+	// The allocation may block on the kernel's frame lock; it happens
+	// before the final check so the check-and-mutate below stays atomic.
+	frame, home, err := sp.svc.frames.AllocFrame(p)
+	if err != nil {
+		sp.svc.metrics.Counter("vm.fault.enomem").Inc()
+		return accessResult{}, fmt.Errorf("%w: %v", ErrNoSpace, err)
+	}
+	if pend.invalidated {
+		sp.svc.frames.FreeFrame(p, frame)
+		return accessResult{}, nil
+	}
+	if g.Src == srcZeroFill {
+		sp.svc.metrics.Counter("vm.page.zerofill").Inc()
+	} else {
+		sp.svc.metrics.Counter("vm.page.transfer").Inc()
+	}
+	sp.pt.Set(vpn, mem.PTE{Frame: frame, Prot: g.Prot, HomeNode: home})
+	sp.values[vpn] = g.Value
+	res := sp.performAccess(vpn, op)
+	p.Sleep(sp.svc.machine.Cost.PageCopyLocal + sp.svc.machine.Cost.PTESet)
+	return res, nil
+}
+
+// performAccess applies the load, store or read-modify-write against the
+// local copy. It must be called with no intervening blocking after the
+// sufficiency check or installation: this is the access's linearisation
+// point.
+func (sp *Space) performAccess(vpn mem.VPN, op accessOp) accessResult {
+	switch {
+	case op.rmw != nil:
+		old := sp.values[vpn]
+		if next, doWrite := op.rmw(old); doWrite {
+			sp.values[vpn] = next
+		}
+		return accessResult{value: old, completed: true}
+	case op.write:
+		sp.values[vpn] = op.val
+		return accessResult{value: op.val, completed: true}
+	default:
+		return accessResult{value: sp.values[vpn], completed: true}
+	}
+}
+
+// forwardWrite ships a write-class operation to the origin (the D5
+// ablation): the origin performs the access against its own copy — which
+// revokes any conflicting replicas through the ordinary directory path —
+// and returns the result. No ownership ever moves to this kernel.
+func (sp *Space) forwardWrite(p *sim.Proc, addr mem.Addr, op accessOp) (int64, error) {
+	req := &pageFetchReq{GID: sp.gid, VPN: mem.PageOf(addr), Write: true, Addr: addr, Val: op.val}
+	switch {
+	case op.fwdCode != fwdNone:
+		req.Forward = op.fwdCode
+		req.Val = op.fwdVal
+		req.Old = op.fwdOld
+	default:
+		req.Forward = fwdStore
+	}
+	sp.svc.metrics.Counter("vm.write.forwarded").Inc()
+	reply, err := sp.svc.ep.Call(p, &msg.Message{
+		Type: msg.TypePageFetch, To: sp.origin, Size: sizeSmallReq, Payload: req,
+	})
+	if err != nil {
+		return 0, err
+	}
+	grant := reply.Payload.(*pageGrant)
+	if grant.Err != "" {
+		switch grant.Code {
+		case codeSegv:
+			return 0, fmt.Errorf("%w: %s", ErrSegv, grant.Err)
+		case codeAccess:
+			return 0, fmt.Errorf("%w: %s", ErrAccess, grant.Err)
+		default:
+			return 0, fmt.Errorf("vm: forwarded write: %s", grant.Err)
+		}
+	}
+	sp.lastForwardSwap = grant.Swapped
+	return grant.Value, nil
+}
+
+// applyForwarded executes a forwarded operation locally at the origin.
+func (sp *Space) applyForwarded(p *sim.Proc, req *pageFetchReq) (int64, error) {
+	core := sp.svc.homeCoreHint()
+	switch req.Forward {
+	case fwdStore:
+		err := sp.Store(p, core, req.Addr, req.Val)
+		return req.Val, err
+	case fwdCAS:
+		swapped, err := sp.CompareAndSwap(p, core, req.Addr, req.Old, req.Val)
+		if err != nil {
+			return 0, err
+		}
+		sp.lastApplySwap = swapped
+		if swapped {
+			return req.Old, nil
+		}
+		v, err := sp.Load(p, core, req.Addr)
+		return v, err
+	case fwdFetchAdd:
+		return sp.FetchAdd(p, core, req.Addr, req.Val)
+	}
+	return 0, fmt.Errorf("vm: unknown forwarded op %d", req.Forward)
+}
+
+// Whereis reports which kernel currently holds the page containing addr:
+// the exclusive owner, the first sharer, or the origin for untouched pages.
+// It is the query behind the runtime's follow-the-data migration hint.
+func (sp *Space) Whereis(p *sim.Proc, addr mem.Addr) (msg.NodeID, error) {
+	vpn := mem.PageOf(addr)
+	if sp.isOrigin {
+		return sp.ownerOf(vpn), nil
+	}
+	reply, err := sp.svc.ep.Call(p, &msg.Message{
+		Type: msg.TypeVMAFetch, To: sp.origin, Size: sizeSmallReq,
+		Payload: &vmaFetchReq{GID: sp.gid, VPN: vpn, WantOwner: true},
+	})
+	if err != nil {
+		return 0, err
+	}
+	r := reply.Payload.(*vmaFetchReply)
+	if !r.OK {
+		return 0, fmt.Errorf("%w: page %#x", ErrSegv, uint64(vpn.Base()))
+	}
+	return r.Owner, nil
+}
+
+// ownerOf resolves the directory's notion of where a page's data lives.
+// Runs at the origin.
+func (sp *Space) ownerOf(vpn mem.VPN) msg.NodeID {
+	de, ok := sp.dir[vpn]
+	if !ok {
+		return sp.origin
+	}
+	switch de.state {
+	case pageModified:
+		return de.owner
+	case pageShared:
+		best := sp.origin
+		first := true
+		for n := range de.sharers {
+			if first || n < best {
+				best, first = n, false
+			}
+		}
+		return best
+	}
+	return sp.origin
+}
+
+// Prefetch brings up to `pages` consecutive pages starting at addr into
+// this kernel as read copies using a single batched round trip to the
+// origin — the madvise(WILLNEED) analogue for the distributed address
+// space. Pages that are already resident, pending, or unmapped are
+// skipped; the call is advisory and never fails the caller for per-page
+// conditions. It returns how many pages were installed.
+func (sp *Space) Prefetch(p *sim.Proc, core int, addr mem.Addr, pages int) (int, error) {
+	if pages <= 0 {
+		return 0, nil
+	}
+	first := mem.PageOf(addr)
+	if sp.isOrigin {
+		// At the origin every fetch is local, but pages owned elsewhere
+		// each cost an owner round trip — overlap them.
+		n := 0
+		wg := sim.NewWaitGroup()
+		for i := 0; i < pages; i++ {
+			vpn := first + mem.VPN(i)
+			if _, ok := sp.pt.Lookup(vpn); ok {
+				continue
+			}
+			wg.Add(1)
+			sp.svc.e.Spawn("vm-prefetch", func(fp *sim.Proc) {
+				defer wg.Done()
+				if _, err := sp.access(fp, core, vpn.Base(), accessOp{}); err == nil {
+					n++
+				}
+			})
+		}
+		wg.Wait(p)
+		return n, nil
+	}
+	// Register pendings for the pages we will request so concurrent
+	// faults coalesce and racing invalidations void individual entries.
+	type slot struct {
+		vpn  mem.VPN
+		pend *pendingFault
+	}
+	var want []slot
+	for i := 0; i < pages; i++ {
+		vpn := first + mem.VPN(i)
+		if _, ok := sp.pt.Lookup(vpn); ok {
+			continue
+		}
+		if _, busy := sp.pending[vpn]; busy {
+			continue
+		}
+		pend := &pendingFault{done: sim.NewCond()}
+		sp.pending[vpn] = pend
+		want = append(want, slot{vpn: vpn, pend: pend})
+	}
+	if len(want) == 0 {
+		return 0, nil
+	}
+	finish := func() {
+		for _, s := range want {
+			delete(sp.pending, s.vpn)
+			s.pend.done.Broadcast()
+		}
+	}
+	sp.svc.metrics.Counter("vm.prefetch").Inc()
+	count := int(want[len(want)-1].vpn-want[0].vpn) + 1
+	reply, err := sp.svc.ep.Call(p, &msg.Message{
+		Type: msg.TypePageFetch, To: sp.origin, Size: sizeSmallReq,
+		Payload: &pageFetchReq{GID: sp.gid, VPN: want[0].vpn, Count: count},
+	})
+	if err != nil {
+		finish()
+		return 0, err
+	}
+	grant := reply.Payload.(*pageGrant)
+	if grant.Err != "" {
+		finish()
+		return 0, fmt.Errorf("vm: prefetch: %s", grant.Err)
+	}
+	installed := 0
+	for _, s := range want {
+		idx := int(s.vpn - want[0].vpn)
+		if idx >= len(grant.Batch) {
+			break
+		}
+		be := grant.Batch[idx]
+		if be.Code != codeOK || s.pend.invalidated {
+			continue
+		}
+		frame, home, err := sp.svc.frames.AllocFrame(p)
+		if err != nil {
+			break
+		}
+		if s.pend.invalidated {
+			sp.svc.frames.FreeFrame(p, frame)
+			continue
+		}
+		sp.pt.Set(s.vpn, mem.PTE{Frame: frame, Prot: be.Prot, HomeNode: home})
+		sp.values[s.vpn] = be.Value
+		installed++
+	}
+	// Charge the fills once, overlapping the copies as hardware would.
+	if installed > 0 {
+		p.Sleep(time.Duration(installed) * (sp.svc.machine.Cost.PageCopyLocal + sp.svc.machine.Cost.PTESet))
+		sp.svc.metrics.Counter("vm.prefetch.pages").Add(uint64(installed))
+	}
+	finish()
+	return installed, nil
+}
+
+// batchTransactions serves a prefetch at the origin: read transactions for
+// every page in the range run concurrently (their owner revocations
+// overlap), collected into one grant. The caller holds the address-space
+// lock shared for the whole batch.
+func (sp *Space) batchTransactions(p *sim.Proc, req msg.NodeID, first mem.VPN, count int) *pageGrant {
+	out := &pageGrant{Batch: make([]batchEntry, count)}
+	wg := sim.NewWaitGroup()
+	for i := 0; i < count; i++ {
+		i := i
+		wg.Add(1)
+		sp.svc.e.Spawn("vm-batch", func(bp *sim.Proc) {
+			defer wg.Done()
+			g, err := sp.dirTransaction(bp, req, first+mem.VPN(i), false)
+			if err != nil {
+				out.Batch[i] = batchEntry{Code: codeOther}
+				return
+			}
+			if g.Err != "" {
+				out.Batch[i] = batchEntry{Code: g.Code}
+				return
+			}
+			out.Batch[i] = batchEntry{Code: codeOK, Value: g.Value, Src: g.Src, Prot: g.Prot}
+		})
+	}
+	wg.Wait(p)
+	return out
+}

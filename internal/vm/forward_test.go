@@ -1,0 +1,220 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// enableForwarding turns the D5 mode on for every non-origin kernel.
+func enableForwarding(ev *env) {
+	for k := 1; k < len(ev.svcs); k++ {
+		ev.svcs[k].SetWriteForwarding(true)
+	}
+}
+
+func TestWriteForwardingBasicCoherence(t *testing.T) {
+	ev := newEnv(t, 3, 64)
+	sps := ev.group(t, 1)
+	enableForwarding(ev)
+	ev.run(t, func(p *sim.Proc) {
+		addr, _ := sps[0].Map(p, hw.PageSize, mem.ProtRead|mem.ProtWrite)
+		// Remote write forwards to the origin...
+		if err := sps[1].Store(p, 2, addr, 7); err != nil {
+			t.Fatalf("forwarded Store: %v", err)
+		}
+		// ...and is visible everywhere.
+		for k := 0; k < 3; k++ {
+			if v, err := sps[k].Load(p, 2*k, addr); err != nil || v != 7 {
+				t.Fatalf("kernel %d Load = %d, %v; want 7", k, v, err)
+			}
+		}
+		// The writing kernel must NOT have taken ownership: the origin
+		// still writes locally without any invalidation round trip.
+		before := ev.svcs[0].metrics.Counter("vm.inval.sent").Value()
+		if err := sps[0].Store(p, 0, addr, 8); err != nil {
+			t.Fatalf("origin Store: %v", err)
+		}
+		_ = before // sharers exist from the loads; invals may legitimately occur
+		if got := ev.svcs[1].metrics.Counter("vm.write.forwarded").Value(); got != 1 {
+			t.Fatalf("forwarded writes = %d, want 1", got)
+		}
+	})
+}
+
+func TestWriteForwardingAtomicsAcrossKernels(t *testing.T) {
+	ev := newEnv(t, 4, 64)
+	sps := ev.group(t, 1)
+	enableForwarding(ev)
+	wg := sim.NewWaitGroup()
+	wg.Add(4)
+	ev.e.Spawn("driver", func(p *sim.Proc) {
+		addr, _ := sps[0].Map(p, hw.PageSize, mem.ProtRead|mem.ProtWrite)
+		for k := 0; k < 4; k++ {
+			k := k
+			ev.e.Spawn("adder", func(ap *sim.Proc) {
+				defer wg.Done()
+				for i := 0; i < 25; i++ {
+					if _, err := sps[k].FetchAdd(ap, 2*k, addr, 1); err != nil {
+						t.Errorf("kernel %d FetchAdd: %v", k, err)
+						return
+					}
+				}
+			})
+		}
+		wg.Wait(p)
+		if v, _ := sps[0].Load(p, 0, addr); v != 100 {
+			t.Errorf("counter = %d, want 100", v)
+		}
+	})
+	if err := ev.e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestWriteForwardingCASSemantics(t *testing.T) {
+	ev := newEnv(t, 2, 64)
+	sps := ev.group(t, 1)
+	enableForwarding(ev)
+	ev.run(t, func(p *sim.Proc) {
+		addr, _ := sps[0].Map(p, hw.PageSize, mem.ProtRead|mem.ProtWrite)
+		swapped, err := sps[1].CompareAndSwap(p, 2, addr, 0, 5)
+		if err != nil || !swapped {
+			t.Fatalf("forwarded CAS(0->5) = %v, %v", swapped, err)
+		}
+		swapped, err = sps[1].CompareAndSwap(p, 2, addr, 0, 9)
+		if err != nil || swapped {
+			t.Fatalf("forwarded CAS with wrong old = %v, %v; want false", swapped, err)
+		}
+		if v, _ := sps[0].Load(p, 0, addr); v != 5 {
+			t.Fatalf("value = %d, want 5", v)
+		}
+	})
+}
+
+func TestWriteForwardingErrors(t *testing.T) {
+	ev := newEnv(t, 2, 64)
+	sps := ev.group(t, 1)
+	enableForwarding(ev)
+	ev.run(t, func(p *sim.Proc) {
+		if err := sps[1].Store(p, 2, 0xdead000, 1); err == nil {
+			t.Fatal("forwarded store to unmapped succeeded")
+		}
+		roAddr, _ := sps[0].Map(p, hw.PageSize, mem.ProtRead)
+		if err := sps[1].Store(p, 2, roAddr, 1); err == nil {
+			t.Fatal("forwarded store to read-only succeeded")
+		}
+	})
+}
+
+func TestWriteForwardingReadsStillReplicate(t *testing.T) {
+	// Reads keep using MSI shared grants in forwarding mode: the second
+	// read from the same kernel must be a local hit.
+	ev := newEnv(t, 2, 64)
+	sps := ev.group(t, 1)
+	enableForwarding(ev)
+	ev.run(t, func(p *sim.Proc) {
+		addr, _ := sps[0].Map(p, hw.PageSize, mem.ProtRead|mem.ProtWrite)
+		_ = sps[0].Store(p, 0, addr, 3)
+		if v, err := sps[1].Load(p, 2, addr); err != nil || v != 3 {
+			t.Fatalf("first read = %d, %v", v, err)
+		}
+		faultsBefore := ev.svcs[1].metrics.Counter("vm.fault.remote").Value()
+		if v, _ := sps[1].Load(p, 2, addr); v != 3 {
+			t.Fatalf("second read = %d", v)
+		}
+		if got := ev.svcs[1].metrics.Counter("vm.fault.remote").Value(); got != faultsBefore {
+			t.Fatalf("second read faulted remotely (%d -> %d)", faultsBefore, got)
+		}
+	})
+}
+
+func TestPrefetchBatchesOneRoundTrip(t *testing.T) {
+	ev := newEnv(t, 2, 128)
+	sps := ev.group(t, 1)
+	ev.run(t, func(p *sim.Proc) {
+		addr, _ := sps[0].Map(p, 16*hw.PageSize, mem.ProtRead|mem.ProtWrite)
+		for i := 0; i < 16; i++ {
+			_ = sps[0].Store(p, 0, addr+mem.Addr(i*hw.PageSize), int64(100+i))
+		}
+		rpcsBefore := ev.fabric.Metrics().Counter("msg.rpc").Value()
+		n, err := sps[1].Prefetch(p, 2, addr, 16)
+		if err != nil {
+			t.Fatalf("Prefetch: %v", err)
+		}
+		if n != 16 {
+			t.Fatalf("installed %d pages, want 16", n)
+		}
+		rpcs := ev.fabric.Metrics().Counter("msg.rpc").Value() - rpcsBefore
+		if rpcs > 17 {
+			// One batch fetch plus the owner revocations at the origin.
+			t.Fatalf("prefetch used %d RPCs", rpcs)
+		}
+		// All pages now local read copies: loads take no remote faults.
+		faultsBefore := ev.svcs[1].metrics.Counter("vm.fault.remote").Value()
+		for i := 0; i < 16; i++ {
+			v, err := sps[1].Load(p, 2, addr+mem.Addr(i*hw.PageSize))
+			if err != nil || v != int64(100+i) {
+				t.Fatalf("Load %d = %d, %v", i, v, err)
+			}
+		}
+		if got := ev.svcs[1].metrics.Counter("vm.fault.remote").Value(); got != faultsBefore {
+			t.Fatalf("loads after prefetch still faulted remotely")
+		}
+	})
+}
+
+func TestPrefetchFasterThanDemandFaulting(t *testing.T) {
+	elapsed := func(prefetch bool) sim.Time {
+		ev := newEnv(t, 2, 128)
+		sps := ev.group(t, 1)
+		var done sim.Time
+		ev.run(t, func(p *sim.Proc) {
+			addr, _ := sps[0].Map(p, 32*hw.PageSize, mem.ProtRead|mem.ProtWrite)
+			for i := 0; i < 32; i++ {
+				_ = sps[0].Store(p, 0, addr+mem.Addr(i*hw.PageSize), 1)
+			}
+			start := p.Now()
+			if prefetch {
+				if _, err := sps[1].Prefetch(p, 2, addr, 32); err != nil {
+					t.Fatalf("Prefetch: %v", err)
+				}
+			}
+			for i := 0; i < 32; i++ {
+				if _, err := sps[1].Load(p, 2, addr+mem.Addr(i*hw.PageSize)); err != nil {
+					t.Fatalf("Load: %v", err)
+				}
+			}
+			done = sim.Time(p.Now().Sub(start))
+		})
+		return done
+	}
+	demand, batched := elapsed(false), elapsed(true)
+	if batched >= demand {
+		t.Fatalf("prefetch (%v) not faster than demand faulting (%v)", batched, demand)
+	}
+}
+
+func TestPrefetchSkipsResidentAndUnmapped(t *testing.T) {
+	ev := newEnv(t, 2, 64)
+	sps := ev.group(t, 1)
+	ev.run(t, func(p *sim.Proc) {
+		addr, _ := sps[0].Map(p, 2*hw.PageSize, mem.ProtRead|mem.ProtWrite)
+		// Make page 0 already resident at the replica.
+		_, _ = sps[1].Load(p, 2, addr)
+		// Prefetch across the mapping edge: page 1 granted, pages 2-3
+		// unmapped and skipped.
+		n, err := sps[1].Prefetch(p, 2, addr, 4)
+		if err != nil {
+			t.Fatalf("Prefetch: %v", err)
+		}
+		if n != 1 {
+			t.Fatalf("installed %d, want 1 (page 0 resident, 2-3 unmapped)", n)
+		}
+		if n, err := sps[1].Prefetch(p, 2, addr, 0); err != nil || n != 0 {
+			t.Fatalf("zero-page prefetch = %d, %v", n, err)
+		}
+	})
+}

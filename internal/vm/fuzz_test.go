@@ -1,0 +1,62 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// FuzzVMASet drives the VMA set with an op stream decoded from fuzz input
+// and checks the structural invariants after every step. Run with
+// `go test -fuzz=FuzzVMASet ./internal/vm` for continuous fuzzing; the
+// seed corpus below runs as ordinary unit tests.
+func FuzzVMASet(f *testing.F) {
+	f.Add([]byte{0, 10, 4, 1, 12, 2, 2, 8, 8})
+	f.Add([]byte{0, 0, 1, 0, 0, 1, 1, 0, 1})
+	f.Add([]byte{2, 5, 3, 0, 5, 3, 1, 5, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := &vmaSet{}
+		oracle := make(map[mem.VPN]mem.Prot)
+		prots := []mem.Prot{mem.ProtRead, mem.ProtRead | mem.ProtWrite, 0}
+		for i := 0; i+2 < len(data); i += 3 {
+			op := data[i] % 3
+			lo := mem.VPN(data[i+1] % 64)
+			hi := lo + mem.VPN(data[i+2]%8) + 1
+			prot := prots[int(data[i])%len(prots)]
+			switch op {
+			case 0:
+				if !s.overlaps(lo, hi) {
+					if err := s.insert(VMA{Lo: lo, Hi: hi, Prot: prot}); err != nil {
+						t.Fatalf("insert on free range failed: %v", err)
+					}
+					for v := lo; v < hi; v++ {
+						oracle[v] = prot
+					}
+				}
+			case 1:
+				s.remove(lo, hi)
+				for v := lo; v < hi; v++ {
+					delete(oracle, v)
+				}
+			case 2:
+				s.protect(lo, hi, prot)
+				for v := lo; v < hi; v++ {
+					if _, ok := oracle[v]; ok {
+						oracle[v] = prot
+					}
+				}
+			}
+			if err := s.invariantErr(); err != nil {
+				t.Fatalf("invariant after op %d: %v (%v)", i/3, err, s)
+			}
+		}
+		// Final agreement with the page oracle.
+		for v := mem.VPN(0); v < 80; v++ {
+			area, mapped := s.find(v)
+			wantProt, wantMapped := oracle[v]
+			if mapped != wantMapped || (mapped && area.Prot != wantProt) {
+				t.Fatalf("page %d: set=(%v,%v) oracle=(%v,%v)", v, area.Prot, mapped, wantProt, wantMapped)
+			}
+		}
+	})
+}

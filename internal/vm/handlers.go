@@ -1,0 +1,143 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hw"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// handleVMAOp serves a forwarded layout operation at the origin.
+func (s *Service) handleVMAOp(p *sim.Proc, m *msg.Message) *msg.Message {
+	req := m.Payload.(*vmaOpReq)
+	sp, ok := s.spaces[req.GID]
+	if !ok || !sp.isOrigin {
+		return &msg.Message{Size: sizeVMAReply, Payload: &vmaOpReply{Err: fmt.Sprintf("kernel %d is not origin of group %d", s.node, req.GID)}}
+	}
+	reply := &vmaOpReply{}
+	var err error
+	switch req.Op {
+	case opMap:
+		reply.Addr, err = sp.originMap(p, req.Length, req.Prot)
+	case opUnmap:
+		err = sp.originUnmap(p, req.Addr, req.Length)
+	case opProtect:
+		err = sp.originProtect(p, req.Addr, req.Length, req.Prot)
+	case opBrk:
+		reply.Addr, err = sp.originSbrk(p, int64(req.Length))
+	default:
+		err = fmt.Errorf("unknown vma op %d", req.Op)
+	}
+	if err != nil {
+		reply.Err = err.Error()
+	}
+	reply.Version = sp.version
+	return &msg.Message{Size: sizeVMAReply, Payload: reply}
+}
+
+// handleVMAUpdate applies a pushed layout change on a replica.
+func (s *Service) handleVMAUpdate(p *sim.Proc, m *msg.Message) *msg.Message {
+	u := m.Payload.(*vmaUpdate)
+	sp, ok := s.spaces[u.GID]
+	if !ok {
+		// The replica was dropped concurrently (group exit); ack anyway.
+		return &msg.Message{Size: sizeSmallReq, Payload: &vmaOpReply{}}
+	}
+	switch u.Op {
+	case opMap:
+		// Eager-push ablation: pre-populate the replica's VMA cache.
+		sp.cacheVMA(VMA{Lo: u.Lo, Hi: u.Hi, Prot: u.Prot}, u.Version)
+	case opUnmap:
+		sp.vmas.remove(u.Lo, u.Hi)
+		sp.scrubLocal(p, u.Lo, u.Hi)
+	case opProtect:
+		sp.vmas.protect(u.Lo, u.Hi, u.Prot)
+		sp.applyProtectLocal(p, u.Lo, u.Hi, u.Prot)
+	}
+	if u.Version > sp.version {
+		sp.version = u.Version
+	}
+	return &msg.Message{Size: sizeSmallReq, Payload: &vmaOpReply{Version: sp.version}}
+}
+
+// handleVMAFetch serves a replica's VMA cache miss at the origin.
+func (s *Service) handleVMAFetch(p *sim.Proc, m *msg.Message) *msg.Message {
+	req := m.Payload.(*vmaFetchReq)
+	sp, ok := s.spaces[req.GID]
+	if !ok || !sp.isOrigin {
+		return &msg.Message{Size: sizeVMAReply, Payload: &vmaFetchReply{}}
+	}
+	sp.asLock.RLock(p)
+	defer sp.asLock.RUnlock(p)
+	vma, found := sp.vmas.find(req.VPN)
+	reply := &vmaFetchReply{OK: found, VMA: vma, Version: sp.version}
+	if req.WantOwner && found {
+		reply.Owner = sp.ownerOf(req.VPN)
+	}
+	return &msg.Message{Size: sizeVMAReply, Payload: reply}
+}
+
+// handlePageFetch runs a directory transaction at the origin on behalf of a
+// remote faulting kernel.
+func (s *Service) handlePageFetch(p *sim.Proc, m *msg.Message) *msg.Message {
+	req := m.Payload.(*pageFetchReq)
+	sp, ok := s.spaces[req.GID]
+	if !ok || !sp.isOrigin {
+		return &msg.Message{Size: sizeVMAReply, Payload: &pageGrant{Code: codeOther, Err: fmt.Sprintf("kernel %d is not origin of group %d", s.node, req.GID)}}
+	}
+	if req.Count > 1 {
+		sp.asLock.RLock(p)
+		grant := sp.batchTransactions(p, m.From, req.VPN, req.Count)
+		sp.asLock.RUnlock(p)
+		size := sizeVMAReply
+		for _, be := range grant.Batch {
+			if be.Code == codeOK {
+				size += hw.PageSize
+			}
+		}
+		return &msg.Message{Size: size, Payload: grant}
+	}
+	if req.Forward != fwdNone {
+		val, err := sp.applyForwarded(p, req)
+		grant := &pageGrant{Value: val, Src: srcApplied, Swapped: sp.lastApplySwap}
+		if err != nil {
+			grant = forwardedError(err)
+		}
+		return &msg.Message{Size: sizeVMAReply, Payload: grant}
+	}
+	sp.asLock.RLock(p)
+	grant, err := sp.dirTransaction(p, m.From, req.VPN, req.Write)
+	sp.asLock.RUnlock(p)
+	if err != nil {
+		grant = &pageGrant{Code: codeOther, Err: err.Error()}
+	}
+	return &msg.Message{Size: grantSize(grant), Payload: grant}
+}
+
+// forwardedError maps a local access error onto a grant.
+func forwardedError(err error) *pageGrant {
+	switch {
+	case errors.Is(err, ErrSegv):
+		return &pageGrant{Code: codeSegv, Err: err.Error()}
+	case errors.Is(err, ErrAccess):
+		return &pageGrant{Code: codeAccess, Err: err.Error()}
+	default:
+		return &pageGrant{Code: codeOther, Err: err.Error()}
+	}
+}
+
+// handlePageInvalidate revokes this kernel's copy of a page on the origin's
+// behalf.
+func (s *Service) handlePageInvalidate(p *sim.Proc, m *msg.Message) *msg.Message {
+	req := m.Payload.(*pageInval)
+	sp, ok := s.spaces[req.GID]
+	if !ok {
+		ack := &pageInvalAck{}
+		return &msg.Message{Size: invalAckSize(ack), Payload: ack}
+	}
+	ack := sp.applyInval(p, req.VPN, req.Downgrade)
+	return &msg.Message{Size: invalAckSize(&ack), Payload: &ack}
+}

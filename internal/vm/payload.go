@@ -1,0 +1,181 @@
+package vm
+
+import (
+	"repro/internal/hw"
+	"repro/internal/mem"
+	"repro/internal/msg"
+)
+
+// vmaOp enumerates the layout operations forwarded to the origin.
+type vmaOp int
+
+const (
+	opMap vmaOp = iota + 1
+	opUnmap
+	opProtect
+	opBrk
+)
+
+// Wire payload sizes (bytes) for message costing. Headers and small fixed
+// requests fit one or two cache lines; page grants carry the page itself.
+const (
+	sizeSmallReq  = 64
+	sizeVMAReply  = 96
+	sizePageGrant = hw.PageSize + 64
+)
+
+// vmaOpReq forwards a layout operation from a remote kernel to the origin.
+type vmaOpReq struct {
+	GID    GID
+	Op     vmaOp
+	Addr   mem.Addr
+	Length uint64
+	Prot   mem.Prot
+}
+
+// vmaOpReply returns the operation result to the remote kernel.
+type vmaOpReply struct {
+	Addr    mem.Addr
+	Version uint64
+	Err     string
+}
+
+// vmaUpdate pushes a committed layout change from the origin to a replica.
+type vmaUpdate struct {
+	GID     GID
+	Op      vmaOp
+	Lo, Hi  mem.VPN
+	Prot    mem.Prot
+	Version uint64
+}
+
+// vmaFetchReq asks the origin for the VMA covering a page, or (WantOwner)
+// for the kernel currently holding the page's data.
+type vmaFetchReq struct {
+	GID       GID
+	VPN       mem.VPN
+	WantOwner bool
+}
+
+// vmaFetchReply returns the covering VMA, if one exists, and (for owner
+// queries) the holding kernel.
+type vmaFetchReply struct {
+	OK      bool
+	VMA     VMA
+	Version uint64
+	Owner   msg.NodeID
+}
+
+// Forwarded-write operation codes (the D5 ablation: remote kernels ship
+// writes to the origin instead of taking page ownership).
+const (
+	fwdNone = iota
+	fwdStore
+	fwdCAS
+	fwdFetchAdd
+)
+
+// pageFetchReq asks the origin's directory for access to a page, or (when
+// Forward is set) asks the origin to apply the write on the requester's
+// behalf, or (Count > 1) for a read-only batch grant of Count consecutive
+// pages (the prefetch path: one round trip instead of Count).
+type pageFetchReq struct {
+	GID   GID
+	VPN   mem.VPN
+	Write bool
+	Count int
+	// Forward selects a remotely applied operation (fwd* codes); Addr, Val
+	// and Old are its operands.
+	Forward int
+	Addr    mem.Addr
+	Val     int64
+	Old     int64
+}
+
+// batchEntry is one page's grant inside a batched (prefetch) reply.
+type batchEntry struct {
+	Code  int
+	Value int64
+	Src   int
+	Prot  mem.Prot
+}
+
+// Grant data-source markers.
+const (
+	srcZeroFill = -1 // first touch: requester zero-fills a local frame
+	srcHaveCopy = -2 // requester already holds the data (upgrade)
+	srcApplied  = -3 // the origin applied the operation remotely; nothing to install
+)
+
+// Grant error codes, preserving error identity across the wire.
+const (
+	codeOK = iota
+	codeSegv
+	codeAccess
+	codeOther
+)
+
+// pageGrant is the directory's response to a fault.
+type pageGrant struct {
+	Err  string
+	Code int
+	// Swapped reports a forwarded CAS's outcome.
+	Swapped bool
+	// Batch carries per-page grants for a prefetch request.
+	Batch []batchEntry
+	// Value is the page contents (the simulation's one-word proxy).
+	Value int64
+	// Src is the kernel the data came from, or srcZeroFill / srcHaveCopy.
+	Src int
+	// Prot is the protection to install (write bit present iff exclusive).
+	Prot mem.Prot
+}
+
+// pageInval revokes or downgrades a copy at its destination kernel.
+type pageInval struct {
+	GID GID
+	VPN mem.VPN
+	// Downgrade keeps a read-only copy instead of discarding it.
+	Downgrade bool
+}
+
+// pageInvalAck acknowledges an invalidation, carrying the written-back
+// contents when the destination held a modified copy.
+type pageInvalAck struct {
+	Value   int64
+	HadCopy bool
+}
+
+// grantSize returns the reply size for a grant (page data included only
+// when contents actually travel).
+func grantSize(g *pageGrant) int {
+	if g.Src >= 0 {
+		return sizePageGrant
+	}
+	return sizeVMAReply
+}
+
+// invalAckSize returns the ack size (page data included on write-back).
+func invalAckSize(a *pageInvalAck) int {
+	if a.HadCopy {
+		return sizePageGrant
+	}
+	return sizeSmallReq
+}
+
+// nodeSet returns the keys of a node set as a slice, excluding skip.
+func nodeSet(m map[msg.NodeID]struct{}, skip msg.NodeID) []msg.NodeID {
+	out := make([]msg.NodeID, 0, len(m))
+	for n := range m {
+		if n != skip {
+			out = append(out, n)
+		}
+	}
+	// Deterministic order for reproducible schedules.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// TestProtocolAgainstFlatMemoryOracle drives a long random sequence of
+// sequential loads and stores issued from different kernels against one
+// distributed address space, comparing every load with a flat map oracle.
+// Because each operation completes before the next begins, the oracle is
+// exact: any divergence is a coherence bug.
+func TestProtocolAgainstFlatMemoryOracle(t *testing.T) {
+	const (
+		kernels = 4
+		pages   = 16
+		ops     = 2000
+	)
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			ev := newEnv(t, kernels, 256)
+			sps := ev.group(t, 1)
+			rng := rand.New(rand.NewSource(seed))
+			ev.run(t, func(p *sim.Proc) {
+				base, err := sps[0].Map(p, pages*hw.PageSize, mem.ProtRead|mem.ProtWrite)
+				if err != nil {
+					t.Errorf("Map: %v", err)
+					return
+				}
+				oracle := make(map[mem.Addr]int64)
+				for i := 0; i < ops; i++ {
+					k := rng.Intn(kernels)
+					addr := base + mem.Addr(rng.Intn(pages)*hw.PageSize)
+					if rng.Intn(2) == 0 {
+						val := rng.Int63()
+						if err := sps[k].Store(p, 2*k, addr, val); err != nil {
+							t.Errorf("op %d: kernel %d Store(%#x): %v", i, k, uint64(addr), err)
+							return
+						}
+						oracle[addr] = val
+					} else {
+						got, err := sps[k].Load(p, 2*k, addr)
+						if err != nil {
+							t.Errorf("op %d: kernel %d Load(%#x): %v", i, k, uint64(addr), err)
+							return
+						}
+						if want := oracle[addr]; got != want {
+							t.Errorf("op %d: kernel %d Load(%#x) = %d, oracle says %d", i, k, uint64(addr), got, want)
+							return
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestProtocolConcurrentWritersConverge has one writer proc per kernel
+// hammering a small page set concurrently, then verifies that (a) the run
+// completes without protocol errors, and (b) after quiescence every kernel
+// reads identical values for every page (single-system-image property).
+func TestProtocolConcurrentWritersConverge(t *testing.T) {
+	const (
+		kernels = 4
+		pages   = 4
+		writes  = 100
+	)
+	ev := newEnv(t, kernels, 256)
+	sps := ev.group(t, 1)
+	var base mem.Addr
+	done := sim.NewWaitGroup()
+	done.Add(kernels)
+	ev.e.Spawn("setup", func(p *sim.Proc) {
+		var err error
+		base, err = sps[0].Map(p, pages*hw.PageSize, mem.ProtRead|mem.ProtWrite)
+		if err != nil {
+			t.Errorf("Map: %v", err)
+			return
+		}
+		for k := 0; k < kernels; k++ {
+			k := k
+			ev.e.Spawn(fmt.Sprintf("writer%d", k), func(wp *sim.Proc) {
+				defer done.Done()
+				rng := rand.New(rand.NewSource(int64(k) + 100))
+				for i := 0; i < writes; i++ {
+					addr := base + mem.Addr(rng.Intn(pages)*hw.PageSize)
+					if rng.Intn(3) == 0 {
+						if _, err := sps[k].Load(wp, 2*k, addr); err != nil {
+							t.Errorf("writer %d Load: %v", k, err)
+							return
+						}
+					} else {
+						val := int64(k*1000000 + i)
+						if err := sps[k].Store(wp, 2*k, addr, val); err != nil {
+							t.Errorf("writer %d Store: %v", k, err)
+							return
+						}
+					}
+				}
+			})
+		}
+		done.Wait(p)
+		// Quiesced: all kernels must agree on every page.
+		for pg := 0; pg < pages; pg++ {
+			addr := base + mem.Addr(pg*hw.PageSize)
+			ref, err := sps[0].Load(p, 0, addr)
+			if err != nil {
+				t.Errorf("final load kernel 0 page %d: %v", pg, err)
+				continue
+			}
+			for k := 1; k < kernels; k++ {
+				got, err := sps[k].Load(p, 2*k, addr)
+				if err != nil {
+					t.Errorf("final load kernel %d page %d: %v", k, pg, err)
+					continue
+				}
+				if got != ref {
+					t.Errorf("page %d: kernel %d reads %d, kernel 0 reads %d", pg, k, got, ref)
+				}
+			}
+		}
+	})
+	if err := ev.e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestProtocolConcurrentOpsAndFaults mixes layout changes with faulting
+// accesses: threads map/unmap regions while others fault pages in them.
+// Accesses may legitimately fail with ErrSegv (racing an unmap) but must
+// never return a stale value for a page the oracle knows is mapped and
+// quiescent, and the engine must never fail.
+func TestProtocolConcurrentOpsAndFaults(t *testing.T) {
+	ev := newEnv(t, 3, 512)
+	sps := ev.group(t, 1)
+	done := sim.NewWaitGroup()
+	done.Add(3)
+	ev.e.Spawn("driver", func(p *sim.Proc) {
+		base, err := sps[0].Map(p, 8*hw.PageSize, mem.ProtRead|mem.ProtWrite)
+		if err != nil {
+			t.Errorf("Map: %v", err)
+			return
+		}
+		// Kernel 1 and 2 fault pages continuously.
+		for k := 1; k <= 2; k++ {
+			k := k
+			ev.e.Spawn(fmt.Sprintf("faulter%d", k), func(fp *sim.Proc) {
+				defer done.Done()
+				rng := rand.New(rand.NewSource(int64(k)))
+				for i := 0; i < 60; i++ {
+					addr := base + mem.Addr(rng.Intn(8)*hw.PageSize)
+					err := sps[k].Store(fp, 2*k, addr, int64(i))
+					if err != nil && !isExpectedRace(err) {
+						t.Errorf("faulter %d: unexpected error %v", k, err)
+						return
+					}
+				}
+			})
+		}
+		// The origin repeatedly unmaps pages 0-2 while re-protecting page 4.
+		ev.e.Spawn("remapper", func(rp *sim.Proc) {
+			defer done.Done()
+			for i := 0; i < 10; i++ {
+				off := mem.Addr((i % 3) * hw.PageSize)
+				if err := sps[0].Unmap(rp, base+off, hw.PageSize); err != nil {
+					t.Errorf("Unmap: %v", err)
+					return
+				}
+				if err := sps[0].Protect(rp, base+4*hw.PageSize, hw.PageSize, mem.ProtRead); err != nil {
+					t.Errorf("Protect: %v", err)
+					return
+				}
+				if err := sps[0].Protect(rp, base+4*hw.PageSize, hw.PageSize, mem.ProtRead|mem.ProtWrite); err != nil {
+					t.Errorf("Protect back: %v", err)
+					return
+				}
+			}
+		})
+		done.Wait(p)
+	})
+	if err := ev.e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// isExpectedRace reports whether an access error is a legitimate outcome of
+// racing a concurrent unmap/mprotect rather than a protocol failure.
+func isExpectedRace(err error) bool {
+	return errors.Is(err, ErrSegv) || errors.Is(err, ErrAccess)
+}

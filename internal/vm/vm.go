@@ -1,0 +1,315 @@
+// Package vm implements the paper's address-space consistency layer: each
+// distributed thread group has one authoritative address space at its
+// origin kernel and cached replicas on every other kernel hosting group
+// members. Layout changes (mmap/munmap/mprotect) are coordinated by the
+// origin and pushed to replicas; page contents move on demand under an
+// MSI-style ownership protocol with a directory at the origin.
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/mem"
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// GID identifies a distributed thread group (the SSI process) machine-wide.
+type GID int64
+
+// mapBase is the first address the anonymous-mapping allocator hands out.
+const mapBase mem.Addr = 1 << 32
+
+// Errors reported by address-space operations.
+var (
+	// ErrSegv is returned for accesses to unmapped addresses.
+	ErrSegv = errors.New("vm: segmentation fault (no mapping)")
+	// ErrAccess is returned for accesses that violate the VMA protection.
+	ErrAccess = errors.New("vm: access violates protection")
+	// ErrNoSpace is returned when the hosting kernel's frame partition is
+	// exhausted.
+	ErrNoSpace = errors.New("vm: out of physical frames")
+	// ErrNotAttached is returned when a kernel operates on a group it
+	// hosts no replica for.
+	ErrNotAttached = errors.New("vm: kernel not attached to group")
+	// ErrBadRange is returned for unaligned or empty ranges.
+	ErrBadRange = errors.New("vm: bad address range")
+)
+
+// FrameSource abstracts the hosting kernel's physical allocator so the
+// kernel layer can charge its allocation-lock costs (the SMP baseline
+// charges a contended zone lock here; the replicated kernel a local one).
+type FrameSource interface {
+	// AllocFrame returns a frame and its home NUMA node.
+	AllocFrame(p *sim.Proc) (mem.FrameID, int, error)
+	// FreeFrame returns a frame to the pool.
+	FreeFrame(p *sim.Proc, f mem.FrameID)
+}
+
+// pageState is the directory state of one page.
+type pageState int
+
+const (
+	// pageUnmapped: no kernel holds a copy.
+	pageUnmapped pageState = iota
+	// pageShared: one or more kernels hold read-only copies.
+	pageShared
+	// pageModified: exactly one kernel holds a writable copy.
+	pageModified
+)
+
+// dirEntry is the origin's directory record for one page.
+type dirEntry struct {
+	state pageState
+	// owner is the kernel holding the modified copy (pageModified only).
+	owner msg.NodeID
+	// sharers holds the kernels with read copies (pageShared only).
+	sharers map[msg.NodeID]struct{}
+	// value is the origin's record of the page contents as of the last
+	// write-back or shared grant; authoritative while state != pageModified.
+	value int64
+	// mu serialises directory transactions for this page.
+	mu *sim.Mutex
+}
+
+// pendingFault tracks an in-flight fault on a replica so concurrent faults
+// on the same page coalesce and a racing invalidation forces a retry.
+type pendingFault struct {
+	done        *sim.Cond
+	invalidated bool
+}
+
+// Space is one kernel's view of a group's address space: the authoritative
+// copy at the origin, a cached replica elsewhere.
+type Space struct {
+	svc      *Service
+	gid      GID
+	origin   msg.NodeID
+	isOrigin bool
+
+	// Replica state (all kernels).
+	vmas    *vmaSet
+	version uint64
+	pt      *mem.PageTable
+	values  map[mem.VPN]int64
+	pending map[mem.VPN]*pendingFault
+	// localThreads counts live group members on this kernel; TLB
+	// shootdowns for this space hit at most that many cores (the
+	// replicated kernel's mm_cpumask analogue).
+	localThreads int
+	// lastForwardSwap / lastApplySwap carry a forwarded CAS's outcome
+	// between the protocol layers (valid immediately after the call in
+	// the run-to-block execution model).
+	lastForwardSwap bool
+	lastApplySwap   bool
+
+	// Origin-only state.
+	asLock  *sim.RWMutex
+	dir     map[mem.VPN]*dirEntry
+	nextMap mem.Addr
+	brk     mem.Addr
+	// replicas is the set of kernels that attached a replica (origin
+	// excluded); layout updates are pushed to these.
+	replicas map[msg.NodeID]struct{}
+}
+
+// Service is the per-kernel VM service: it owns this kernel's group spaces
+// and serves the consistency-protocol messages.
+type Service struct {
+	// eagerMapPush, when set on the origin's service, pushes new mappings
+	// to replicas synchronously instead of letting them fault and fetch
+	// (the D1 ablation; the paper's design is lazy).
+	eagerMapPush bool
+	// writeForwarding, when set on a replica's service, ships every write
+	// to the origin instead of acquiring page ownership (the D5 ablation;
+	// the paper's design is ownership migration).
+	writeForwarding bool
+
+	e       *sim.Engine
+	machine *hw.Machine
+	fabric  *msg.Fabric
+	node    msg.NodeID
+	ep      *msg.Endpoint
+	frames  FrameSource
+	metrics *stats.Registry
+	spaces  map[GID]*Space
+	// localCores is how many cores this kernel drives; TLB shootdowns on a
+	// layout change hit all of them.
+	localCores int
+}
+
+// NewService creates the kernel's VM service and registers its message
+// handlers on the kernel's endpoint.
+func NewService(e *sim.Engine, machine *hw.Machine, fabric *msg.Fabric, node msg.NodeID, frames FrameSource, localCores int, metrics *stats.Registry) *Service {
+	if metrics == nil {
+		metrics = stats.NewRegistry()
+	}
+	s := &Service{
+		e:          e,
+		machine:    machine,
+		fabric:     fabric,
+		node:       node,
+		ep:         fabric.Endpoint(node),
+		frames:     frames,
+		metrics:    metrics,
+		spaces:     make(map[GID]*Space),
+		localCores: localCores,
+	}
+	s.ep.Handle(msg.TypeVMAOp, s.handleVMAOp)
+	s.ep.Handle(msg.TypeVMAUpdate, s.handleVMAUpdate)
+	s.ep.Handle(msg.TypeVMAFetch, s.handleVMAFetch)
+	s.ep.Handle(msg.TypePageFetch, s.handlePageFetch)
+	s.ep.Handle(msg.TypePageInvalidate, s.handlePageInvalidate)
+	return s
+}
+
+// Node returns the kernel this service runs on.
+func (s *Service) Node() msg.NodeID { return s.node }
+
+// homeCoreHint returns a representative local core for costing handler-side
+// accesses.
+func (s *Service) homeCoreHint() int {
+	return int(s.node) * s.localCores
+}
+
+// Metrics returns the registry this service records into.
+func (s *Service) Metrics() *stats.Registry { return s.metrics }
+
+// LocalCores returns how many cores this kernel drives.
+func (s *Service) LocalCores() int { return s.localCores }
+
+// SetEagerMapPush toggles synchronous propagation of new mappings (the D1
+// ablation). Call before running workloads.
+func (s *Service) SetEagerMapPush(on bool) { s.eagerMapPush = on }
+
+// SetWriteForwarding toggles forwarding of this kernel's writes to group
+// origins instead of migrating page ownership here (the D5 ablation). Call
+// before running workloads.
+func (s *Service) SetWriteForwarding(on bool) { s.writeForwarding = on }
+
+// Create sets up a new, empty authoritative address space for gid with this
+// kernel as origin.
+func (s *Service) Create(gid GID) (*Space, error) {
+	if _, dup := s.spaces[gid]; dup {
+		return nil, fmt.Errorf("vm: group %d already present on kernel %d", gid, s.node)
+	}
+	sp := &Space{
+		svc:      s,
+		gid:      gid,
+		origin:   s.node,
+		isOrigin: true,
+		vmas:     &vmaSet{},
+		pt:       mem.NewPageTable(),
+		values:   make(map[mem.VPN]int64),
+		pending:  make(map[mem.VPN]*pendingFault),
+		asLock:   sim.NewRWMutex(s.e),
+		dir:      make(map[mem.VPN]*dirEntry),
+		nextMap:  mapBase,
+		brk:      heapBase,
+		replicas: make(map[msg.NodeID]struct{}),
+	}
+	s.spaces[gid] = sp
+	return sp, nil
+}
+
+// Attach sets up a cached replica of gid's address space (whose origin is
+// elsewhere). The thread-group layer calls this when a kernel is about to
+// host its first member of the group; the origin learns of the replica from
+// the group-setup message, so Attach itself is local.
+func (s *Service) Attach(gid GID, origin msg.NodeID) (*Space, error) {
+	if origin == s.node {
+		return nil, fmt.Errorf("vm: Attach with self as origin for group %d", gid)
+	}
+	if _, dup := s.spaces[gid]; dup {
+		return nil, fmt.Errorf("vm: group %d already present on kernel %d", gid, s.node)
+	}
+	sp := &Space{
+		svc:     s,
+		gid:     gid,
+		origin:  origin,
+		vmas:    &vmaSet{},
+		pt:      mem.NewPageTable(),
+		values:  make(map[mem.VPN]int64),
+		pending: make(map[mem.VPN]*pendingFault),
+	}
+	s.spaces[gid] = sp
+	return sp, nil
+}
+
+// RegisterReplica records (at the origin) that node now hosts a replica and
+// must receive layout updates.
+func (s *Service) RegisterReplica(gid GID, node msg.NodeID) error {
+	sp, ok := s.spaces[gid]
+	if !ok || !sp.isOrigin {
+		return fmt.Errorf("vm: RegisterReplica on kernel %d which is not origin of group %d", s.node, gid)
+	}
+	sp.replicas[node] = struct{}{}
+	return nil
+}
+
+// Space returns this kernel's space for gid, if attached.
+func (s *Service) Space(gid GID) (*Space, bool) {
+	sp, ok := s.spaces[gid]
+	return sp, ok
+}
+
+// Drop discards this kernel's space for gid, freeing all locally held
+// frames. Used at group exit.
+func (s *Service) Drop(p *sim.Proc, gid GID) {
+	sp, ok := s.spaces[gid]
+	if !ok {
+		return
+	}
+	for vpn := range sp.values {
+		if pte, ok := sp.pt.Lookup(vpn); ok && pte.Frame != mem.NoFrame {
+			s.frames.FreeFrame(p, pte.Frame)
+		}
+	}
+	delete(s.spaces, gid)
+}
+
+// GID returns the group this space belongs to.
+func (sp *Space) GID() GID { return sp.gid }
+
+// Origin returns the group's origin kernel.
+func (sp *Space) Origin() msg.NodeID { return sp.origin }
+
+// Version returns the replica's layout version.
+func (sp *Space) Version() uint64 { return sp.version }
+
+// MappedAreas returns a copy of the locally known VMA list.
+func (sp *Space) MappedAreas() []VMA {
+	return append([]VMA(nil), sp.vmas.areas...)
+}
+
+// ResidentPages returns how many pages this kernel has copies of.
+func (sp *Space) ResidentPages() int { return len(sp.values) }
+
+// ThreadArrived records a live group member on this kernel (clone or
+// inbound migration); ThreadLeft records an exit or outbound migration.
+// The thread-group layer maintains these so shootdown costs track the
+// cores that can actually cache this space's translations.
+func (sp *Space) ThreadArrived() { sp.localThreads++ }
+
+// ThreadLeft undoes ThreadArrived.
+func (sp *Space) ThreadLeft() {
+	if sp.localThreads > 0 {
+		sp.localThreads--
+	}
+}
+
+// shootdownCores returns how many remote cores a local mapping change must
+// interrupt.
+func (sp *Space) shootdownCores() int {
+	n := sp.localThreads
+	if n > sp.svc.localCores {
+		n = sp.svc.localCores
+	}
+	if n <= 1 {
+		return 0
+	}
+	return n - 1
+}

@@ -1,0 +1,233 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/mem"
+	"repro/internal/osi"
+	"repro/internal/sim"
+)
+
+// runCondScenario drives a bounded producer/consumer queue built on
+// FutexMutex + FutexCond, with participants spread across kernels, and
+// checks that every item is consumed exactly once.
+func runCondScenario(t *testing.T, o osi.OS, producers, consumers, itemsPerProducer int) {
+	t.Helper()
+	e := o.Engine()
+	totalItems := producers * itemsPerProducer
+	consumed := 0
+	e.Spawn("driver", func(p *sim.Proc) {
+		pr, err := o.StartProcess(p)
+		if err != nil {
+			t.Errorf("StartProcess: %v", err)
+			return
+		}
+		// Shared layout: page0 lock, page1 cond-seq, page2 queue depth,
+		// page3 produced-count (for termination).
+		var base mem.Addr
+		ready := sim.NewWaitGroup()
+		ready.Add(1)
+		if err := pr.Spawn(p, 0, func(th osi.Thread) {
+			a, err := th.Mmap(4*hw.PageSize, mem.ProtRead|mem.ProtWrite)
+			if err != nil {
+				panic(err)
+			}
+			base = a
+			ready.Done()
+		}); err != nil {
+			t.Errorf("Spawn: %v", err)
+			return
+		}
+		lockAddr := func() mem.Addr { return base }
+		seqAddr := func() mem.Addr { return base + hw.PageSize }
+		depthAddr := func() mem.Addr { return base + 2*hw.PageSize }
+		doneAddr := func() mem.Addr { return base + 3*hw.PageSize }
+
+		spawnOn := func(i int, fn osi.ThreadFunc) {
+			k := 0
+			if o.Kernels() > 1 {
+				k = i % o.Kernels()
+			}
+			if err := pr.Spawn(p, k, fn); err != nil {
+				t.Errorf("Spawn: %v", err)
+			}
+		}
+		for c := 0; c < consumers; c++ {
+			spawnOn(c, func(th osi.Thread) {
+				ready.Wait(th.Proc())
+				lock := NewFutexMutex(lockAddr())
+				cond := NewFutexCond(seqAddr(), lock)
+				for {
+					if err := lock.Lock(th); err != nil {
+						panic(err)
+					}
+					for {
+						depth, err := th.Load(depthAddr())
+						if err != nil {
+							panic(err)
+						}
+						if depth > 0 {
+							break
+						}
+						produced, err := th.Load(doneAddr())
+						if err != nil {
+							panic(err)
+						}
+						if produced >= int64(totalItems) {
+							// Drained and production finished.
+							if err := lock.Unlock(th); err != nil {
+								panic(err)
+							}
+							return
+						}
+						if err := cond.Wait(th); err != nil {
+							panic(fmt.Sprintf("cond.Wait: %v", err))
+						}
+					}
+					if _, err := th.FetchAdd(depthAddr(), -1); err != nil {
+						panic(err)
+					}
+					consumed++
+					if err := lock.Unlock(th); err != nil {
+						panic(err)
+					}
+				}
+			})
+		}
+		for pIdx := 0; pIdx < producers; pIdx++ {
+			spawnOn(pIdx+consumers, func(th osi.Thread) {
+				ready.Wait(th.Proc())
+				lock := NewFutexMutex(lockAddr())
+				cond := NewFutexCond(seqAddr(), lock)
+				for i := 0; i < itemsPerProducer; i++ {
+					if err := lock.Lock(th); err != nil {
+						panic(err)
+					}
+					if _, err := th.FetchAdd(depthAddr(), 1); err != nil {
+						panic(err)
+					}
+					produced, err := th.FetchAdd(doneAddr(), 1)
+					if err != nil {
+						panic(err)
+					}
+					last := produced+1 >= int64(totalItems)
+					if last {
+						if err := cond.Broadcast(th); err != nil {
+							panic(err)
+						}
+					} else if err := cond.Signal(th); err != nil {
+						panic(err)
+					}
+					if err := lock.Unlock(th); err != nil {
+						panic(err)
+					}
+				}
+			})
+		}
+		pr.Wait(p)
+		_ = pr.Close(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if consumed != totalItems {
+		t.Fatalf("consumed %d of %d items", consumed, totalItems)
+	}
+}
+
+func TestFutexCondProducerConsumerPopcorn(t *testing.T) {
+	runCondScenario(t, bootPopcorn(t, 16, 2, 4), 3, 3, 8)
+}
+
+func TestFutexCondProducerConsumerSMP(t *testing.T) {
+	runCondScenario(t, bootSMP(t, 16, 2), 3, 3, 8)
+}
+
+func TestFutexCondBroadcastReleasesAll(t *testing.T) {
+	for _, flavour := range []string{"popcorn", "smp"} {
+		flavour := flavour
+		t.Run(flavour, func(t *testing.T) {
+			var o osi.OS
+			if flavour == "popcorn" {
+				o = bootPopcorn(t, 16, 2, 4)
+			} else {
+				o = bootSMP(t, 16, 2)
+			}
+			e := o.Engine()
+			released := 0
+			e.Spawn("driver", func(p *sim.Proc) {
+				pr, _ := o.StartProcess(p)
+				var base mem.Addr
+				ready := sim.NewWaitGroup()
+				ready.Add(1)
+				waiting := sim.NewWaitGroup()
+				const waiters = 6
+				_ = pr.Spawn(p, 0, func(th osi.Thread) {
+					base, _ = th.Mmap(3*hw.PageSize, mem.ProtRead|mem.ProtWrite)
+					ready.Done()
+				})
+				for i := 0; i < waiters; i++ {
+					i := i
+					waiting.Add(1)
+					k := 0
+					if o.Kernels() > 1 {
+						k = i % o.Kernels()
+					}
+					_ = pr.Spawn(p, k, func(th osi.Thread) {
+						ready.Wait(th.Proc())
+						lock := NewFutexMutex(base)
+						cond := NewFutexCond(base+hw.PageSize, lock)
+						if err := lock.Lock(th); err != nil {
+							panic(err)
+						}
+						waiting.Done()
+						for {
+							flag, _ := th.Load(base + 2*hw.PageSize)
+							if flag != 0 {
+								break
+							}
+							if err := cond.Wait(th); err != nil {
+								panic(err)
+							}
+						}
+						released++
+						if err := lock.Unlock(th); err != nil {
+							panic(err)
+						}
+					})
+				}
+				_ = pr.Spawn(p, 0, func(th osi.Thread) {
+					ready.Wait(th.Proc())
+					waiting.Wait(th.Proc())
+					// Give waiters time to actually sleep on the cond.
+					th.Compute(50 * time.Microsecond)
+					lock := NewFutexMutex(base)
+					cond := NewFutexCond(base+hw.PageSize, lock)
+					if err := lock.Lock(th); err != nil {
+						panic(err)
+					}
+					if err := th.Store(base+2*hw.PageSize, 1); err != nil {
+						panic(err)
+					}
+					if err := cond.Broadcast(th); err != nil {
+						panic(err)
+					}
+					if err := lock.Unlock(th); err != nil {
+						panic(err)
+					}
+				})
+				pr.Wait(p)
+				_ = pr.Close(p)
+			})
+			if err := e.Run(); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if released != 6 {
+				t.Fatalf("released %d of 6 waiters", released)
+			}
+		})
+	}
+}

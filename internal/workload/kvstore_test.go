@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestKVStoreRunsAndVerifiesOnBothOSes(t *testing.T) {
+	spec := KVStoreSpec{
+		Shards: 4, Clients: 6, OpsPerClient: 20,
+		PutRatioPct: 50, KeysPerShard: 2, Think: time.Microsecond, Seed: 7,
+	}
+	pop := bootPopcorn(t, 16, 2, 4)
+	popRes, err := KVStore(pop, spec)
+	if err != nil {
+		t.Fatalf("popcorn kvstore: %v", err)
+	}
+	if popRes.Ops != 120 {
+		t.Fatalf("ops = %d, want 120", popRes.Ops)
+	}
+	sm := bootSMP(t, 16, 2)
+	smpRes, err := KVStore(sm, spec)
+	if err != nil {
+		t.Fatalf("smp kvstore: %v", err)
+	}
+	if smpRes.Ops != popRes.Ops {
+		t.Fatalf("ops differ: %d vs %d", smpRes.Ops, popRes.Ops)
+	}
+}
+
+func TestKVStoreScalesOnPopcorn(t *testing.T) {
+	// Sharded servers are the paper's sweet spot: throughput should grow
+	// with client count on the replicated kernel.
+	run := func(clients int) Result {
+		pop := bootPopcorn(t, 64, 2, 8)
+		res, err := KVStore(pop, KVStoreSpec{
+			Shards: 16, Clients: clients, OpsPerClient: 10,
+			PutRatioPct: 10, KeysPerShard: 2, Think: 2 * time.Microsecond, Seed: 3,
+		})
+		if err != nil {
+			t.Fatalf("kvstore(%d): %v", clients, err)
+		}
+		return res
+	}
+	small, large := run(4), run(32)
+	if large.Throughput() <= small.Throughput() {
+		t.Fatalf("throughput did not scale: %d clients %.0f ops/s vs %d clients %.0f ops/s",
+			4, small.Throughput(), 32, large.Throughput())
+	}
+}
+
+func TestKVStoreValidation(t *testing.T) {
+	pop := bootPopcorn(t, 8, 2, 2)
+	if _, err := KVStore(pop, KVStoreSpec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}
+
+func TestXorshiftDeterministic(t *testing.T) {
+	a, b := newXorshift(5), newXorshift(5)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("xorshift not deterministic")
+		}
+	}
+	if newXorshift(0).next() == 0 {
+		t.Fatal("zero seed produces zero stream")
+	}
+}

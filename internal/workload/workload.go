@@ -1,0 +1,242 @@
+// Package workload implements the benchmark applications the evaluation
+// runs: microbenchmarks that stress one kernel path each (thread creation,
+// mmap/munmap, page faults, futexes) and NPB-class compute kernels. All are
+// written against the osi interface, so the identical workload runs on the
+// replicated kernel and on the SMP baseline; explicitly distributed
+// variants for the Barrelfish-like multikernel live in mk.go.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/futex"
+	"repro/internal/mem"
+	"repro/internal/osi"
+	"repro/internal/sim"
+)
+
+// Result is the outcome of one workload run, in virtual time.
+type Result struct {
+	OS      string
+	Name    string
+	Threads int
+	// Ops counts the workload's unit operations.
+	Ops uint64
+	// Elapsed is the virtual wall-clock of the measured phase.
+	Elapsed time.Duration
+}
+
+// Throughput returns operations per virtual second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// PerOp returns the mean virtual latency per operation.
+func (r Result) PerOp() time.Duration {
+	if r.Ops == 0 {
+		return 0
+	}
+	return r.Elapsed / time.Duration(r.Ops)
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s threads=%d ops=%d elapsed=%v (%.0f ops/s)",
+		r.OS, r.Name, r.Threads, r.Ops, r.Elapsed, r.Throughput())
+}
+
+// drive runs body inside a fresh driver process on o's engine, drains the
+// simulation and returns body's measurement. The engine must be freshly
+// booted (virtual time is not reset).
+func drive(o osi.OS, name string, threads int, body func(p *sim.Proc) (uint64, error)) (Result, error) {
+	return driveWindow(o, name, threads, func(p *sim.Proc, w *window) (uint64, error) {
+		return body(p)
+	})
+}
+
+// window lets a workload narrow the measured interval (excluding setup and
+// verification phases from the reported elapsed time).
+type window struct {
+	start, end sim.Time
+	set        bool
+}
+
+// Measure marks the measured interval explicitly.
+func (w *window) Measure(start, end sim.Time) {
+	w.start, w.end, w.set = start, end, true
+}
+
+// driveWindow is drive with an explicit measurement window: when the body
+// calls w.Measure, only that interval is reported.
+func driveWindow(o osi.OS, name string, threads int, body func(p *sim.Proc, w *window) (uint64, error)) (Result, error) {
+	e := o.Engine()
+	var res Result
+	var runErr error
+	e.Spawn("workload-"+name, func(p *sim.Proc) {
+		var w window
+		start := p.Now()
+		ops, err := body(p, &w)
+		if err != nil {
+			runErr = err
+			return
+		}
+		elapsed := p.Now().Sub(start)
+		if w.set {
+			elapsed = w.end.Sub(w.start)
+		}
+		res = Result{OS: o.Name(), Name: name, Threads: threads, Ops: ops, Elapsed: elapsed}
+	})
+	if err := e.Run(); err != nil {
+		return Result{}, fmt.Errorf("workload %s: %w", name, err)
+	}
+	if runErr != nil {
+		return Result{}, fmt.Errorf("workload %s: %w", name, runErr)
+	}
+	return res, nil
+}
+
+// Barrier is a sense-reversing barrier built on the OS's own primitives
+// (FetchAdd + futex), so barrier cost reflects each OS's synchronisation
+// path — as it would for a pthreads barrier on the real systems.
+type Barrier struct {
+	n     int64
+	count mem.Addr
+	sense mem.Addr
+}
+
+// NewBarrier initialises a barrier for n participants using two words of
+// process memory. The caller supplies mapped, writable addresses.
+func NewBarrier(n int, count, sense mem.Addr) *Barrier {
+	return &Barrier{n: int64(n), count: count, sense: sense}
+}
+
+// Wait blocks t until all n participants arrive.
+func (b *Barrier) Wait(t osi.Thread) error {
+	phase, err := t.Load(b.sense)
+	if err != nil {
+		return err
+	}
+	arrived, err := t.FetchAdd(b.count, 1)
+	if err != nil {
+		return err
+	}
+	if arrived+1 == b.n {
+		// Last arrival: reset and release.
+		if err := t.Store(b.count, 0); err != nil {
+			return err
+		}
+		if err := t.Store(b.sense, phase+1); err != nil {
+			return err
+		}
+		_, err := t.FutexWake(b.sense, int(b.n))
+		return err
+	}
+	for {
+		cur, err := t.Load(b.sense)
+		if err != nil {
+			return err
+		}
+		if cur != phase {
+			return nil
+		}
+		if err := t.FutexWait(b.sense, phase); err != nil && !isWouldBlock(err) {
+			return err
+		}
+	}
+}
+
+func isWouldBlock(err error) bool {
+	return errors.Is(err, futex.ErrWouldBlock)
+}
+
+// FutexMutex is a two-state futex mutex (the glibc low-level lock),
+// exercising CAS for the fast path and futex wait/wake under contention.
+type FutexMutex struct {
+	word mem.Addr
+}
+
+// NewFutexMutex wraps a zeroed word of process memory.
+func NewFutexMutex(word mem.Addr) *FutexMutex { return &FutexMutex{word: word} }
+
+// Lock acquires the mutex.
+func (m *FutexMutex) Lock(t osi.Thread) error {
+	for {
+		swapped, err := t.CompareAndSwap(m.word, 0, 1)
+		if err != nil {
+			return err
+		}
+		if swapped {
+			return nil
+		}
+		if err := t.FutexWait(m.word, 1); err != nil && !isWouldBlock(err) {
+			return err
+		}
+	}
+}
+
+// Unlock releases the mutex and wakes one waiter.
+func (m *FutexMutex) Unlock(t osi.Thread) error {
+	if err := t.Store(m.word, 0); err != nil {
+		return err
+	}
+	_, err := t.FutexWake(m.word, 1)
+	return err
+}
+
+// FutexCond is a condition variable over a FutexMutex, built the glibc way:
+// a sequence word plus FUTEX_CMP_REQUEUE on broadcast so sleeping waiters
+// move onto the mutex queue instead of stampeding it.
+type FutexCond struct {
+	seq mem.Addr
+	m   *FutexMutex
+}
+
+// NewFutexCond wraps a zeroed word of process memory and the associated
+// mutex.
+func NewFutexCond(seq mem.Addr, m *FutexMutex) *FutexCond {
+	return &FutexCond{seq: seq, m: m}
+}
+
+// Wait atomically releases the mutex and sleeps until Signal/Broadcast,
+// then reacquires the mutex. The caller must hold the mutex and must
+// re-check its predicate, as with any condition variable.
+func (c *FutexCond) Wait(t osi.Thread) error {
+	seq, err := t.Load(c.seq)
+	if err != nil {
+		return err
+	}
+	if err := c.m.Unlock(t); err != nil {
+		return err
+	}
+	if err := t.FutexWait(c.seq, seq); err != nil && !isWouldBlock(err) {
+		return err
+	}
+	return c.m.Lock(t)
+}
+
+// Signal wakes one waiter.
+func (c *FutexCond) Signal(t osi.Thread) error {
+	if _, err := t.FetchAdd(c.seq, 1); err != nil {
+		return err
+	}
+	_, err := t.FutexWake(c.seq, 1)
+	return err
+}
+
+// Broadcast wakes one waiter and requeues the rest onto the mutex, so they
+// wake one at a time as the lock is handed over.
+func (c *FutexCond) Broadcast(t osi.Thread) error {
+	newSeq, err := t.FetchAdd(c.seq, 1)
+	if err != nil {
+		return err
+	}
+	_, _, err = t.FutexRequeue(c.seq, c.m.word, newSeq+1, 1, 1<<30)
+	if err != nil && !isWouldBlock(err) {
+		return err
+	}
+	return nil
+}
