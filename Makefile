@@ -1,0 +1,24 @@
+# Repo verification pipeline. `make verify` is what CI runs; the individual
+# targets exist so a failing stage can be re-run alone.
+
+GO ?= go
+
+.PHONY: verify build vet popcornvet test bench
+
+verify: build vet popcornvet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# The repo's own determinism & protocol linter; see DESIGN.md §6.
+popcornvet:
+	$(GO) run ./cmd/popcornvet ./...
+
+test:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .

@@ -169,6 +169,7 @@ func (s *Service) Wait(p *sim.Proc, gid vm.GID, addr mem.Addr, expect int64) err
 		return ErrWouldBlock
 	}
 	if !lw.woken {
+		p.SetWaitInfo("futex", fmt.Sprintf("g%d@%#x", gid, uint64(addr)), nil)
 		p.Suspend()
 	}
 	if !lw.woken {
@@ -214,6 +215,7 @@ func (s *Service) doWait(p *sim.Proc, gid vm.GID, addr mem.Addr, expect int64, f
 	b := s.bucket(key{gid: gid, addr: addr})
 	b.mu.Lock(p)
 	defer b.mu.Unlock(p)
+	//popcornvet:allow locksend the word re-read must be atomic with the enqueue under the bucket lock (the lost-wakeup guarantee); page-protocol handlers never take futex bucket locks, so no wait cycle can close
 	val, err := sp.Load(p, s.homeCore, addr)
 	if err != nil {
 		return &futexOpReply{Err: err.Error()}
@@ -253,7 +255,7 @@ func (s *Service) doWake(p *sim.Proc, gid vm.GID, addr mem.Addr, count int) *fut
 func (s *Service) bucket(k key) *bucket {
 	b, ok := s.buckets[k]
 	if !ok {
-		b = &bucket{mu: sim.NewMutex(s.e)}
+		b = &bucket{mu: sim.NewMutex(s.e).SetLabel("futex.bucket")}
 		s.buckets[k] = b
 	}
 	return b

@@ -56,12 +56,25 @@ func requeueErr(s string) error {
 // wouldBlockMarker carries ErrWouldBlock identity across the wire.
 const wouldBlockMarker = "EAGAIN"
 
-// doRequeue runs at the home kernel.
+// doRequeue runs at the home kernel. The value check and both queue edits
+// happen atomically under the bucket locks; the wakeups themselves go out
+// after the locks drop, like doWake, so no lock is held across the fabric.
 func (s *Service) doRequeue(p *sim.Proc, gid vm.GID, from, to mem.Addr, expect int64, wake, requeue int) *futexOpReply {
 	sp, ok := s.resolver.GroupSpace(gid)
 	if !ok {
 		return &futexOpReply{Err: fmt.Sprintf("group %d not resident on home kernel %d", gid, s.node)}
 	}
+	released, reply := s.requeueLocked(p, sp, gid, from, to, expect, wake, requeue)
+	for _, ref := range released {
+		s.release(p, ref)
+	}
+	return reply
+}
+
+// requeueLocked is the bucket-locked half of doRequeue: re-check the word,
+// detach up to wake waiters for the caller to release, and move up to
+// requeue of the remainder onto to's queue.
+func (s *Service) requeueLocked(p *sim.Proc, sp *vm.Space, gid vm.GID, from, to mem.Addr, expect int64, wake, requeue int) ([]waiterRef, *futexOpReply) {
 	bFrom := s.bucket(key{gid: gid, addr: from})
 	bTo := s.bucket(key{gid: gid, addr: to})
 	// Lock both queues in address order so concurrent requeues between the
@@ -80,20 +93,20 @@ func (s *Service) doRequeue(p *sim.Proc, gid vm.GID, from, to mem.Addr, expect i
 		}
 		first.mu.Unlock(p)
 	}()
+	//popcornvet:allow locksend the word re-read must be atomic with the queue edit under the bucket lock (the lost-wakeup guarantee); page-protocol handlers never take futex bucket locks, so no wait cycle can close
 	val, err := sp.Load(p, s.homeCore, from)
 	if err != nil {
-		return &futexOpReply{Err: err.Error()}
+		return nil, &futexOpReply{Err: err.Error()}
 	}
 	if val != expect {
 		s.metrics.Counter("futex.eagain").Inc()
-		return &futexOpReply{Err: wouldBlockMarker}
+		return nil, &futexOpReply{Err: wouldBlockMarker}
 	}
-	woken := 0
-	for woken < wake && len(bFrom.waiters) > 0 {
+	var released []waiterRef
+	for len(released) < wake && len(bFrom.waiters) > 0 {
 		ref := bFrom.waiters[0]
 		bFrom.waiters = bFrom.waiters[1:]
-		s.release(p, ref)
-		woken++
+		released = append(released, ref)
 	}
 	requeued := 0
 	for requeued < requeue && len(bFrom.waiters) > 0 {
@@ -102,7 +115,7 @@ func (s *Service) doRequeue(p *sim.Proc, gid vm.GID, from, to mem.Addr, expect i
 		bTo.waiters = append(bTo.waiters, ref)
 		requeued++
 	}
-	return &futexOpReply{Woken: woken, Requeued: requeued}
+	return released, &futexOpReply{Woken: len(released), Requeued: requeued}
 }
 
 // release wakes one waiter reference, locally or via message.

@@ -55,7 +55,7 @@ func NewLockedFrames(e *sim.Engine, machine *hw.Machine, alloc *mem.FrameAllocat
 	if maxSharers < 1 {
 		maxSharers = 1
 	}
-	return &LockedFrames{e: e, machine: machine, alloc: alloc, mu: sim.NewMutex(e), crossNode: crossNode, maxSharers: maxSharers}
+	return &LockedFrames{e: e, machine: machine, alloc: alloc, mu: sim.NewMutex(e).SetLabel("kernel.frames"), crossNode: crossNode, maxSharers: maxSharers}
 }
 
 func (f *LockedFrames) bounce(p *sim.Proc) {

@@ -51,6 +51,13 @@ func (ep *Endpoint) Handle(t Type, h Handler) {
 	ep.handlers[t] = h
 }
 
+// Handles reports whether a handler is registered for t. Exhaustiveness
+// tests use it to prove every protocol message type is wired.
+func (ep *Endpoint) Handles(t Type) bool {
+	_, ok := ep.handlers[t]
+	return ok
+}
+
 // Send transmits m asynchronously (fire-and-forget): the caller is charged
 // only the sender-side ring cost. m.From is set to this endpoint's node.
 func (ep *Endpoint) Send(p *sim.Proc, m *Message) {
@@ -80,6 +87,7 @@ func (ep *Endpoint) Call(p *sim.Proc, m *Message) (*Message, error) {
 	p.Sleep(ep.f.sendCost(m))
 	ep.f.commit(entry)
 	if !c.done {
+		p.SetWaitInfo("rpc-reply", fmt.Sprintf("%v from k%d", m.Type, m.To), nil)
 		p.Suspend()
 	}
 	delete(ep.pending, m.Seq)

@@ -39,6 +39,7 @@ const (
 	// TypeMigrate carries a thread's execution context to its new kernel.
 	TypeMigrate
 	// TypeMigrateBack returns a migrated thread to its origin kernel.
+	//popcornvet:allow msgproto back-migration reuses TypeMigrate toward the origin (shadow revival); the type is reserved for wire compatibility
 	TypeMigrateBack
 	// TypeExitNotify propagates a member thread's exit to the group origin.
 	TypeExitNotify
@@ -67,7 +68,23 @@ const (
 	// TypeUser carries application-level traffic (the multikernel
 	// baseline's explicit inter-domain channels).
 	TypeUser
+
+	// numTypes terminates the enum; every declared type is below it. It
+	// must stay last so AllTypes and the exhaustiveness tests see new
+	// entries automatically.
+	numTypes
 )
+
+// AllTypes returns every declared message type (excluding the invalid zero
+// value), in declaration order. Exhaustiveness tests iterate it so that
+// adding a type without wiring a String name and a handler fails loudly.
+func AllTypes() []Type {
+	ts := make([]Type, 0, numTypes-1)
+	for t := TypeInvalid + 1; t < numTypes; t++ {
+		ts = append(ts, t)
+	}
+	return ts
+}
 
 var typeNames = map[Type]string{
 	TypePing:           "ping",

@@ -1,0 +1,47 @@
+package msg
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTypeStringExhaustive fails when a message type is added without a
+// String() name: unnamed types degrade every trace and error message to a
+// numeric placeholder.
+func TestTypeStringExhaustive(t *testing.T) {
+	seen := make(map[string]Type)
+	for _, ty := range AllTypes() {
+		s := ty.String()
+		if s == "" || strings.HasPrefix(s, "msg.Type(") {
+			t.Errorf("Type %d has no typeNames entry (String() = %q)", int(ty), s)
+			continue
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("types %d and %d share the String name %q", int(prev), int(ty), s)
+		}
+		seen[s] = ty
+	}
+	if TypeInvalid.String() == "" {
+		t.Error("TypeInvalid must stringify to something")
+	}
+}
+
+// TestAllTypesCoversEnum pins AllTypes against the enum bounds so the
+// sentinel cannot silently drift.
+func TestAllTypesCoversEnum(t *testing.T) {
+	ts := AllTypes()
+	if len(ts) == 0 {
+		t.Fatal("AllTypes is empty")
+	}
+	if ts[0] != TypePing {
+		t.Errorf("first type = %v, want TypePing", ts[0])
+	}
+	if ts[len(ts)-1] != TypeUser {
+		t.Errorf("last type = %v, want TypeUser (did a new type land after the numTypes sentinel?)", ts[len(ts)-1])
+	}
+	for i, ty := range ts {
+		if int(ty) != i+1 {
+			t.Fatalf("AllTypes[%d] = %d, want dense enumeration", i, int(ty))
+		}
+	}
+}

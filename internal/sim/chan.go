@@ -6,11 +6,19 @@ package sim
 // report !ok. All operations take effect in deterministic engine order.
 type Chan[T any] struct {
 	e      *Engine
+	label  string
 	cap    int
 	buf    []T
 	sendQ  []*chanWaiter[T]
 	recvQ  []*chanWaiter[T]
 	closed bool
+}
+
+// SetLabel names the channel for deadlock reports and returns it
+// (chainable).
+func (c *Chan[T]) SetLabel(s string) *Chan[T] {
+	c.label = s
+	return c
 }
 
 type chanWaiter[T any] struct {
@@ -53,6 +61,7 @@ func (c *Chan[T]) Send(p *Proc, v T) {
 	}
 	w := &chanWaiter[T]{p: p, val: v}
 	c.sendQ = append(c.sendQ, w)
+	p.SetWaitInfo("chan-send", c.label, nil)
 	p.park()
 	if w.closed {
 		panic("sim: send on closed channel")
@@ -99,6 +108,7 @@ func (c *Chan[T]) Recv(p *Proc) (v T, ok bool) {
 	}
 	w := &chanWaiter[T]{p: p}
 	c.recvQ = append(c.recvQ, w)
+	p.SetWaitInfo("chan-recv", c.label, nil)
 	p.park()
 	return w.val, w.ok
 }

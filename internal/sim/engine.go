@@ -56,6 +56,12 @@ type Engine struct {
 	failure   error
 	closed    bool
 	processed uint64
+
+	// invariants are the registered model checks; invInterval > 0 enables
+	// the periodic sweep, nextInvCheck is its high-water mark.
+	invariants   []invariant
+	invInterval  time.Duration
+	nextInvCheck Time
 }
 
 // Option configures an Engine.
@@ -169,9 +175,24 @@ func (e *Engine) run(cond func() bool) error {
 		if e.failure != nil {
 			return e.failure
 		}
+		if e.invInterval > 0 && len(e.invariants) > 0 && e.now >= e.nextInvCheck {
+			e.checkInvariants()
+			e.nextInvCheck = e.now + Time(e.invInterval)
+			if e.failure != nil {
+				return e.failure
+			}
+		}
 	}
-	if e.heap.len() == 0 && e.blockedCount() > 0 {
-		return fmt.Errorf("%w (%d blocked)", ErrDeadlock, e.blockedCount())
+	if e.heap.len() == 0 {
+		// Quiescence: the model should be consistent whenever no work is
+		// in flight.
+		e.checkInvariants()
+		if e.failure != nil {
+			return e.failure
+		}
+		if e.blockedCount() > 0 {
+			return e.buildDeadlockError()
+		}
 	}
 	return nil
 }

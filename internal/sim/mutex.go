@@ -31,6 +31,7 @@ func (s *LockStats) recordWait(w time.Duration) {
 // contention accounting.
 type Mutex struct {
 	e          *Engine
+	label      string
 	owner      *Proc
 	q          []*mutexWaiter
 	acquiredAt Time
@@ -45,6 +46,12 @@ type mutexWaiter struct {
 
 // NewMutex returns an unlocked mutex on e.
 func NewMutex(e *Engine) *Mutex { return &Mutex{e: e} }
+
+// SetLabel names the mutex for deadlock reports and returns it (chainable).
+func (m *Mutex) SetLabel(s string) *Mutex {
+	m.label = s
+	return m
+}
 
 // Lock acquires the mutex, blocking p in FIFO order behind earlier waiters.
 func (m *Mutex) Lock(p *Proc) {
@@ -62,6 +69,7 @@ func (m *Mutex) Lock(p *Proc) {
 	if len(m.q) > m.stats.MaxQueue {
 		m.stats.MaxQueue = len(m.q)
 	}
+	p.SetWaitInfo("mutex", m.label, m.owner)
 	p.park()
 	if !w.granted {
 		panic("sim: mutex waiter woken without grant")
@@ -97,7 +105,15 @@ func (m *Mutex) Unlock(p *Proc) {
 	m.owner = w.p
 	m.acquiredAt = m.e.now
 	w.p.wake()
+	// Remaining waiters now wait on the new owner; keep their recorded
+	// holder accurate for deadlock reports.
+	for _, rest := range m.q {
+		rest.p.waitHolder = m.owner
+	}
 }
+
+// Owner returns the process currently holding the mutex, or nil.
+func (m *Mutex) Owner() *Proc { return m.owner }
 
 // Locked reports whether the mutex is currently held.
 func (m *Mutex) Locked() bool { return m.owner != nil }
@@ -113,6 +129,7 @@ func (m *Mutex) Stats() LockStats { return m.stats }
 // rw_semaphore behaviour that makes mmap_sem a scalability bottleneck.
 type RWMutex struct {
 	e          *Engine
+	label      string
 	readers    int
 	writer     *Proc
 	readQ      []*mutexWaiter
@@ -123,6 +140,12 @@ type RWMutex struct {
 
 // NewRWMutex returns an unlocked reader-writer lock on e.
 func NewRWMutex(e *Engine) *RWMutex { return &RWMutex{e: e} }
+
+// SetLabel names the lock for deadlock reports and returns it (chainable).
+func (l *RWMutex) SetLabel(s string) *RWMutex {
+	l.label = s
+	return l
+}
 
 // RLock acquires the lock shared. It blocks while a writer holds the lock or
 // is queued ahead.
@@ -138,6 +161,7 @@ func (l *RWMutex) RLock(p *Proc) {
 	w := &mutexWaiter{p: p, since: l.e.now}
 	l.readQ = append(l.readQ, w)
 	l.noteQueue()
+	p.SetWaitInfo("rwmutex", l.label, l.writer)
 	p.park()
 	if !w.granted {
 		panic("sim: rwmutex reader woken without grant")
@@ -172,6 +196,7 @@ func (l *RWMutex) Lock(p *Proc) {
 	w := &mutexWaiter{p: p, since: l.e.now}
 	l.writeQ = append(l.writeQ, w)
 	l.noteQueue()
+	p.SetWaitInfo("rwmutex", l.label, l.writer)
 	p.park()
 	if !w.granted {
 		panic("sim: rwmutex writer woken without grant")
@@ -200,6 +225,12 @@ func (l *RWMutex) promote() {
 		l.writer = w.p
 		l.acquiredAt = l.e.now
 		w.p.wake()
+		for _, rest := range l.writeQ {
+			rest.p.waitHolder = l.writer
+		}
+		for _, rest := range l.readQ {
+			rest.p.waitHolder = l.writer
+		}
 		return
 	}
 	if len(l.readQ) > 0 {

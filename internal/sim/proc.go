@@ -22,6 +22,11 @@ type Proc struct {
 	// waking guards against double-wakeups: a proc that is already
 	// scheduled to resume must not be woken again.
 	waking bool
+	// waitKind/waitRes/waitHolder describe what a blocked process waits
+	// for (see WaitInfo); cleared on resume.
+	waitKind   string
+	waitRes    string
+	waitHolder *Proc
 }
 
 // Spawn starts fn as a new simulated process. The process begins running at
@@ -48,6 +53,7 @@ func (e *Engine) spawn(name string, daemon bool, fn func(p *Proc)) *Proc {
 		daemon: daemon,
 	}
 	e.procs[p.id] = p
+	//popcornvet:allow simtime cooperative procs are implemented as parked goroutines; the engine serialises all hand-offs
 	go func() {
 		<-p.resume
 		defer func() {
@@ -90,6 +96,7 @@ func (e *Engine) dispatch(p *Proc) {
 func (p *Proc) park() {
 	p.e.parked <- struct{}{}
 	<-p.resume
+	p.clearWaitInfo()
 	if p.killed {
 		panic(error(ErrKilled))
 	}
@@ -136,7 +143,14 @@ func (p *Proc) Yield() { p.Sleep(0) }
 // Suspend parks the process indefinitely; another process or an engine
 // callback resumes it with Resume. Suspend/Resume is the low-level wait
 // primitive used to build condition-variable style synchronisation.
-func (p *Proc) Suspend() { p.park() }
+// Callers may record what they wait for with SetWaitInfo first; otherwise
+// the deadlock report shows a generic "suspend".
+func (p *Proc) Suspend() {
+	if p.waitKind == "" {
+		p.waitKind = "suspend"
+	}
+	p.park()
+}
 
 // Resume wakes a process parked in Suspend. Waking a process that is not
 // suspended (or already scheduled to wake) is a no-op.

@@ -34,6 +34,7 @@ func (wg *WaitGroup) Wait(p *Proc) {
 		return
 	}
 	wg.waiters = append(wg.waiters, p)
+	p.SetWaitInfo("waitgroup", "", nil)
 	p.park()
 }
 
@@ -44,16 +45,25 @@ func (wg *WaitGroup) Pending() int { return wg.n }
 // Unlike sync.Cond there is no associated lock: the simulator's run-to-block
 // execution makes checks and waits atomic with respect to other processes.
 type Cond struct {
+	label   string
 	waiters []*Proc
 }
 
 // NewCond returns an empty condition variable.
 func NewCond() *Cond { return &Cond{} }
 
+// SetLabel names the condition variable for deadlock reports and returns it
+// (chainable).
+func (c *Cond) SetLabel(s string) *Cond {
+	c.label = s
+	return c
+}
+
 // Wait parks p until Signal or Broadcast wakes it. Callers must re-check
 // their predicate after waking, as with any condition variable.
 func (c *Cond) Wait(p *Proc) {
 	c.waiters = append(c.waiters, p)
+	p.SetWaitInfo("cond", c.label, nil)
 	p.park()
 }
 

@@ -134,7 +134,7 @@ func BootOn(e *sim.Engine, machine *hw.Machine, framesPerNode int) (*OS, error) 
 		os.zones = append(os.zones, kernel.NewLockedFrames(e, machine, alloc, false, machine.Topology.CoresPerNode()))
 	}
 	for i := range os.futexes {
-		os.futexes[i] = &futexBucket{mu: sim.NewMutex(e), waiters: make(map[mem.Addr][]*smpWaiter)}
+		os.futexes[i] = &futexBucket{mu: sim.NewMutex(e).SetLabel("smp.futex.bucket"), waiters: make(map[mem.Addr][]*smpWaiter)}
 	}
 	return os, nil
 }

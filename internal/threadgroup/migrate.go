@@ -104,6 +104,7 @@ func (s *Service) handleMigrate(p *sim.Proc, m *msg.Message) *msg.Message {
 			// A pre-created dummy thread absorbs the task-setup cost.
 			s.dummies--
 			s.metrics.Counter("tg.migrate.dummyhit").Inc()
+			//popcornvet:allow locksend refillDummy only spawns the background refill proc via the engine's Spawn; the name-based analysis confuses that with this service's fabric-backed Spawn
 			s.refillDummy()
 		} else {
 			p.Sleep(s.machine.Cost.ThreadSetup)

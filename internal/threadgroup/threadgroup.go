@@ -106,7 +106,7 @@ func NewService(e *sim.Engine, machine *hw.Machine, fabric *msg.Fabric, node msg
 		metrics:       metrics,
 		cfg:           cfg,
 		groups:        make(map[vm.GID]*group),
-		tasklist:      sim.NewMutex(e),
+		tasklist:      sim.NewMutex(e).SetLabel(fmt.Sprintf("tg.tasklist.k%d", node)),
 		dummies:       cfg.DummyPool,
 		setupPending:  make(map[vm.GID]*sim.Cond),
 		orphanSignals: make(map[task.ID][]int),

@@ -1,0 +1,157 @@
+package vetcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLockSendDirectCall(t *testing.T) {
+	got := findingsFor(t, map[string]string{
+		"internal/vm/svc.go": `package vm
+
+func (s *svc) bad(p *proc) {
+	s.mu.Lock(p)
+	defer s.mu.Unlock(p)
+	s.ep.Call(p, nil)
+}
+`,
+	}, LockSend{})
+	wantRules(t, got, "Call can block on the fabric while s.mu is held")
+}
+
+func TestLockSendTransitiveSamePackage(t *testing.T) {
+	got := findingsFor(t, map[string]string{
+		"internal/vm/svc.go": `package vm
+
+func (s *svc) push(p *proc) { s.ep.CallEach(p, nil) }
+
+func (s *svc) bad(p *proc) {
+	s.mu.Lock(p)
+	s.push(p)
+	s.mu.Unlock(p)
+}
+`,
+	}, LockSend{})
+	wantRules(t, got, "push can block on the fabric while s.mu is held")
+}
+
+func TestLockSendUnlockBeforeSendIsClean(t *testing.T) {
+	got := findingsFor(t, map[string]string{
+		"internal/vm/svc.go": `package vm
+
+func (s *svc) good(p *proc) {
+	s.mu.Lock(p)
+	s.work()
+	s.mu.Unlock(p)
+	s.ep.Call(p, nil)
+}
+
+func (s *svc) work() {}
+`,
+	}, LockSend{})
+	if len(got) != 0 {
+		t.Fatalf("want no findings, got:\n%s", renderFindings(got))
+	}
+}
+
+func TestLockSendEarlyExitUnlockDoesNotLeak(t *testing.T) {
+	// The unlock on the early-return arm must not clear the held state for
+	// the fall-through path: the send after the if is still under the lock.
+	got := findingsFor(t, map[string]string{
+		"internal/vm/svc.go": `package vm
+
+func (s *svc) bad(p *proc, cond bool) {
+	s.mu.Lock(p)
+	if cond {
+		s.mu.Unlock(p)
+		return
+	}
+	s.ep.Call(p, nil)
+	s.mu.Unlock(p)
+}
+`,
+	}, LockSend{})
+	wantRules(t, got, "Call can block on the fabric while s.mu is held")
+}
+
+func TestLockSendFuncLitAndStdlibSyncIgnored(t *testing.T) {
+	got := findingsFor(t, map[string]string{
+		"internal/vm/svc.go": `package vm
+
+func (s *svc) good(p *proc) {
+	// Zero-arg Lock is stdlib sync, not a sim primitive; simtime owns that.
+	s.real.Lock()
+	s.ep.Call(p, nil)
+	s.real.Unlock()
+
+	// The closure runs in another proc without this one's locks.
+	s.mu.Lock(p)
+	s.spawnFn(func() { s.ep.Call(p, nil) })
+	s.mu.Unlock(p)
+}
+
+func (s *svc) spawnFn(fn func()) {}
+`,
+	}, LockSend{})
+	if len(got) != 0 {
+		t.Fatalf("want no findings, got:\n%s", renderFindings(got))
+	}
+}
+
+func TestLockSendPackageLocalResolutionShadowsForeignName(t *testing.T) {
+	// sched declares its own trivial Flush; the vm package's blocking Flush
+	// must not poison sched's call sites.
+	got := findingsFor(t, map[string]string{
+		"internal/vm/flush.go": `package vm
+
+func (s *svc) Flush(p *proc) { s.ep.Call(p, nil) }
+`,
+		"internal/sched/sched.go": `package sched
+
+func (q *queue) Flush() { q.items = nil }
+
+func (q *queue) drain(p *proc) {
+	q.mu.Lock(p)
+	q.Flush()
+	q.mu.Unlock(p)
+}
+`,
+	}, LockSend{})
+	if len(got) != 0 {
+		t.Fatalf("want no findings, got:\n%s", renderFindings(got))
+	}
+
+	// But a package with no local declaration falls back to the global
+	// name: futex calling vm's Flush under a lock is flagged.
+	got = findingsFor(t, map[string]string{
+		"internal/vm/flush.go": `package vm
+
+func (s *svc) Flush(p *proc) { s.ep.Call(p, nil) }
+`,
+		"internal/futex/futex.go": `package futex
+
+func (s *svc) bad(p *proc) {
+	s.mu.Lock(p)
+	s.space.Flush(p)
+	s.mu.Unlock(p)
+}
+`,
+	}, LockSend{})
+	wantRules(t, got, "Flush can block on the fabric while s.mu is held")
+}
+
+func TestLockSendDeferredUnlockHoldsToEnd(t *testing.T) {
+	got := findingsFor(t, map[string]string{
+		"internal/vm/svc.go": `package vm
+
+func (s *svc) bad(p *proc) error {
+	s.mu.Lock(p)
+	defer s.mu.Unlock(p)
+	return s.ep.SendEach(p, nil)
+}
+`,
+	}, LockSend{})
+	if len(got) != 1 || !strings.Contains(got[0].Message, "SendEach can block") {
+		t.Fatalf("want one SendEach finding, got:\n%s", renderFindings(got))
+	}
+}

@@ -1,0 +1,125 @@
+package vetcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+// msgFixture declares a two-type enum where TypeGood is fully wired (String
+// name, handler, send site) and TypeOrphan is not wired at all.
+const msgFixture = `package msg
+
+type Type int
+
+const (
+	TypeInvalid Type = iota
+	TypeGood
+	TypeOrphan
+	numTypes
+)
+
+var typeNames = map[Type]string{
+	TypeGood: "good",
+}
+
+type Message struct {
+	Type Type
+	To   int
+}
+`
+
+const msgUserFixture = `package msg
+
+type Endpoint struct{}
+
+func (ep *Endpoint) Handle(t Type, h func()) {}
+
+func wire(ep *Endpoint) {
+	ep.Handle(TypeGood, func() {})
+	send(&Message{Type: TypeGood, To: 1})
+}
+
+func send(m *Message) {}
+`
+
+func TestMsgProtoOrphanType(t *testing.T) {
+	got := findingsFor(t, map[string]string{
+		"internal/msg/msg.go":      msgFixture,
+		"internal/msg/endpoint.go": msgUserFixture,
+	}, MsgProto{})
+	wantRules(t, got,
+		"TypeOrphan has no entry in typeNames",
+		"TypeOrphan has no Handle registration",
+		"TypeOrphan is never sent",
+	)
+}
+
+func TestMsgProtoFullyWiredIsClean(t *testing.T) {
+	got := findingsFor(t, map[string]string{
+		"internal/msg/msg.go": strings.Replace(msgFixture, "\tTypeOrphan\n", "", 1),
+		"internal/msg/endpoint.go": msgUserFixture,
+	}, MsgProto{})
+	if len(got) != 0 {
+		t.Fatalf("want no findings, got:\n%s", renderFindings(got))
+	}
+}
+
+func TestMsgProtoCrossPackageWiringCounts(t *testing.T) {
+	// A handler registered and a send issued from another package must
+	// satisfy the wiring requirement for TypeOrphan.
+	got := findingsFor(t, map[string]string{
+		"internal/msg/msg.go":      msgFixture,
+		"internal/msg/endpoint.go": msgUserFixture,
+		"internal/vm/wire.go": `package vm
+
+import "repro/internal/msg"
+
+func wire(ep *msg.Endpoint) {
+	ep.Handle(msg.TypeOrphan, func() {})
+	_ = &msg.Message{Type: msg.TypeOrphan, To: 2}
+}
+`,
+	}, MsgProto{})
+	wantRules(t, got, "TypeOrphan has no entry in typeNames")
+}
+
+func TestMsgProtoDiscardedCall(t *testing.T) {
+	got := findingsFor(t, map[string]string{
+		"internal/msg/msg.go":      msgFixture,
+		"internal/msg/endpoint.go": msgUserFixture,
+		"internal/vm/calls.go": `package vm
+
+type endpoint struct{}
+
+func (e *endpoint) Call(m int) (int, error)     { return 0, nil }
+func (e *endpoint) CallEach(m int) (int, error) { return 0, nil }
+
+func bad(e *endpoint) {
+	e.Call(1)
+	_, _ = e.CallEach(2)
+}
+
+func good(e *endpoint) error {
+	r, err := e.Call(1)
+	_ = r
+	if err != nil {
+		return err
+	}
+	// Discarding only the reply while checking the error is fine.
+	_, err = e.CallEach(2)
+	return err
+}
+`,
+	}, MsgProto{})
+	// The orphan-type findings from the shared fixture come first (msg.go
+	// sorts before vm/calls.go); then the two discard sites.
+	if len(got) != 5 {
+		t.Fatalf("got %d findings, want 5:\n%s", len(got), renderFindings(got))
+	}
+	if !strings.Contains(got[3].Message, "Call reply and error discarded") {
+		t.Errorf("finding 3 = %q, want discarded Call", got[3].Message)
+	}
+	if !strings.Contains(got[4].Message, "CallEach error discarded") {
+		t.Errorf("finding 4 = %q, want discarded CallEach error", got[4].Message)
+	}
+}

@@ -1,0 +1,107 @@
+package vetcheck
+
+import (
+	"go/ast"
+)
+
+// SimTime enforces the determinism rules inside sim-managed packages:
+//
+//   - no wall-clock reads or real timers (time.Now, time.Sleep, time.After,
+//     time.AfterFunc, time.NewTimer, time.NewTicker, time.Tick, time.Since,
+//     time.Until) — virtual time comes from the engine;
+//   - no global math/rand state (rand.Intn, rand.Seed, ...) — randomness
+//     must flow from the engine's seeded source (rand.New/rand.NewSource
+//     constructors are fine);
+//   - no bare go statements — concurrency goes through Engine.Spawn so the
+//     scheduler owns every interleaving;
+//   - no real sync primitives (sync.Mutex, sync.RWMutex, sync.WaitGroup,
+//     sync.Cond) — they block the host goroutine outside the engine's
+//     control; use the sim equivalents.
+//
+// Test files are exempt: they run outside the simulated world and verify
+// with wall-clock timeouts.
+type SimTime struct{}
+
+// Name implements Analyzer.
+func (SimTime) Name() string { return "simtime" }
+
+// forbiddenTimeFuncs read the wall clock or create real timers.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true, "Tick": true,
+	"Since": true, "Until": true,
+}
+
+// allowedRandNames are the seeded-constructor and type references on
+// math/rand that do not touch the global source.
+var allowedRandNames = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"Rand": true, "Source": true, "Source64": true, "Zipf": true,
+}
+
+// forbiddenSyncTypes are the real blocking primitives with sim equivalents.
+var forbiddenSyncTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Cond": true,
+}
+
+// Check implements Analyzer.
+func (SimTime) Check(t *Tree) []Finding {
+	var out []Finding
+	for _, pkg := range t.Pkgs {
+		if !pkg.Managed {
+			continue
+		}
+		for _, file := range pkg.Files {
+			if file.Test {
+				continue
+			}
+			timeName := importName(file.AST, "time")
+			randName := importName(file.AST, "math/rand")
+			syncName := importName(file.AST, "sync")
+			ast.Inspect(file.AST, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.GoStmt:
+					out = append(out, Finding{
+						Pos:  t.Fset.Position(node.Pos()),
+						Rule: "simtime",
+						Message: "bare go statement in sim-managed package; " +
+							"use sim.Engine.Spawn so the scheduler controls the interleaving",
+					})
+				case *ast.SelectorExpr:
+					if timeName != "" {
+						if name, ok := selectorOn(node, timeName); ok && forbiddenTimeFuncs[name] {
+							out = append(out, Finding{
+								Pos:  t.Fset.Position(node.Pos()),
+								Rule: "simtime",
+								Message: "time." + name + " reads the wall clock; " +
+									"use the engine's virtual time (Proc.Sleep, Engine.Now, sim.Timer)",
+							})
+						}
+					}
+					if randName != "" {
+						if name, ok := selectorOn(node, randName); ok && !allowedRandNames[name] {
+							out = append(out, Finding{
+								Pos:  t.Fset.Position(node.Pos()),
+								Rule: "simtime",
+								Message: "global math/rand." + name + " breaks seed determinism; " +
+									"draw from the engine's seeded source (Engine.Rand)",
+							})
+						}
+					}
+					if syncName != "" {
+						if name, ok := selectorOn(node, syncName); ok && forbiddenSyncTypes[name] {
+							out = append(out, Finding{
+								Pos:  t.Fset.Position(node.Pos()),
+								Rule: "simtime",
+								Message: "real sync." + name + " blocks outside the engine's control; " +
+									"use the sim." + name + " equivalent",
+							})
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package vetcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+func findingsFor(t *testing.T, files map[string]string, a Analyzer) []Finding {
+	t.Helper()
+	tree, err := LoadSource(files)
+	if err != nil {
+		t.Fatalf("LoadSource: %v", err)
+	}
+	return Run(tree, []Analyzer{a})
+}
+
+func wantRules(t *testing.T, got []Finding, wantSubstrings ...string) {
+	t.Helper()
+	if len(got) != len(wantSubstrings) {
+		t.Fatalf("got %d findings, want %d:\n%s", len(got), len(wantSubstrings), renderFindings(got))
+	}
+	for i, want := range wantSubstrings {
+		if !strings.Contains(got[i].Message, want) {
+			t.Errorf("finding %d = %q, want substring %q", i, got[i].Message, want)
+		}
+	}
+}
+
+func renderFindings(fs []Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		b.WriteString(f.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func TestSimTimePositives(t *testing.T) {
+	got := findingsFor(t, map[string]string{
+		"internal/kernel/bad.go": `package kernel
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+func bad() {
+	_ = time.Now()
+	time.Sleep(time.Second)
+	_ = rand.Intn(4)
+	var mu sync.Mutex
+	_ = mu
+	go func() {}()
+}
+`,
+	}, SimTime{})
+	wantRules(t, got,
+		"time.Now",
+		"time.Sleep",
+		"global math/rand.Intn",
+		"real sync.Mutex",
+		"bare go statement",
+	)
+}
+
+func TestSimTimeNegatives(t *testing.T) {
+	got := findingsFor(t, map[string]string{
+		// Duration arithmetic, instanced rand and the sim primitives are all
+		// fine inside a managed package.
+		"internal/kernel/good.go": `package kernel
+
+import (
+	"math/rand"
+	"time"
+)
+
+type engine struct{ d time.Duration }
+
+func good(rng *rand.Rand) time.Duration {
+	src := rand.New(rand.NewSource(7))
+	_ = src.Intn(4)
+	return 3 * time.Millisecond
+}
+`,
+		// Unmanaged packages may use the wall clock: the CLI harness times
+		// real execution.
+		"cmd/popcornsim/clock.go": `package main
+
+import "time"
+
+func wall() time.Time { return time.Now() }
+`,
+		// Test files run outside the simulated world.
+		"internal/kernel/guard_test.go": `package kernel
+
+import "time"
+
+func guard() { time.Sleep(time.Second) }
+`,
+	}, SimTime{})
+	if len(got) != 0 {
+		t.Fatalf("want no findings, got:\n%s", renderFindings(got))
+	}
+}
+
+func TestSimTimeRenamedImport(t *testing.T) {
+	got := findingsFor(t, map[string]string{
+		"internal/vm/renamed.go": `package vm
+
+import clock "time"
+
+func bad() { _ = clock.Now() }
+`,
+	}, SimTime{})
+	wantRules(t, got, "time.Now")
+}

@@ -12,6 +12,8 @@ import (
 // serialises on the page's directory entry, revokes conflicting copies, and
 // produces the grant for the requesting kernel. The caller holds the
 // address-space lock shared.
+//
+//popcornvet:allow locksend holding the directory-entry lock across the revocation RPCs is the protocol: it is what makes a page's ownership transition atomic. Invalidate handlers at remote kernels touch only their local page tables and never take origin directory locks, so no wait cycle can close.
 func (sp *Space) dirTransaction(p *sim.Proc, req msg.NodeID, vpn mem.VPN, write bool) (*pageGrant, error) {
 	vma, ok := sp.vmas.find(vpn)
 	if !ok {
@@ -25,7 +27,7 @@ func (sp *Space) dirTransaction(p *sim.Proc, req msg.NodeID, vpn mem.VPN, write 
 	}
 	de, ok := sp.dir[vpn]
 	if !ok {
-		de = &dirEntry{state: pageUnmapped, mu: sim.NewMutex(sp.svc.e)}
+		de = &dirEntry{state: pageUnmapped, mu: sim.NewMutex(sp.svc.e).SetLabel("vm.dir-entry")}
 		sp.dir[vpn] = de
 	}
 	de.mu.Lock(p)

@@ -195,6 +195,7 @@ func (sp *Space) resolveFault(p *sim.Proc, vpn mem.VPN, op accessOp, pend *pendi
 	if sp.isOrigin {
 		sp.svc.metrics.Counter("vm.fault.local").Inc()
 		sp.asLock.RLock(p)
+		//popcornvet:allow locksend the shared asLock orders this fault against concurrent VMA updates; the revocation handlers it can trigger touch only remote page tables and never take the origin asLock
 		g, err := sp.dirTransaction(p, sp.svc.node, vpn, write)
 		sp.asLock.RUnlock(p)
 		if err != nil {

@@ -90,6 +90,7 @@ func (s *Service) handlePageFetch(p *sim.Proc, m *msg.Message) *msg.Message {
 	}
 	if req.Count > 1 {
 		sp.asLock.RLock(p)
+		//popcornvet:allow locksend the shared asLock orders remote faults against concurrent VMA updates; the revocation handlers it can trigger touch only remote page tables and never take the origin asLock
 		grant := sp.batchTransactions(p, m.From, req.VPN, req.Count)
 		sp.asLock.RUnlock(p)
 		size := sizeVMAReply
@@ -109,6 +110,7 @@ func (s *Service) handlePageFetch(p *sim.Proc, m *msg.Message) *msg.Message {
 		return &msg.Message{Size: sizeVMAReply, Payload: grant}
 	}
 	sp.asLock.RLock(p)
+	//popcornvet:allow locksend the shared asLock orders remote faults against concurrent VMA updates; the revocation handlers it can trigger touch only remote page tables and never take the origin asLock
 	grant, err := sp.dirTransaction(p, m.From, req.VPN, req.Write)
 	sp.asLock.RUnlock(p)
 	if err != nil {

@@ -124,6 +124,7 @@ func (sp *Space) originMap(p *sim.Proc, length uint64, prot mem.Prot) (mem.Addr,
 	}
 	sp.version++
 	if sp.svc.eagerMapPush {
+		//popcornvet:allow locksend VMA updates must reach replicas in version order, so the push happens under the asLock that assigned the version; the replica-side handler applies the layout locally and never calls back into the origin
 		if err := sp.pushUpdate(p, &vmaUpdate{GID: sp.gid, Op: opMap, Lo: v.Lo, Hi: v.Hi, Prot: prot, Version: sp.version}); err != nil {
 			return 0, err
 		}
@@ -150,6 +151,7 @@ func (sp *Space) originUnmap(p *sim.Proc, addr mem.Addr, length uint64) error {
 			delete(sp.dir, v)
 		}
 	}
+	//popcornvet:allow locksend VMA updates must reach replicas in version order, so the push happens under the asLock that assigned the version; the replica-side handler applies the layout locally and never calls back into the origin
 	return sp.pushUpdate(p, &vmaUpdate{GID: sp.gid, Op: opUnmap, Lo: lo, Hi: hi, Version: sp.version})
 }
 
@@ -169,6 +171,7 @@ func (sp *Space) originProtect(p *sim.Proc, addr mem.Addr, length uint64, prot m
 	}
 	sp.version++
 	sp.applyProtectLocal(p, lo, hi, prot)
+	//popcornvet:allow locksend VMA updates must reach replicas in version order, so the push happens under the asLock that assigned the version; the replica-side handler applies the layout locally and never calls back into the origin
 	return sp.pushUpdate(p, &vmaUpdate{GID: sp.gid, Op: opProtect, Lo: lo, Hi: hi, Prot: prot, Version: sp.version})
 }
 
@@ -312,6 +315,7 @@ func (sp *Space) originSbrk(p *sim.Proc, delta int64) (mem.Addr, error) {
 			delete(sp.dir, v)
 		}
 	}
+	//popcornvet:allow locksend VMA updates must reach replicas in version order, so the push happens under the asLock that assigned the version; the replica-side handler applies the layout locally and never calls back into the origin
 	err := sp.pushUpdate(p, &vmaUpdate{GID: sp.gid, Op: opUnmap, Lo: lo, Hi: hi, Version: sp.version})
 	sp.asLock.Unlock(p)
 	return old, err

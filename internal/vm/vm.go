@@ -163,7 +163,42 @@ func NewService(e *sim.Engine, machine *hw.Machine, fabric *msg.Fabric, node msg
 	s.ep.Handle(msg.TypeVMAFetch, s.handleVMAFetch)
 	s.ep.Handle(msg.TypePageFetch, s.handlePageFetch)
 	s.ep.Handle(msg.TypePageInvalidate, s.handlePageInvalidate)
+	e.Invariant(fmt.Sprintf("vm.dir.k%d", node), s.checkDirectory)
 	return s
+}
+
+// checkDirectory is the registered engine invariant for this kernel's page
+// directories: every entry's sharer/owner bookkeeping must match its MSI
+// state. The engine runs it at quiescence (and periodically when enabled),
+// catching protocol bugs at the virtual instant they corrupt the model.
+func (s *Service) checkDirectory() error {
+	for gid, sp := range s.spaces {
+		if !sp.isOrigin {
+			continue
+		}
+		for vpn, de := range sp.dir {
+			switch de.state {
+			case pageUnmapped:
+				if len(de.sharers) != 0 {
+					return fmt.Errorf("vm: group %d page %#x unmapped but has %d sharers", gid, uint64(vpn.Base()), len(de.sharers))
+				}
+			case pageShared:
+				if len(de.sharers) == 0 {
+					return fmt.Errorf("vm: group %d page %#x shared with no sharers", gid, uint64(vpn.Base()))
+				}
+			case pageModified:
+				if len(de.sharers) != 0 {
+					return fmt.Errorf("vm: group %d page %#x modified (owner k%d) but has %d read sharers", gid, uint64(vpn.Base()), de.owner, len(de.sharers))
+				}
+				if int(de.owner) < 0 || int(de.owner) >= s.fabric.Nodes() {
+					return fmt.Errorf("vm: group %d page %#x owned by unknown kernel %d", gid, uint64(vpn.Base()), de.owner)
+				}
+			default:
+				return fmt.Errorf("vm: group %d page %#x in impossible state %d", gid, uint64(vpn.Base()), de.state)
+			}
+		}
+	}
+	return nil
 }
 
 // Node returns the kernel this service runs on.
@@ -205,7 +240,7 @@ func (s *Service) Create(gid GID) (*Space, error) {
 		pt:       mem.NewPageTable(),
 		values:   make(map[mem.VPN]int64),
 		pending:  make(map[mem.VPN]*pendingFault),
-		asLock:   sim.NewRWMutex(s.e),
+		asLock:   sim.NewRWMutex(s.e).SetLabel(fmt.Sprintf("vm.asLock.g%d", gid)),
 		dir:      make(map[mem.VPN]*dirEntry),
 		nextMap:  mapBase,
 		brk:      heapBase,
