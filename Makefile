@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet popcornvet test bench
+.PHONY: verify build vet popcornvet popcornmc test bench
 
-verify: build vet popcornvet test
+verify: build vet popcornvet test popcornmc
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,11 @@ vet:
 # The repo's own determinism & protocol linter; see DESIGN.md §6.
 popcornvet:
 	$(GO) run ./cmd/popcornvet ./...
+
+# Schedule exploration with the coherence sanitizer attached; see DESIGN.md §7.
+popcornmc:
+	$(GO) run ./cmd/popcornmc -workload contention -seeds 32
+	$(GO) run ./cmd/popcornmc -workload migration -seeds 32
 
 test:
 	$(GO) test -race ./...

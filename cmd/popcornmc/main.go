@@ -1,0 +1,249 @@
+// Command popcornmc model-checks the replicated kernel's distributed
+// protocols. It boots the OS with the coherence sanitizer and
+// happens-before race detector attached (internal/sanitize), runs a
+// protocol-heavy workload under many seeds with tie-shuffled schedules,
+// and reports the first seed whose schedule violates the memory model:
+// two kernels holding a page writable, a reader observing a stale value
+// after an invalidation acked, layout versions going backwards, or a
+// data race the protocol's happens-before edges do not order.
+//
+// A failing seed is shrunk to the shortest event prefix that still fails
+// (binary search over the engine's event limit — the schedule is a pure
+// function of the seed, so any prefix replays exactly), and the tool
+// prints the command that reproduces it deterministically.
+//
+// Usage:
+//
+//	popcornmc -workload all -seeds 32
+//	popcornmc -workload contention -seed 17 -events 4213   (replay a repro)
+//	popcornmc -workload migration -inject skip-revoke=0    (plant a protocol bug)
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/msg"
+	"repro/internal/sanitize"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "popcornmc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	wlFlag := flag.String("workload", "all", "workload to explore: contention, migration, futex, all")
+	seeds := flag.Int64("seeds", 32, "sweep seeds 1..N")
+	seed := flag.Int64("seed", 0, "run this single seed instead of sweeping")
+	events := flag.Uint64("events", 0, "stop after N events (replays a shrunk prefix)")
+	inject := flag.String("inject", "", "plant a protocol bug: skip-revoke=K drops invalidations to kernel K")
+	traceN := flag.Int("trace", 512, "trace buffer capacity behind violation reports")
+	noShrink := flag.Bool("noshrink", false, "report the failing seed without minimising it")
+	verbose := flag.Bool("v", false, "print a line per seed")
+	flag.Parse()
+
+	injectNode, err := parseInject(*inject)
+	if err != nil {
+		return err
+	}
+	workloads, err := pickWorkloads(*wlFlag)
+	if err != nil {
+		return err
+	}
+
+	for _, wl := range workloads {
+		var sweep []int64
+		if *seed != 0 {
+			sweep = []int64{*seed}
+		} else {
+			for s := int64(1); s <= *seeds; s++ {
+				sweep = append(sweep, s)
+			}
+		}
+		var total uint64
+		for _, s := range sweep {
+			out := runOne(wl, s, *events, injectNode, *traceN)
+			total += out.events
+			if *verbose {
+				fmt.Printf("%-11s seed=%-4d events=%-8d violations=%d races=%d\n",
+					wl, s, out.events, len(out.violations), len(out.races))
+			}
+			if !out.failed() {
+				continue
+			}
+			fmt.Printf("%s: seed %d FAILED after %d events\n\n", wl, s, out.events)
+			report(out)
+			limit := out.events
+			if !*noShrink && *events == 0 {
+				limit = shrinkLimit(wl, s, injectNode, *traceN, out.events)
+				fmt.Printf("shrunk to a %d-event prefix (from %d)\n", limit, out.events)
+			}
+			fmt.Printf("\nreplay deterministically with:\n\n  go run ./cmd/popcornmc %s\n",
+				reproArgs(wl, s, limit, *inject))
+			return fmt.Errorf("%s: schedule %d violates the memory model", wl, s)
+		}
+		fmt.Printf("%s: %d seeds clean (%d events explored)\n", wl, len(sweep), total)
+	}
+	return nil
+}
+
+// outcome is one seeded run's verdict.
+type outcome struct {
+	seed       int64
+	events     uint64
+	violations []*sanitize.Violation
+	races      []*sanitize.Violation
+	err        error
+}
+
+func (o outcome) failed() bool {
+	return len(o.violations) > 0 || len(o.races) > 0 || o.err != nil
+}
+
+// runOne boots a fresh OS for the workload, attaches the sanitizer, and
+// runs the workload under the given seed, optionally bounded to a prefix.
+func runOne(wl string, seed int64, limit uint64, injectNode int, traceN int) outcome {
+	o, err := bootFor(wl, seed)
+	if err != nil {
+		return outcome{seed: seed, err: err}
+	}
+	defer o.Close()
+	tb := o.Trace(traceN)
+	ck := o.AttachSanitizer(sanitize.Config{Trace: tb, FailFast: true})
+	if limit > 0 {
+		o.Engine().SetEventLimit(limit)
+	}
+	if injectNode >= 0 {
+		for k := 0; k < o.Kernels(); k++ {
+			o.Kernel(k).VM.InjectSkipRevoke(msg.NodeID(injectNode))
+		}
+	}
+	_, err = runWorkload(o, wl)
+	out := outcome{
+		seed:       seed,
+		events:     o.Engine().EventsProcessed(),
+		violations: ck.Violations(),
+		races:      ck.Races(),
+	}
+	// The event limit cuts the run short by design; a fail-fast violation
+	// already explains its own panic. Anything else is a real failure.
+	if err != nil && !errors.Is(err, sim.ErrEventLimit) && len(out.violations) == 0 {
+		out.err = err
+	}
+	return out
+}
+
+// bootFor builds the machine shape each workload stresses: contention uses
+// the full 8-kernel cluster, migration and futex the 2-kernel testbed.
+func bootFor(wl string, seed int64) (*core.OS, error) {
+	switch wl {
+	case "contention":
+		topo := hw.Topology{Cores: 64, NUMANodes: 2}
+		machine, err := hw.NewMachine(topo, hw.DefaultCostModel())
+		if err != nil {
+			return nil, err
+		}
+		cc := kernel.DefaultClusterConfig(machine)
+		cc.Kernels = 8
+		return core.Boot(core.Config{Topology: topo, Cluster: &cc, Seed: seed, TieShuffle: true})
+	case "migration", "futex":
+		return core.Boot(core.Config{Topology: hw.Topology{Cores: 16, NUMANodes: 2}, Seed: seed, TieShuffle: true})
+	}
+	return nil, fmt.Errorf("unknown workload %q", wl)
+}
+
+// runWorkload exercises the protocol paths the sanitizer watches: remote
+// thread creation (contention), page grants/revocations plus thread
+// migration (migration), and cross-kernel futex hand-offs (futex).
+func runWorkload(o *core.OS, wl string) (workload.Result, error) {
+	switch wl {
+	case "contention":
+		return workload.ThreadBomb(o, workload.ThreadBombSpec{Spawners: 8, Children: 8})
+	case "migration":
+		// Pull first (cross-kernel demand faults revoke the producer's
+		// exclusive copies), then the migration protocol itself.
+		if _, err := workload.MigrationBenefit(o, workload.MigrationBenefitSpec{Pages: 16, Rounds: 2}); err != nil {
+			return workload.Result{}, err
+		}
+		return workload.MigrationBenefit(o, workload.MigrationBenefitSpec{Pages: 16, Rounds: 2, Migrate: true})
+	case "futex":
+		return workload.FutexChain(o, workload.FutexChainSpec{Threads: 8, Iters: 4, CS: time.Microsecond, Shared: true})
+	}
+	return workload.Result{}, fmt.Errorf("unknown workload %q", wl)
+}
+
+// shrinkLimit binary-searches the smallest event limit under which the
+// seed still fails. Event limits do not perturb the schedule, so failure
+// is monotone in the limit and the search is exact.
+func shrinkLimit(wl string, seed int64, injectNode, traceN int, failEvents uint64) uint64 {
+	lo, hi := uint64(1), failEvents
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if runOne(wl, seed, mid, injectNode, traceN).failed() {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+func report(out outcome) {
+	for _, v := range out.violations {
+		fmt.Println(v.String())
+		fmt.Println()
+	}
+	for _, r := range out.races {
+		fmt.Println(r.String())
+		fmt.Println()
+	}
+	if out.err != nil {
+		fmt.Printf("run error: %v\n\n", out.err)
+	}
+}
+
+func reproArgs(wl string, seed int64, events uint64, inject string) string {
+	args := fmt.Sprintf("-workload %s -seed %d -events %d", wl, seed, events)
+	if inject != "" {
+		args += " -inject " + inject
+	}
+	return args
+}
+
+func parseInject(s string) (int, error) {
+	if s == "" {
+		return -1, nil
+	}
+	val, ok := strings.CutPrefix(s, "skip-revoke=")
+	if !ok {
+		return -1, fmt.Errorf("unknown injection %q (want skip-revoke=K)", s)
+	}
+	k, err := strconv.Atoi(val)
+	if err != nil || k < 0 {
+		return -1, fmt.Errorf("bad injection target %q", val)
+	}
+	return k, nil
+}
+
+func pickWorkloads(s string) ([]string, error) {
+	switch s {
+	case "all":
+		return []string{"contention", "migration", "futex"}, nil
+	case "contention", "migration", "futex":
+		return []string{s}, nil
+	}
+	return nil, fmt.Errorf("unknown workload %q (want contention, migration, futex, all)", s)
+}

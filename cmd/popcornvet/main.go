@@ -6,6 +6,8 @@
 //	msgproto  msg.Type enum vs String() names, handler registrations and
 //	          send sites; discarded RPC errors
 //	locksend  sim.Mutex held across a blocking fabric send or RPC
+//	lockorder sim-lock acquisition-order cycles (hierarchy inversions)
+//	          and undocumented same-class lock nesting
 //
 // Usage:
 //

@@ -16,6 +16,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/msg"
 	"repro/internal/osi"
+	"repro/internal/sanitize"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/task"
@@ -48,6 +49,9 @@ type Config struct {
 	Cluster *kernel.ClusterConfig
 	// Seed seeds the deterministic simulation.
 	Seed int64
+	// TieShuffle randomises the order of same-instant events from the
+	// seed, so different seeds explore different legal schedules.
+	TieShuffle bool
 	// Placement selects the AnyKernel spawn policy.
 	Placement PlacementPolicy
 }
@@ -83,7 +87,11 @@ func Boot(cfg Config) (*OS, error) {
 	if seed == 0 {
 		seed = 1
 	}
-	e := sim.NewEngine(sim.WithSeed(seed))
+	opts := []sim.Option{sim.WithSeed(seed)}
+	if cfg.TieShuffle {
+		opts = append(opts, sim.WithTieShuffle())
+	}
+	e := sim.NewEngine(opts...)
 	clusterCfg := kernel.DefaultClusterConfig(machine)
 	if cfg.Cluster != nil {
 		clusterCfg = *cfg.Cluster
@@ -132,6 +140,23 @@ func (o *OS) Trace(capacity int) *trace.Buffer {
 	b := trace.NewBuffer(capacity)
 	o.cluster.Fabric.SetTrace(b)
 	return b
+}
+
+// AttachSanitizer wires a coherence sanitizer and race detector into every
+// layer of the OS: the engine (proc lifecycle and lock edges), the fabric
+// (message happens-before edges) and each kernel's VM, futex and
+// thread-group services. Attach before running workloads; detached runs pay
+// nothing.
+func (o *OS) AttachSanitizer(cfg sanitize.Config) *sanitize.Checker {
+	c := sanitize.New(o.e, cfg)
+	o.e.SetProcObserver(c)
+	o.cluster.Fabric.SetObserver(c)
+	for _, kn := range o.cluster.Kernels {
+		kn.VM.AttachChecker(c)
+		kn.Futex.AttachChecker(c)
+		kn.TG.AttachChecker(c)
+	}
+	return c
 }
 
 // Close shuts the simulation down, unwinding all service processes.

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/msg"
+	"repro/internal/sanitize"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/vm"
@@ -61,6 +62,7 @@ type Service struct {
 	ep       *msg.Endpoint
 	resolver Resolver
 	metrics  *stats.Registry
+	checker  *sanitize.Checker
 	// homeCore is the representative core used to charge value-check
 	// accesses performed by the home-side handler.
 	homeCore int
@@ -129,6 +131,11 @@ func NewService(e *sim.Engine, fabric *msg.Fabric, node msg.NodeID, homeCore int
 	return s
 }
 
+// AttachChecker points the service at a sanitizer. Futex words are
+// synchronisation addresses: every Wait/Wake/Requeue marks the word's page
+// sync so the race detector treats accesses to it as acquire/release pairs.
+func (s *Service) AttachChecker(c *sanitize.Checker) { s.checker = c }
+
 // Wait blocks p until a Wake on (gid, addr), provided the word still holds
 // expect when the home kernel examines it; otherwise ErrWouldBlock.
 func (s *Service) Wait(p *sim.Proc, gid vm.GID, addr mem.Addr, expect int64) error {
@@ -142,6 +149,7 @@ func (s *Service) Wait(p *sim.Proc, gid vm.GID, addr mem.Addr, expect int64) err
 	s.waiters[token] = lw
 	defer delete(s.waiters, token)
 	s.metrics.Counter("futex.wait").Inc()
+	s.checker.SyncOp(p, int64(gid), mem.PageOf(addr))
 
 	var queued bool
 	if home == s.node {
@@ -185,6 +193,7 @@ func (s *Service) Wake(p *sim.Proc, gid vm.GID, addr mem.Addr, count int) (int, 
 		return 0, fmt.Errorf("futex: unknown group %d", gid)
 	}
 	s.metrics.Counter("futex.wake").Inc()
+	s.checker.SyncOp(p, int64(gid), mem.PageOf(addr))
 	if home == s.node {
 		reply := s.doWake(p, gid, addr, count)
 		return reply.Woken, nil

@@ -21,6 +21,8 @@ func (s *Service) Requeue(p *sim.Proc, gid vm.GID, from, to mem.Addr, expect int
 		return 0, 0, fmt.Errorf("futex: unknown group %d", gid)
 	}
 	s.metrics.Counter("futex.requeue").Inc()
+	s.checker.SyncOp(p, int64(gid), mem.PageOf(from))
+	s.checker.SyncOp(p, int64(gid), mem.PageOf(to))
 	if home == s.node {
 		reply := s.doRequeue(p, gid, from, to, expect, wake, requeue)
 		if reply.Err != "" {
@@ -85,7 +87,7 @@ func (s *Service) requeueLocked(p *sim.Proc, sp *vm.Space, gid vm.GID, from, to 
 	}
 	first.mu.Lock(p)
 	if second != first {
-		second.mu.Lock(p)
+		second.mu.Lock(p) //popcornvet:allow lockorder the two buckets are always taken in address order (first/second sorted above), so concurrent requeues cannot close a wait cycle
 	}
 	defer func() {
 		if second != first {

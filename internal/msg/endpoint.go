@@ -64,6 +64,9 @@ func (ep *Endpoint) Send(p *sim.Proc, m *Message) {
 	ep.prepare(m)
 	ep.f.metrics.Counter("msg.sent").Inc()
 	ep.f.traceEvent("msg.send", m.From, "%v to k%d seq=%d size=%d reply=%v", m.Type, m.To, m.Seq, m.Size, m.IsReply)
+	if o := ep.f.observer; o != nil {
+		o.MsgSent(p, m)
+	}
 	entry := ep.f.reserve(m)
 	p.Sleep(ep.f.sendCost(m))
 	ep.f.commit(entry)
@@ -82,6 +85,9 @@ func (ep *Endpoint) Call(p *sim.Proc, m *Message) (*Message, error) {
 	ep.f.metrics.Counter("msg.sent").Inc()
 	ep.f.metrics.Counter("msg.rpc").Inc()
 	ep.f.traceEvent("msg.send", m.From, "%v to k%d seq=%d size=%d rpc", m.Type, m.To, m.Seq, m.Size)
+	if o := ep.f.observer; o != nil {
+		o.MsgSent(p, m)
+	}
 	start := p.Now()
 	entry := ep.f.reserve(m)
 	p.Sleep(ep.f.sendCost(m))
@@ -147,6 +153,9 @@ func (ep *Endpoint) dispatch(p *sim.Proc) {
 		}
 		mm := m
 		ep.f.e.Spawn(fmt.Sprintf("msg-handler-%d-%v", ep.node, m.Type), func(hp *sim.Proc) {
+			if o := ep.f.observer; o != nil {
+				o.MsgDelivered(hp, mm)
+			}
 			reply := h(hp, mm)
 			if reply == nil {
 				return
@@ -169,5 +178,8 @@ func (ep *Endpoint) completeCall(m *Message) {
 	}
 	c.reply = m
 	c.done = true
+	if o := ep.f.observer; o != nil {
+		o.MsgDelivered(c.waiter, m)
+	}
 	c.waiter.Resume()
 }

@@ -190,10 +190,27 @@ type Fabric struct {
 	wires map[wireKey]*wire
 	// tracer, when attached, records send/deliver events.
 	tracer *trace.Buffer
+	// observer, when attached, sees the happens-before edges messages carry.
+	observer Observer
 }
 
 // SetTrace attaches an event buffer; nil detaches it.
 func (f *Fabric) SetTrace(b *trace.Buffer) { f.tracer = b }
+
+// Observer receives transport-level events for dynamic checkers: the
+// sanitizer's vector clocks ride on these edges. MsgSent fires in the
+// sending proc when the message is committed to the wire; MsgDelivered
+// fires in the receiving context — the handler proc for requests, the RPC
+// waiter for replies — before any handler or continuation code runs.
+// Callbacks must not block.
+type Observer interface {
+	MsgSent(p *sim.Proc, m *Message)
+	MsgDelivered(p *sim.Proc, m *Message)
+}
+
+// SetObserver attaches o to the fabric; nil detaches it. The fabric pays
+// only a nil-check per message when detached.
+func (f *Fabric) SetObserver(o Observer) { f.observer = o }
 
 func (f *Fabric) traceEvent(kind string, node NodeID, format string, args ...any) {
 	if f.tracer == nil {

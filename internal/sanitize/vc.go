@@ -1,0 +1,36 @@
+package sanitize
+
+// VC is a vector clock: proc id -> logical time. The checker keeps one per
+// live proc, one per in-flight message, one per lock, and one per inferred
+// synchronisation address; happens-before is the component-wise order.
+type VC map[int64]uint64
+
+func (v VC) tick(pid int64) { v[pid]++ }
+
+// join folds o into v (component-wise max): v becomes the least clock that
+// happens-after both.
+func (v VC) join(o VC) {
+	for pid, t := range o {
+		if t > v[pid] {
+			v[pid] = t
+		}
+	}
+}
+
+func (v VC) clone() VC {
+	c := make(VC, len(v))
+	for pid, t := range v {
+		c[pid] = t
+	}
+	return c
+}
+
+// epoch is one (proc, time) access record — FastTrack-style: most accesses
+// need only their last epoch, not a full clock.
+type epoch struct {
+	pid int64
+	t   uint64
+}
+
+// covers reports whether the epoch happened-before the clock v.
+func (v VC) covers(e epoch) bool { return e.t == 0 || v[e.pid] >= e.t }

@@ -1,0 +1,59 @@
+package sanitize
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Violation is one detected protocol or memory-model failure. Coherence
+// violations (single-writer, stale-read, lost-writeback, no-grant,
+// version-regress) are recorded as they fire; race reports are collected and
+// filtered against the inferred synchronisation addresses at the end of the
+// run.
+type Violation struct {
+	// Kind classifies the violation: "single-writer", "stale-read",
+	// "lost-writeback", "no-grant", "version-regress" or "race".
+	Kind string
+	// At is the virtual time the violation was detected.
+	At sim.Time
+	// Node is the kernel the violating action ran on (-1 if not applicable).
+	Node int
+	// GID/VPN identify the page involved.
+	GID int64
+	VPN mem.VPN
+	// Detail is the human-readable description.
+	Detail string
+	// Events is the page's protocol history (grants, revokes) from the
+	// attached trace buffer, oldest first.
+	Events []trace.Event
+}
+
+// Error makes *Violation usable as a panic value that the engine's process
+// recovery turns into a run failure.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("sanitize: %s violation at %v on k%d: %s", v.Kind, v.At, v.Node, v.Detail)
+}
+
+// String renders the violation with its attached protocol history.
+func (v *Violation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s violation at %v on k%d: %s", v.Kind, v.At, v.Node, v.Detail)
+	if len(v.Events) > 0 {
+		fmt.Fprintf(&b, "\n  page history (%s):", pageToken(v.GID, v.VPN))
+		for _, ev := range v.Events {
+			fmt.Fprintf(&b, "\n    %s", ev)
+		}
+	}
+	return b.String()
+}
+
+// pageToken is the stable identifier the checker embeds in every trace
+// event detail so a violation can pull the owning events back out of the
+// shared buffer.
+func pageToken(gid int64, vpn mem.VPN) string {
+	return fmt.Sprintf("g%d/p%#x", gid, uint64(vpn))
+}

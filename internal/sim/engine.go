@@ -3,7 +3,6 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"time"
 )
 
@@ -30,10 +29,20 @@ var ErrKilled = errors.New("sim: process killed by engine shutdown")
 // are pending, so virtual time can never advance again.
 var ErrDeadlock = errors.New("sim: deadlock: blocked processes with no pending events")
 
+// ErrEventLimit is returned by Run when the engine stops because it reached
+// the limit set with SetEventLimit. Schedule exploration uses it to replay a
+// bounded prefix of a run.
+var ErrEventLimit = errors.New("sim: event limit reached")
+
 type event struct {
 	at  Time
 	seq uint64
-	fn  func()
+	// prio breaks ties between same-instant events. By default prio == seq
+	// (insertion order); under WithTieShuffle it is a seeded random draw, so
+	// different seeds explore different interleavings of logically
+	// concurrent events while each seed stays fully deterministic.
+	prio uint64
+	fn   func()
 	// canceled events stay in the heap but are skipped on pop.
 	canceled bool
 }
@@ -48,7 +57,10 @@ type Engine struct {
 	now       Time
 	seq       uint64
 	heap      eventHeap
-	rng       *rand.Rand
+	rng       *RNG
+	shuffle   bool
+	limit     uint64
+	observer  ProcObserver
 	procs     map[int64]*Proc
 	nextPID   int64
 	current   *Proc
@@ -69,13 +81,21 @@ type Option func(*Engine)
 
 // WithSeed sets the seed for the engine's deterministic random source.
 func WithSeed(seed int64) Option {
-	return func(e *Engine) { e.rng = rand.New(rand.NewSource(seed)) }
+	return func(e *Engine) { e.rng = NewRNG(seed) }
+}
+
+// WithTieShuffle makes same-instant events fire in a seeded random order
+// instead of insertion order. Each seed still yields one fixed schedule, so
+// a run is replayable from (seed, workload) alone; popcornmc sweeps seeds to
+// explore interleavings the default schedule never exercises.
+func WithTieShuffle() Option {
+	return func(e *Engine) { e.shuffle = true }
 }
 
 // NewEngine returns a new engine with virtual time zero.
 func NewEngine(opts ...Option) *Engine {
 	e := &Engine{
-		rng:    rand.New(rand.NewSource(1)),
+		rng:    NewRNG(1),
 		procs:  make(map[int64]*Proc),
 		parked: make(chan struct{}),
 	}
@@ -90,7 +110,19 @@ func (e *Engine) Now() Time { return e.now }
 
 // Rand returns the engine's deterministic random source. It must only be
 // used from simulation processes or between Run calls.
-func (e *Engine) Rand() *rand.Rand { return e.rng }
+func (e *Engine) Rand() *RNG { return e.rng }
+
+// Seed returns the seed the engine's random source was created with.
+func (e *Engine) Seed() int64 { return e.rng.Seed() }
+
+// TieShuffle reports whether same-instant events fire in seeded random
+// order (WithTieShuffle) rather than insertion order.
+func (e *Engine) TieShuffle() bool { return e.shuffle }
+
+// SetEventLimit makes Run stop with ErrEventLimit after n events have been
+// processed over the engine's lifetime (0 disables the limit). Schedule
+// shrinking binary-searches this bound for the shortest failing prefix.
+func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
 
 // Err returns the first failure (process panic) recorded by the engine.
 func (e *Engine) Err() error { return e.failure }
@@ -109,6 +141,11 @@ func (e *Engine) Schedule(d time.Duration, fn func()) *EventHandle {
 		d = 0
 	}
 	ev := &event{at: e.now.Add(d), seq: e.nextSeq(), fn: fn}
+	if e.shuffle {
+		ev.prio = e.rng.Uint64()
+	} else {
+		ev.prio = ev.seq
+	}
 	e.heap.push(ev)
 	return &EventHandle{ev: ev}
 }
@@ -160,6 +197,9 @@ func (e *Engine) run(cond func() bool) error {
 		return errors.New("sim: engine is closed")
 	}
 	for e.heap.len() > 0 && cond() {
+		if e.limit > 0 && e.processed >= e.limit {
+			return ErrEventLimit
+		}
 		ev := e.heap.pop()
 		if ev.canceled {
 			continue

@@ -59,6 +59,7 @@ func (m *Mutex) Lock(p *Proc) {
 		m.owner = p
 		m.acquiredAt = m.e.now
 		m.stats.Acquisitions++
+		m.e.observeAcquire(p, m)
 		return
 	}
 	if m.owner == p {
@@ -76,6 +77,7 @@ func (m *Mutex) Lock(p *Proc) {
 	}
 	m.stats.Acquisitions++
 	m.stats.recordWait(m.e.now.Sub(w.since))
+	m.e.observeAcquire(p, m)
 }
 
 // TryLock acquires the mutex if it is free, reporting success.
@@ -86,6 +88,7 @@ func (m *Mutex) TryLock(p *Proc) bool {
 	m.owner = p
 	m.acquiredAt = m.e.now
 	m.stats.Acquisitions++
+	m.e.observeAcquire(p, m)
 	return true
 }
 
@@ -94,6 +97,7 @@ func (m *Mutex) Unlock(p *Proc) {
 	if m.owner != p {
 		panic("sim: Mutex.Unlock by non-owner")
 	}
+	m.e.observeRelease(p, m)
 	m.stats.TotalHold += m.e.now.Sub(m.acquiredAt)
 	if len(m.q) == 0 {
 		m.owner = nil
@@ -156,6 +160,7 @@ func (l *RWMutex) RLock(p *Proc) {
 		}
 		l.readers++
 		l.stats.Acquisitions++
+		l.e.observeAcquire(p, l)
 		return
 	}
 	w := &mutexWaiter{p: p, since: l.e.now}
@@ -168,6 +173,7 @@ func (l *RWMutex) RLock(p *Proc) {
 	}
 	l.stats.Acquisitions++
 	l.stats.recordWait(l.e.now.Sub(w.since))
+	l.e.observeAcquire(p, l)
 }
 
 // RUnlock releases a shared hold.
@@ -175,6 +181,7 @@ func (l *RWMutex) RUnlock(p *Proc) {
 	if l.readers <= 0 {
 		panic("sim: RUnlock with no readers")
 	}
+	l.e.observeRelease(p, l)
 	l.readers--
 	if l.readers == 0 {
 		l.stats.TotalHold += l.e.now.Sub(l.acquiredAt)
@@ -188,6 +195,7 @@ func (l *RWMutex) Lock(p *Proc) {
 		l.writer = p
 		l.acquiredAt = l.e.now
 		l.stats.Acquisitions++
+		l.e.observeAcquire(p, l)
 		return
 	}
 	if l.writer == p {
@@ -203,6 +211,7 @@ func (l *RWMutex) Lock(p *Proc) {
 	}
 	l.stats.Acquisitions++
 	l.stats.recordWait(l.e.now.Sub(w.since))
+	l.e.observeAcquire(p, l)
 }
 
 // Unlock releases an exclusive hold.
@@ -210,6 +219,7 @@ func (l *RWMutex) Unlock(p *Proc) {
 	if l.writer != p {
 		panic("sim: RWMutex.Unlock by non-owner")
 	}
+	l.e.observeRelease(p, l)
 	l.stats.TotalHold += l.e.now.Sub(l.acquiredAt)
 	l.writer = nil
 	l.promote()

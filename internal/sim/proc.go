@@ -53,12 +53,14 @@ func (e *Engine) spawn(name string, daemon bool, fn func(p *Proc)) *Proc {
 		daemon: daemon,
 	}
 	e.procs[p.id] = p
+	e.observeStarted(p)
 	//popcornvet:allow simtime cooperative procs are implemented as parked goroutines; the engine serialises all hand-offs
 	go func() {
 		<-p.resume
 		defer func() {
 			p.finished = true
 			delete(e.procs, p.id)
+			e.observeFinished(p)
 			if r := recover(); r != nil {
 				if err, ok := r.(error); ok && err == ErrKilled {
 					// Engine shutdown: exit quietly.
@@ -109,6 +111,7 @@ func (p *Proc) wake() {
 		return
 	}
 	p.waking = true
+	p.e.observeWoken(p)
 	p.e.Schedule(0, func() { p.e.dispatch(p) })
 }
 

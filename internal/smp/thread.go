@@ -391,7 +391,7 @@ func (t *Thread) FutexRequeue(from, to mem.Addr, expect int64, wake, requeue int
 	}
 	first.mu.Lock(t.p)
 	if second != first {
-		second.mu.Lock(t.p)
+		second.mu.Lock(t.p) //popcornvet:allow lockorder the two buckets are always taken in address order (first/second sorted above), so concurrent requeues cannot close a wait cycle
 	}
 	defer func() {
 		if second != first {

@@ -31,6 +31,7 @@ func (s *Service) Exit(p *sim.Proc, gid vm.GID, id task.ID) error {
 		sp.ThreadLeft()
 	}
 	s.metrics.Counter("tg.exit").Inc()
+	s.checker.ThreadExited(p, int64(gid), int64(id), s.node)
 
 	// Reap the shadows this thread left along its migration path.
 	for _, hop := range t.Hops {

@@ -78,6 +78,7 @@ func (s *Service) Migrate(p *sim.Proc, gid vm.GID, id task.ID, dst msg.NodeID) (
 	s.metrics.Histogram("tg.migrate.rpc").Observe(p.Now().Sub(rpcStart))
 	s.metrics.Histogram("tg.migrate.total").Observe(p.Now().Sub(totalStart))
 	s.metrics.Counter("tg.migrate").Inc()
+	s.checker.ThreadMigrated(p, int64(gid), int64(id), s.node, dst)
 	return r.Task, nil
 }
 
@@ -105,7 +106,7 @@ func (s *Service) handleMigrate(p *sim.Proc, m *msg.Message) *msg.Message {
 			s.dummies--
 			s.metrics.Counter("tg.migrate.dummyhit").Inc()
 			//popcornvet:allow locksend refillDummy only spawns the background refill proc via the engine's Spawn; the name-based analysis confuses that with this service's fabric-backed Spawn
-			s.refillDummy()
+			s.refillDummy() //popcornvet:allow lockorder same Spawn name collision: the refill proc takes tasklist on its own, after this handler released it
 		} else {
 			p.Sleep(s.machine.Cost.ThreadSetup)
 			s.metrics.Counter("tg.migrate.dummymiss").Inc()

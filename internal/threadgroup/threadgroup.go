@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/hw"
 	"repro/internal/msg"
+	"repro/internal/sanitize"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/task"
@@ -71,6 +72,7 @@ type Service struct {
 	ep      *msg.Endpoint
 	vmsvc   *vm.Service
 	metrics *stats.Registry
+	checker *sanitize.Checker
 	cfg     Config
 
 	groups map[vm.GID]*group
@@ -120,6 +122,10 @@ func NewService(e *sim.Engine, machine *hw.Machine, fabric *msg.Fabric, node msg
 	s.ep.Handle(msg.TypeSignal, s.handleSignal)
 	return s
 }
+
+// AttachChecker points the service at a sanitizer: migrations and exits
+// create happens-before edges between the thread's old and new kernels.
+func (s *Service) AttachChecker(c *sanitize.Checker) { s.checker = c }
 
 // Node returns the kernel this service runs on.
 func (s *Service) Node() msg.NodeID { return s.node }

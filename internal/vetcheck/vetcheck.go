@@ -70,7 +70,7 @@ type Analyzer interface {
 
 // Analyzers returns every built-in analyzer.
 func Analyzers() []Analyzer {
-	return []Analyzer{SimTime{}, MsgProto{}, LockSend{}}
+	return []Analyzer{SimTime{}, MsgProto{}, LockSend{}, LockOrder{}}
 }
 
 // managedPackages are the sim-managed package names: code in them executes
@@ -85,6 +85,7 @@ var managedPackages = map[string]bool{
 	"vm":          true,
 	"threadgroup": true,
 	"futex":       true,
+	"sanitize":    true,
 	"sched":       true,
 	"task":        true,
 	"workload":    true,

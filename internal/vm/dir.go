@@ -36,16 +36,19 @@ func (sp *Space) dirTransaction(p *sim.Proc, req msg.NodeID, vpn mem.VPN, write 
 	sharedProt := vma.Prot &^ mem.ProtWrite
 	exclusiveProt := vma.Prot
 
+	ck := sp.svc.checker
 	switch de.state {
 	case pageUnmapped:
 		de.value = 0
 		if write {
 			de.state = pageModified
 			de.owner = req
+			ck.Grant(p, int64(sp.gid), vpn, req, true, true, 0)
 			return &pageGrant{Value: 0, Src: srcZeroFill, Prot: exclusiveProt}, nil
 		}
 		de.state = pageShared
 		de.sharers = map[msg.NodeID]struct{}{req: {}}
+		ck.Grant(p, int64(sp.gid), vpn, req, false, true, 0)
 		return &pageGrant{Value: 0, Src: srcZeroFill, Prot: sharedProt}, nil
 
 	case pageShared:
@@ -56,6 +59,7 @@ func (sp *Space) dirTransaction(p *sim.Proc, req msg.NodeID, vpn mem.VPN, write 
 			if isSharer {
 				src = srcHaveCopy
 			}
+			ck.Grant(p, int64(sp.gid), vpn, req, false, !isSharer, de.value)
 			return &pageGrant{Value: de.value, Src: src, Prot: sharedProt}, nil
 		}
 		// Write on a shared page: revoke every other copy, then grant
@@ -69,12 +73,14 @@ func (sp *Space) dirTransaction(p *sim.Proc, req msg.NodeID, vpn mem.VPN, write 
 		if isSharer {
 			src = srcHaveCopy
 		}
+		ck.Grant(p, int64(sp.gid), vpn, req, true, !isSharer, de.value)
 		return &pageGrant{Value: de.value, Src: src, Prot: exclusiveProt}, nil
 
 	case pageModified:
 		if de.owner == req {
 			// The owner lost PTE bits (mprotect round trip) but still has
 			// the data; re-grant in place.
+			ck.Grant(p, int64(sp.gid), vpn, req, true, false, 0)
 			return &pageGrant{Src: srcHaveCopy, Prot: exclusiveProt}, nil
 		}
 		old := de.owner
@@ -84,6 +90,7 @@ func (sp *Space) dirTransaction(p *sim.Proc, req msg.NodeID, vpn mem.VPN, write 
 		}
 		if write {
 			de.owner = req
+			ck.Grant(p, int64(sp.gid), vpn, req, true, true, de.value)
 			return &pageGrant{Value: de.value, Src: int(old), Prot: exclusiveProt}, nil
 		}
 		de.state = pageShared
@@ -93,6 +100,7 @@ func (sp *Space) dirTransaction(p *sim.Proc, req msg.NodeID, vpn mem.VPN, write 
 			de.sharers[old] = struct{}{}
 		}
 		de.owner = 0
+		ck.Grant(p, int64(sp.gid), vpn, req, false, true, de.value)
 		return &pageGrant{Value: de.value, Src: int(old), Prot: sharedProt}, nil
 	}
 	return nil, fmt.Errorf("vm: directory entry for %#x in impossible state %d", uint64(vpn.Base()), de.state)
@@ -103,6 +111,12 @@ func (sp *Space) dirTransaction(p *sim.Proc, req msg.NodeID, vpn mem.VPN, write 
 func (sp *Space) revokeCopies(p *sim.Proc, targets []msg.NodeID, vpn mem.VPN, downgrade bool) {
 	remote := targets[:0:0]
 	for _, t := range targets {
+		if sp.svc.injectSkipRevoke && t == sp.svc.skipRevokeTarget {
+			// Deliberately broken protocol (sanitizer tests): leave the
+			// stale copy in place.
+			sp.svc.metrics.Counter("vm.inject.skipped").Inc()
+			continue
+		}
 		if t == sp.svc.node {
 			sp.applyInval(p, vpn, downgrade)
 		} else {
@@ -125,6 +139,12 @@ func (sp *Space) revokeCopies(p *sim.Proc, targets []msg.NodeID, vpn mem.VPN, do
 // revokeOwner revokes (or downgrades) the exclusive copy at the owning
 // kernel and returns the written-back contents.
 func (sp *Space) revokeOwner(p *sim.Proc, owner msg.NodeID, vpn mem.VPN, downgrade bool) pageInvalAck {
+	if sp.svc.injectSkipRevoke && owner == sp.svc.skipRevokeTarget {
+		// Deliberately broken protocol (sanitizer tests): the owner keeps
+		// its writable copy and no write-back happens.
+		sp.svc.metrics.Counter("vm.inject.skipped").Inc()
+		return pageInvalAck{}
+	}
 	if owner == sp.svc.node {
 		return sp.applyInval(p, vpn, downgrade)
 	}
@@ -148,6 +168,7 @@ func (sp *Space) applyInval(p *sim.Proc, vpn mem.VPN, downgrade bool) pageInvalA
 	}
 	pte, ok := sp.pt.Lookup(vpn)
 	if !ok {
+		sp.svc.checker.Revoked(p, int64(sp.gid), vpn, sp.svc.node, downgrade, false, 0)
 		return ack
 	}
 	ack.HadCopy = true
@@ -162,6 +183,7 @@ func (sp *Space) applyInval(p *sim.Proc, vpn mem.VPN, downgrade bool) pageInvalA
 		}
 		delete(sp.values, vpn)
 	}
+	sp.svc.checker.Revoked(p, int64(sp.gid), vpn, sp.svc.node, downgrade, true, ack.Value)
 	p.Sleep(sp.svc.machine.TLBShootdown(sp.shootdownCores(), false))
 	sp.svc.metrics.Counter("vm.inval.applied").Inc()
 	return ack

@@ -112,7 +112,7 @@ func (sp *Space) access(p *sim.Proc, core int, addr mem.Addr, op accessOp) (int6
 		if pte, ok := sp.pt.Lookup(vpn); ok {
 			sufficient := pte.Prot.Readable() && (!write || pte.Prot.Writable())
 			if sufficient {
-				res := sp.performAccess(vpn, op)
+				res := sp.performAccess(p, vpn, op)
 				p.Sleep(sp.svc.machine.MemAccess(core, pte.HomeNode))
 				return res.value, nil
 			}
@@ -250,7 +250,7 @@ func (sp *Space) install(p *sim.Proc, vpn mem.VPN, g *pageGrant, pend *pendingFa
 		}
 		pte.Prot = g.Prot
 		sp.pt.Set(vpn, pte)
-		res := sp.performAccess(vpn, op)
+		res := sp.performAccess(p, vpn, op)
 		p.Sleep(sp.svc.machine.Cost.PTESet)
 		return res, nil
 	}
@@ -272,7 +272,7 @@ func (sp *Space) install(p *sim.Proc, vpn mem.VPN, g *pageGrant, pend *pendingFa
 	}
 	sp.pt.Set(vpn, mem.PTE{Frame: frame, Prot: g.Prot, HomeNode: home})
 	sp.values[vpn] = g.Value
-	res := sp.performAccess(vpn, op)
+	res := sp.performAccess(p, vpn, op)
 	p.Sleep(sp.svc.machine.Cost.PageCopyLocal + sp.svc.machine.Cost.PTESet)
 	return res, nil
 }
@@ -280,20 +280,25 @@ func (sp *Space) install(p *sim.Proc, vpn mem.VPN, g *pageGrant, pend *pendingFa
 // performAccess applies the load, store or read-modify-write against the
 // local copy. It must be called with no intervening blocking after the
 // sufficiency check or installation: this is the access's linearisation
-// point.
-func (sp *Space) performAccess(vpn mem.VPN, op accessOp) accessResult {
+// point, which is also where the sanitizer checks it.
+func (sp *Space) performAccess(p *sim.Proc, vpn mem.VPN, op accessOp) accessResult {
 	switch {
 	case op.rmw != nil:
 		old := sp.values[vpn]
-		if next, doWrite := op.rmw(old); doWrite {
+		next, doWrite := op.rmw(old)
+		if doWrite {
 			sp.values[vpn] = next
 		}
+		sp.svc.checker.AccessRMW(p, sp.svc.node, int64(sp.gid), vpn, old, next, doWrite)
 		return accessResult{value: old, completed: true}
 	case op.write:
 		sp.values[vpn] = op.val
+		sp.svc.checker.AccessWrite(p, sp.svc.node, int64(sp.gid), vpn, op.val)
 		return accessResult{value: op.val, completed: true}
 	default:
-		return accessResult{value: sp.values[vpn], completed: true}
+		v := sp.values[vpn]
+		sp.svc.checker.AccessRead(p, sp.svc.node, int64(sp.gid), vpn, v)
+		return accessResult{value: v, completed: true}
 	}
 }
 

@@ -3,7 +3,11 @@ package vm
 import (
 	"testing"
 
+	"repro/internal/hw"
 	"repro/internal/mem"
+	"repro/internal/sanitize"
+	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // FuzzVMASet drives the VMA set with an op stream decoded from fuzz input
@@ -56,6 +60,93 @@ func FuzzVMASet(f *testing.F) {
 			wantProt, wantMapped := oracle[v]
 			if mapped != wantMapped || (mapped && area.Prot != wantProt) {
 				t.Fatalf("page %d: set=(%v,%v) oracle=(%v,%v)", v, area.Prot, mapped, wantProt, wantMapped)
+			}
+		}
+	})
+}
+
+// FuzzCoherenceSanitized drives the distributed page protocol with the
+// coherence sanitizer attached: two kernels hammer a small window of shared
+// pages with loads, stores, CAS and fetch-add decoded from the fuzz input,
+// under a tie-shuffled (seeded) event schedule. With an intact directory the
+// sanitizer must stay silent — any coherence violation is a real protocol
+// bug, not a property of the input. With the skip-revoke fault injected the
+// run must survive (no deadlock, no unexpected error) and every reported
+// violation must be well-formed.
+//
+// The seed corpus includes the shrunk repro popcornmc finds for the
+// injected bug: store at the origin, replicate to k1, upgrade at the origin
+// with the invalidation dropped.
+func FuzzCoherenceSanitized(f *testing.F) {
+	// Minimal skip-revoke repro (seed 1): store k0, load k1, store k0.
+	f.Add(uint8(1), true, []byte{0x01, 7, 0x04, 0, 0x01, 9})
+	// Same schedule, intact directory: must be clean.
+	f.Add(uint8(1), false, []byte{0x01, 7, 0x04, 0, 0x01, 9})
+	// Mixed RMW traffic across two pages and both kernels.
+	f.Add(uint8(42), false, []byte{0x02, 1, 0x06, 1, 0x0b, 3, 0x0f, 5, 0x08, 0, 0x01, 2})
+	f.Fuzz(func(t *testing.T, seed uint8, inject bool, data []byte) {
+		if len(data) > 128 {
+			data = data[:128]
+		}
+		ev := newEnv(t, 2, 64, sim.WithSeed(int64(seed)+1), sim.WithTieShuffle())
+		buf := trace.NewBuffer(512)
+		ck := attachSanitizer(ev, sanitize.Config{Trace: buf})
+		if inject {
+			ev.svcs[0].InjectSkipRevoke(1)
+		}
+		sps := ev.group(t, 1)
+
+		const pages = 8
+		// Split the op stream per kernel so the two workers run their halves
+		// concurrently: cross-kernel protocol traffic under a shuffled
+		// schedule is where coherence bugs live.
+		var streams [2][]byte
+		for i := 0; i+1 < len(data); i += 2 {
+			k := (data[i] >> 2) & 1
+			streams[k] = append(streams[k], data[i], data[i+1])
+		}
+		ev.run(t, func(p *sim.Proc) {
+			addr, err := sps[0].Map(p, pages*hw.PageSize, mem.ProtRead|mem.ProtWrite)
+			if err != nil {
+				t.Errorf("Map: %v", err)
+				return
+			}
+			for k := 0; k < 2; k++ {
+				k := k
+				ops := streams[k]
+				core := k * 2 // env kernels sit on cores 0 and 2
+				sp := sps[k]
+				ev.e.Spawn("fuzz-worker", func(p *sim.Proc) {
+					for i := 0; i+1 < len(ops); i += 2 {
+						a := addr + mem.Addr((ops[i]>>3)%pages)*hw.PageSize
+						val := int64(ops[i+1])
+						var err error
+						switch ops[i] & 3 {
+						case 0:
+							_, err = sp.Load(p, core, a)
+						case 1:
+							err = sp.Store(p, core, a, val)
+						case 2:
+							_, err = sp.CompareAndSwap(p, core, a, val%4, val)
+						default:
+							_, err = sp.FetchAdd(p, core, a, val)
+						}
+						if err != nil {
+							t.Errorf("k%d op %d: %v", k, i/2, err)
+							return
+						}
+					}
+				})
+			}
+		})
+
+		vs := ck.Violations()
+		if !inject && len(vs) != 0 {
+			t.Fatalf("coherence violations on an intact directory:\n%s", ck.Report())
+		}
+		for _, v := range vs {
+			if v.Kind == "" || v.GID != 1 || v.Detail == "" {
+				t.Fatalf("malformed violation %+v", v)
 			}
 		}
 	})

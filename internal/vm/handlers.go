@@ -60,6 +60,7 @@ func (s *Service) handleVMAUpdate(p *sim.Proc, m *msg.Message) *msg.Message {
 	if u.Version > sp.version {
 		sp.version = u.Version
 	}
+	s.checker.LayoutApplied(s.node, int64(u.GID), sp.version)
 	return &msg.Message{Size: sizeSmallReq, Payload: &vmaOpReply{Version: sp.version}}
 }
 

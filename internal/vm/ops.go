@@ -123,6 +123,7 @@ func (sp *Space) originMap(p *sim.Proc, length uint64, prot mem.Prot) (mem.Addr,
 		return 0, err
 	}
 	sp.version++
+	sp.svc.checker.LayoutApplied(sp.svc.node, int64(sp.gid), sp.version)
 	if sp.svc.eagerMapPush {
 		//popcornvet:allow locksend VMA updates must reach replicas in version order, so the push happens under the asLock that assigned the version; the replica-side handler applies the layout locally and never calls back into the origin
 		if err := sp.pushUpdate(p, &vmaUpdate{GID: sp.gid, Op: opMap, Lo: v.Lo, Hi: v.Hi, Prot: prot, Version: sp.version}); err != nil {
@@ -145,11 +146,13 @@ func (sp *Space) originUnmap(p *sim.Proc, addr mem.Addr, length uint64) error {
 		return nil // unmapping a hole is a no-op, as in Linux
 	}
 	sp.version++
+	sp.svc.checker.LayoutApplied(sp.svc.node, int64(sp.gid), sp.version)
 	for _, r := range removed {
 		sp.scrubLocal(p, r.Lo, r.Hi)
 		for v := r.Lo; v < r.Hi; v++ {
 			delete(sp.dir, v)
 		}
+		sp.svc.checker.Unmapped(int64(sp.gid), r.Lo, r.Hi)
 	}
 	//popcornvet:allow locksend VMA updates must reach replicas in version order, so the push happens under the asLock that assigned the version; the replica-side handler applies the layout locally and never calls back into the origin
 	return sp.pushUpdate(p, &vmaUpdate{GID: sp.gid, Op: opUnmap, Lo: lo, Hi: hi, Version: sp.version})
@@ -170,6 +173,7 @@ func (sp *Space) originProtect(p *sim.Proc, addr mem.Addr, length uint64, prot m
 		return nil
 	}
 	sp.version++
+	sp.svc.checker.LayoutApplied(sp.svc.node, int64(sp.gid), sp.version)
 	sp.applyProtectLocal(p, lo, hi, prot)
 	//popcornvet:allow locksend VMA updates must reach replicas in version order, so the push happens under the asLock that assigned the version; the replica-side handler applies the layout locally and never calls back into the origin
 	return sp.pushUpdate(p, &vmaUpdate{GID: sp.gid, Op: opProtect, Lo: lo, Hi: hi, Prot: prot, Version: sp.version})
@@ -249,6 +253,7 @@ func (sp *Space) cacheVMA(v VMA, version uint64) {
 	if version > sp.version {
 		sp.version = version
 	}
+	sp.svc.checker.LayoutApplied(sp.svc.node, int64(sp.gid), sp.version)
 }
 
 // heapBase is where each group's brk heap starts (below the mmap area).
@@ -301,6 +306,7 @@ func (sp *Space) originSbrk(p *sim.Proc, delta int64) (mem.Addr, error) {
 		}
 		sp.brk = newBrk
 		sp.version++
+		sp.svc.checker.LayoutApplied(sp.svc.node, int64(sp.gid), sp.version)
 		sp.asLock.Unlock(p)
 		return old, nil
 	}
@@ -309,11 +315,13 @@ func (sp *Space) originSbrk(p *sim.Proc, delta int64) (mem.Addr, error) {
 	removed := sp.vmas.remove(lo, hi)
 	sp.brk = newBrk
 	sp.version++
+	sp.svc.checker.LayoutApplied(sp.svc.node, int64(sp.gid), sp.version)
 	for _, r := range removed {
 		sp.scrubLocal(p, r.Lo, r.Hi)
 		for v := r.Lo; v < r.Hi; v++ {
 			delete(sp.dir, v)
 		}
+		sp.svc.checker.Unmapped(int64(sp.gid), r.Lo, r.Hi)
 	}
 	//popcornvet:allow locksend VMA updates must reach replicas in version order, so the push happens under the asLock that assigned the version; the replica-side handler applies the layout locally and never calls back into the origin
 	err := sp.pushUpdate(p, &vmaUpdate{GID: sp.gid, Op: opUnmap, Lo: lo, Hi: hi, Version: sp.version})

@@ -13,6 +13,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/mem"
 	"repro/internal/msg"
+	"repro/internal/sanitize"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -139,6 +140,15 @@ type Service struct {
 	// localCores is how many cores this kernel drives; TLB shootdowns on a
 	// layout change hit all of them.
 	localCores int
+
+	// checker, when attached, shadows every grant, revoke and access this
+	// kernel performs; nil costs one comparison per hook.
+	checker *sanitize.Checker
+	// injectSkipRevoke deliberately breaks the protocol for sanitizer
+	// tests: invalidations destined for skipRevokeTarget are silently
+	// dropped, leaving stale copies behind.
+	injectSkipRevoke bool
+	skipRevokeTarget msg.NodeID
 }
 
 // NewService creates the kernel's VM service and registers its message
@@ -225,6 +235,20 @@ func (s *Service) SetEagerMapPush(on bool) { s.eagerMapPush = on }
 // before running workloads.
 func (s *Service) SetWriteForwarding(on bool) { s.writeForwarding = on }
 
+// AttachChecker wires the coherence sanitizer into this kernel's VM
+// service; nil detaches it. Attach before running workloads (mid-run
+// attachment misses earlier grants and reports them as no-grant accesses).
+func (s *Service) AttachChecker(c *sanitize.Checker) { s.checker = c }
+
+// InjectSkipRevoke deliberately breaks this (origin) kernel's directory:
+// invalidations destined for node are silently skipped, leaving stale
+// copies behind. It exists so tests and popcornmc can prove the sanitizer
+// catches a protocol bug; never enable it outside checking runs.
+func (s *Service) InjectSkipRevoke(node msg.NodeID) {
+	s.injectSkipRevoke = true
+	s.skipRevokeTarget = node
+}
+
 // Create sets up a new, empty authoritative address space for gid with this
 // kernel as origin.
 func (s *Service) Create(gid GID) (*Space, error) {
@@ -308,6 +332,10 @@ func (s *Service) Drop(p *sim.Proc, gid GID) {
 
 // GID returns the group this space belongs to.
 func (sp *Space) GID() GID { return sp.gid }
+
+// AttachChecker wires the coherence sanitizer in via this space's service
+// (all spaces on a kernel share the hook). Nil detaches.
+func (sp *Space) AttachChecker(c *sanitize.Checker) { sp.svc.AttachChecker(c) }
 
 // Origin returns the group's origin kernel.
 func (sp *Space) Origin() msg.NodeID { return sp.origin }

@@ -34,9 +34,9 @@ type env struct {
 	allocs []*mem.FrameAllocator
 }
 
-func newEnv(t *testing.T, kernels int, framesPerKernel int) *env {
+func newEnv(t *testing.T, kernels int, framesPerKernel int, opts ...sim.Option) *env {
 	t.Helper()
-	e := sim.NewEngine(sim.WithSeed(1))
+	e := sim.NewEngine(append([]sim.Option{sim.WithSeed(1)}, opts...)...)
 	t.Cleanup(e.Close)
 	machine, err := hw.NewMachine(hw.Topology{Cores: 8, NUMANodes: 2}, hw.DefaultCostModel())
 	if err != nil {
