@@ -18,9 +18,13 @@ popcornvet:
 	$(GO) run ./cmd/popcornvet ./...
 
 # Schedule exploration with the coherence sanitizer attached; see DESIGN.md §7.
+# The -faults sweeps layer the fault plan (drop/dup/delay everywhere, kernel
+# crash mid-migration) over the schedules; see DESIGN.md §8.
 popcornmc:
 	$(GO) run ./cmd/popcornmc -workload contention -seeds 32
 	$(GO) run ./cmd/popcornmc -workload migration -seeds 32
+	$(GO) run ./cmd/popcornmc -workload migration -seeds 16 -faults
+	$(GO) run ./cmd/popcornmc -workload futex -seeds 16 -faults
 
 test:
 	$(GO) test -race ./...

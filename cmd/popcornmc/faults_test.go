@@ -1,0 +1,129 @@
+package main
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faultinj"
+	"repro/internal/msg"
+	"repro/internal/sanitize"
+	"repro/internal/sim"
+)
+
+// sweepCfg builds the runCfg a -faults sweep uses for one seed.
+func sweepCfg(wl string, seed int64) runCfg {
+	return runCfg{wl: wl, seed: seed, injectNode: -1, traceN: 512, faults: true}
+}
+
+// TestFaultSweepMigrationCrash pins the headline fault scenario end to end:
+// the plan kills kernel 1 just after it accepts the migrated thread, and the
+// run must still terminate with every safety invariant intact — sanitizer
+// clean, no deadlock, no leaked pending RPCs — while the counters prove the
+// crash, the detection, and the reclamation actually happened.
+func TestFaultSweepMigrationCrash(t *testing.T) {
+	cfg := sweepCfg("migration", 1)
+	o, err := bootFor(cfg.wl, cfg.seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	ck := o.AttachSanitizer(sanitize.Config{FailFast: true})
+	o.EnableFaults(faultPlan(cfg), msg.FaultConfig{})
+	if _, err := runWorkload(o, cfg.wl); err != nil && !isDegradation(err) {
+		t.Fatalf("workload under faults: %v", err)
+	}
+	if r := ck.Report(); r != "" {
+		t.Fatalf("sanitizer reports under faults:\n%s", r)
+	}
+	m := o.Metrics()
+	if got := m.Counter("msg.fault.crash").Value(); got != 1 {
+		t.Fatalf("msg.fault.crash = %d, want 1 (the planned kernel death never fired)", got)
+	}
+	if got := m.Counter("msg.fault.declared").Value(); got == 0 {
+		t.Fatal("no survivor declared the crashed kernel dead")
+	}
+	if got := m.Counter("core.threads.lost").Value(); got == 0 {
+		t.Fatal("no thread was lost with the crashed kernel")
+	}
+	if got := m.Counter("msg.heartbeat.sent").Value(); got == 0 {
+		t.Fatal("failure window ran without heartbeats")
+	}
+	if got := m.Counter("msg.fault.drop").Value(); got == 0 {
+		t.Fatal("fault plan dropped nothing; the probabilistic rules are dead")
+	}
+}
+
+// TestFaultSweepClean runs a few seeds of every sweep workload under the
+// fault plan, exactly as `popcornmc -faults` would, and requires a clean
+// verdict: the hardened transport and degradation paths must absorb the
+// injected faults without tripping any checker.
+func TestFaultSweepClean(t *testing.T) {
+	for _, wl := range []string{"contention", "migration", "futex"} {
+		for seed := int64(1); seed <= 4; seed++ {
+			out := runOne(sweepCfg(wl, seed))
+			if out.failed() {
+				t.Errorf("%s seed %d: violations=%d races=%d err=%v",
+					wl, seed, len(out.violations), len(out.races), out.err)
+			}
+		}
+	}
+}
+
+// TestFaultSweepDeterministic pins replayability: the same (seed, plan)
+// produces byte-identical runs, event count included.
+func TestFaultSweepDeterministic(t *testing.T) {
+	a := runOne(sweepCfg("migration", 3))
+	b := runOne(sweepCfg("migration", 3))
+	if a.events != b.events || a.failed() != b.failed() {
+		t.Fatalf("fault run not deterministic: events %d vs %d", a.events, b.events)
+	}
+}
+
+// FuzzFaultPlan drives the migration workload under fuzzer-chosen fault
+// plans. Any plan is acceptable input; the property is that no plan can
+// break a safety invariant — runs may degrade (dead-peer errors) or hit the
+// event limit, but never corrupt memory, deadlock, or leak RPC state.
+func FuzzFaultPlan(f *testing.F) {
+	// The shrunk crash-during-migration repro: the sweep's own plan shape.
+	f.Add(int64(1), uint8(12), uint8(8), uint8(12), true, uint8(2), int64(30))
+	f.Add(int64(7), uint8(30), uint8(0), uint8(25), false, uint8(0), int64(0))
+	f.Add(int64(3), uint8(0), uint8(31), uint8(0), true, uint8(1), int64(0))
+	f.Fuzz(func(t *testing.T, seed int64, dropP, dupP, delayP uint8, crash bool, nth uint8, after int64) {
+		if seed == 0 {
+			seed = 1
+		}
+		cfg := sweepCfg("migration", seed%64+1)
+		plan := faultPlan(cfg)
+		// Reshape the probabilistic rule and the crash from the fuzz input.
+		rule := &plan.Rules[len(plan.Rules)-1]
+		rule.DropP = float64(dropP%32) / 100
+		rule.DupP = float64(dupP%32) / 100
+		rule.DelayP = float64(delayP%32) / 100
+		plan.TypeCrashes = plan.TypeCrashes[:0]
+		if crash {
+			plan.TypeCrashes = append(plan.TypeCrashes, faultinj.TypeCrash{
+				Node: 1, Type: int(msg.TypeMigrate), Nth: int(nth%4) + 1,
+				After: time.Duration(after%100+1) * time.Microsecond,
+			})
+		}
+		o, err := bootFor(cfg.wl, cfg.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer o.Close()
+		ck := o.AttachSanitizer(sanitize.Config{FailFast: true})
+		// A plan whose crash trigger never fires leaves the detectors armed
+		// but the run finite; the limit also bounds retransmission storms.
+		o.Engine().SetEventLimit(400_000)
+		o.EnableFaults(plan, msg.FaultConfig{})
+		_, err = runWorkload(o, cfg.wl)
+		if err != nil && !errors.Is(err, sim.ErrEventLimit) && !isDegradation(err) {
+			t.Fatalf("plan drop=%v dup=%v delay=%v crash=%v: %v",
+				rule.DropP, rule.DupP, rule.DelayP, crash, err)
+		}
+		if r := ck.Report(); r != "" {
+			t.Fatalf("sanitizer reports:\n%s", r)
+		}
+	})
+}

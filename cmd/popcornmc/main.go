@@ -7,6 +7,14 @@
 // after an invalidation acked, layout versions going backwards, or a
 // data race the protocol's happens-before edges do not order.
 //
+// With -faults the same sweep runs against an adversarial fabric: a
+// seed-derived fault plan drops, duplicates and delays messages on every
+// link, and the migration workload additionally loses a kernel mid-
+// migration. The run must still satisfy every safety invariant — the
+// sanitizer stays clean, nothing deadlocks, no RPC wait-table entry
+// leaks — with dead-peer degradation errors being the only tolerated
+// outcome difference.
+//
 // A failing seed is shrunk to the shortest event prefix that still fails
 // (binary search over the engine's event limit — the schedule is a pure
 // function of the seed, so any prefix replays exactly), and the tool
@@ -15,8 +23,9 @@
 // Usage:
 //
 //	popcornmc -workload all -seeds 32
-//	popcornmc -workload contention -seed 17 -events 4213   (replay a repro)
-//	popcornmc -workload migration -inject skip-revoke=0    (plant a protocol bug)
+//	popcornmc -workload all -seeds 16 -faults                (fault sweep)
+//	popcornmc -workload contention -seed 17 -events 4213     (replay a repro)
+//	popcornmc -workload migration -inject skip-revoke=0      (plant a protocol bug)
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinj"
 	"repro/internal/hw"
 	"repro/internal/kernel"
 	"repro/internal/msg"
@@ -50,6 +60,8 @@ func run() error {
 	seed := flag.Int64("seed", 0, "run this single seed instead of sweeping")
 	events := flag.Uint64("events", 0, "stop after N events (replays a shrunk prefix)")
 	inject := flag.String("inject", "", "plant a protocol bug: skip-revoke=K drops invalidations to kernel K")
+	faults := flag.Bool("faults", false, "layer a seed-derived fault plan (drop/dup/delay on all links, plus a kernel crash mid-migration) over the sweep")
+	fseed := flag.Int64("fseed", 0, "fault-plan seed (default: the schedule seed)")
 	traceN := flag.Int("trace", 512, "trace buffer capacity behind violation reports")
 	noShrink := flag.Bool("noshrink", false, "report the failing seed without minimising it")
 	verbose := flag.Bool("v", false, "print a line per seed")
@@ -75,11 +87,15 @@ func run() error {
 		}
 		var total uint64
 		for _, s := range sweep {
-			out := runOne(wl, s, *events, injectNode, *traceN)
+			cfg := runCfg{
+				wl: wl, seed: s, limit: *events, injectNode: injectNode,
+				traceN: *traceN, faults: *faults, fseed: *fseed,
+			}
+			out := runOne(cfg)
 			total += out.events
 			if *verbose {
-				fmt.Printf("%-11s seed=%-4d events=%-8d violations=%d races=%d\n",
-					wl, s, out.events, len(out.violations), len(out.races))
+				fmt.Printf("%-11s seed=%-4d events=%-8d violations=%d races=%d degraded=%v\n",
+					wl, s, out.events, len(out.violations), len(out.races), out.degraded)
 			}
 			if !out.failed() {
 				continue
@@ -88,16 +104,38 @@ func run() error {
 			report(out)
 			limit := out.events
 			if !*noShrink && *events == 0 {
-				limit = shrinkLimit(wl, s, injectNode, *traceN, out.events)
+				limit = shrinkLimit(cfg, out.events)
 				fmt.Printf("shrunk to a %d-event prefix (from %d)\n", limit, out.events)
 			}
 			fmt.Printf("\nreplay deterministically with:\n\n  go run ./cmd/popcornmc %s\n",
-				reproArgs(wl, s, limit, *inject))
+				reproArgs(cfg, limit, *inject))
 			return fmt.Errorf("%s: schedule %d violates the memory model", wl, s)
 		}
 		fmt.Printf("%s: %d seeds clean (%d events explored)\n", wl, len(sweep), total)
 	}
 	return nil
+}
+
+// runCfg is everything a single seeded run needs, so shrinking and replay
+// reuse the exact configuration.
+type runCfg struct {
+	wl         string
+	seed       int64
+	limit      uint64
+	injectNode int
+	traceN     int
+	faults     bool
+	fseed      int64
+}
+
+// planSeed resolves the fault-plan seed: explicitly pinned via -fseed, or
+// derived from the schedule seed so every sweep seed explores a different
+// fault pattern.
+func (c runCfg) planSeed() int64 {
+	if c.fseed != 0 {
+		return c.fseed
+	}
+	return c.seed
 }
 
 // outcome is one seeded run's verdict.
@@ -107,43 +145,107 @@ type outcome struct {
 	violations []*sanitize.Violation
 	races      []*sanitize.Violation
 	err        error
+	// degraded notes that the workload surfaced a dead-peer error under an
+	// injected crash — the tolerated outcome, not a failure.
+	degraded bool
 }
 
 func (o outcome) failed() bool {
 	return len(o.violations) > 0 || len(o.races) > 0 || o.err != nil
 }
 
-// runOne boots a fresh OS for the workload, attaches the sanitizer, and
-// runs the workload under the given seed, optionally bounded to a prefix.
-func runOne(wl string, seed int64, limit uint64, injectNode int, traceN int) outcome {
-	o, err := bootFor(wl, seed)
+// faultPlan builds the -faults plan for one run: probabilistic drop,
+// duplication and delay on every link, and — for the migration workload —
+// one kernel crash shortly after it acknowledges an inbound migration, so
+// the thread dies with the kernel it just moved to.
+func faultPlan(cfg runCfg) *faultinj.Plan {
+	plan := &faultinj.Plan{Seed: cfg.planSeed()}
+	if cfg.injectNode >= 0 {
+		plan.Rules = append(plan.Rules, msg.SkipRevokeRule(msg.NodeID(cfg.injectNode)))
+	}
+	plan.Rules = append(plan.Rules,
+		// Migration traffic is exempt from link noise: the crash scenario
+		// below exercises migration failure deterministically, and the
+		// rollback-vs-crash race is unit-tested rather than swept.
+		faultinj.Rule{From: faultinj.Wildcard, To: faultinj.Wildcard, Type: int(msg.TypeMigrate)},
+		faultinj.Rule{
+			From: faultinj.Wildcard, To: faultinj.Wildcard, Type: faultinj.Wildcard,
+			DropP: 0.12, DupP: 0.08, DelayP: 0.12, DelayMax: 20 * time.Microsecond,
+		},
+	)
+	if cfg.wl == "migration" {
+		// The second TypeMigrate commit is the destination's acceptance
+		// reply; shortly after it the migrated thread has resumed on kernel 1
+		// and dies with it. The window must be shorter than the migrated
+		// consumer's remaining (all-local) work or the crash lands on an
+		// already-empty kernel.
+		plan.TypeCrashes = append(plan.TypeCrashes, faultinj.TypeCrash{
+			Node: 1, Type: int(msg.TypeMigrate), Nth: 2, After: 2 * time.Microsecond,
+		})
+	}
+	return plan
+}
+
+// runOne boots a fresh OS for the workload, attaches the sanitizer (and the
+// fault plan when enabled), and runs the workload under the given seed,
+// optionally bounded to a prefix.
+func runOne(cfg runCfg) outcome {
+	o, err := bootFor(cfg.wl, cfg.seed)
 	if err != nil {
-		return outcome{seed: seed, err: err}
+		return outcome{seed: cfg.seed, err: err}
 	}
 	defer o.Close()
-	tb := o.Trace(traceN)
+	tb := o.Trace(cfg.traceN)
 	ck := o.AttachSanitizer(sanitize.Config{Trace: tb, FailFast: true})
-	if limit > 0 {
-		o.Engine().SetEventLimit(limit)
+	if cfg.limit > 0 {
+		o.Engine().SetEventLimit(cfg.limit)
 	}
-	if injectNode >= 0 {
+	if cfg.faults {
+		o.EnableFaults(faultPlan(cfg), msg.FaultConfig{})
+	} else if cfg.injectNode >= 0 {
 		for k := 0; k < o.Kernels(); k++ {
-			o.Kernel(k).VM.InjectSkipRevoke(msg.NodeID(injectNode))
+			o.Kernel(k).VM.InjectSkipRevoke(msg.NodeID(cfg.injectNode))
 		}
 	}
-	_, err = runWorkload(o, wl)
+	_, err = runWorkload(o, cfg.wl)
 	out := outcome{
-		seed:       seed,
+		seed:       cfg.seed,
 		events:     o.Engine().EventsProcessed(),
 		violations: ck.Violations(),
 		races:      ck.Races(),
 	}
 	// The event limit cuts the run short by design; a fail-fast violation
-	// already explains its own panic. Anything else is a real failure.
+	// already explains its own panic. Under a fault plan, a dead-peer error
+	// is graceful degradation — the safety invariants above still hold —
+	// not a failure. Anything else is real.
 	if err != nil && !errors.Is(err, sim.ErrEventLimit) && len(out.violations) == 0 {
-		out.err = err
+		if cfg.faults && isDegradation(err) {
+			out.degraded = true
+		} else {
+			out.err = err
+		}
 	}
 	return out
+}
+
+// isDegradation reports whether err is the tolerated dead-peer outcome of an
+// injected kernel crash. Workloads panic with the transport error embedded,
+// so the check accepts both the error chain and its rendered text.
+func isDegradation(err error) bool {
+	if msg.IsDeadPeer(err) {
+		return true
+	}
+	s := err.Error()
+	for _, marker := range []string{
+		"dead kernel",            // msg.DeadPeerError
+		"peer kernel is dead",    // msg.ErrDeadPeer sentinel
+		"died while task waited", // futex home-death error wake
+	} {
+		if strings.Contains(s, marker) {
+			return true
+		}
+	}
+	return false
 }
 
 // bootFor builds the machine shape each workload stresses: contention uses
@@ -188,11 +290,13 @@ func runWorkload(o *core.OS, wl string) (workload.Result, error) {
 // shrinkLimit binary-searches the smallest event limit under which the
 // seed still fails. Event limits do not perturb the schedule, so failure
 // is monotone in the limit and the search is exact.
-func shrinkLimit(wl string, seed int64, injectNode, traceN int, failEvents uint64) uint64 {
+func shrinkLimit(cfg runCfg, failEvents uint64) uint64 {
 	lo, hi := uint64(1), failEvents
 	for lo < hi {
 		mid := lo + (hi-lo)/2
-		if runOne(wl, seed, mid, injectNode, traceN).failed() {
+		c := cfg
+		c.limit = mid
+		if runOne(c).failed() {
 			hi = mid
 		} else {
 			lo = mid + 1
@@ -215,8 +319,11 @@ func report(out outcome) {
 	}
 }
 
-func reproArgs(wl string, seed int64, events uint64, inject string) string {
-	args := fmt.Sprintf("-workload %s -seed %d -events %d", wl, seed, events)
+func reproArgs(cfg runCfg, events uint64, inject string) string {
+	args := fmt.Sprintf("-workload %s -seed %d -events %d", cfg.wl, cfg.seed, events)
+	if cfg.faults {
+		args += fmt.Sprintf(" -faults -fseed %d", cfg.planSeed())
+	}
 	if inject != "" {
 		args += " -inject " + inject
 	}

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinj"
+	"repro/internal/hw"
+	"repro/internal/msg"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// R1FaultCounters runs the migration and futex workloads under the fault
+// sweep's plan (drop/dup/delay on every link, a kernel crash mid-migration)
+// and tabulates what the hardened transport and the degradation paths
+// absorbed: per-link drops, retransmissions, duplicate suppressions,
+// timeouts, reclaimed pages, lost threads. Runs may degrade (dead-peer
+// errors) but must terminate; any other error fails the experiment.
+func R1FaultCounters(s Scale) (*stats.Table, error) {
+	seeds := 16
+	if s == Quick {
+		seeds = 4
+	}
+	agg := stats.NewRegistry()
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		for _, wl := range []string{"migration", "futex"} {
+			if err := oneFaultRun(wl, seed, agg); err != nil {
+				return nil, fmt.Errorf("%s seed %d: %w", wl, seed, err)
+			}
+		}
+	}
+	t := stats.NewTable(fmt.Sprintf("R1: fault-sweep transport & degradation counters (%d seeds, migration+futex)", seeds),
+		"counter", "total")
+	for _, c := range faultCounterRows {
+		t.AddRow(c.desc, fmt.Sprintf("%d", agg.Counter(c.name).Value()))
+	}
+	return t, nil
+}
+
+// faultCounterRows maps the surfaced counters to their table descriptions;
+// it is also the set oneFaultRun aggregates across seeds.
+var faultCounterRows = []struct{ name, desc string }{
+	{"msg.fault.drop", "messages dropped at commit"},
+	{"msg.fault.drop.k0-k1", "  of which on link k0->k1"},
+	{"msg.fault.drop.k1-k0", "  of which on link k1->k0"},
+	{"msg.fault.dup", "messages duplicated"},
+	{"msg.fault.delay", "messages delayed out of FIFO order"},
+	{"msg.fault.timeout", "RPC reply timeouts"},
+	{"msg.fault.retransmit", "RPC retransmissions"},
+	{"msg.fault.dupdrop", "duplicates suppressed in flight"},
+	{"msg.fault.replayed", "duplicates answered from reply cache"},
+	{"msg.fault.lost", "non-RPC messages lost after redelivery budget"},
+	{"msg.fault.crash", "kernel crashes"},
+	{"msg.fault.declared", "dead-peer declarations by survivors"},
+	{"msg.heartbeat.sent", "heartbeats sent in failure windows"},
+	{"msg.fault.rpcdead", "RPCs failed by dead-peer declaration"},
+	{"msg.fault.fastfail", "RPCs fast-failed post-declaration"},
+	{"vm.pages.reclaimed", "page ownerships reclaimed from dead kernels"},
+	{"vm.inval.deadpeer", "invalidations absorbed by peer death"},
+	{"core.threads.lost", "threads lost with crashed kernels"},
+	{"futex.wait.deadhome", "futex waits error-woken (home died)"},
+	{"futex.waiter.reaped", "remote futex waiters reaped"},
+}
+
+// oneFaultRun mirrors one `popcornmc -faults` run: the same 2-kernel
+// testbed, tie-shuffled schedule, and fault plan, with seed doubling as the
+// fault seed. Counters are accumulated into agg.
+func oneFaultRun(wl string, seed int64, agg *stats.Registry) error {
+	o, err := core.Boot(core.Config{
+		Topology: hw.Topology{Cores: 16, NUMANodes: 2}, Seed: seed, TieShuffle: true,
+	})
+	if err != nil {
+		return err
+	}
+	defer o.Close()
+	plan := &faultinj.Plan{Seed: seed}
+	plan.Rules = append(plan.Rules,
+		// Exempt the migration request/reply so the crash trigger below is
+		// the only fault that can hit the migration protocol itself.
+		faultinj.Rule{From: faultinj.Wildcard, To: faultinj.Wildcard, Type: int(msg.TypeMigrate)},
+		faultinj.Rule{
+			From: faultinj.Wildcard, To: faultinj.Wildcard, Type: faultinj.Wildcard,
+			DropP: 0.12, DupP: 0.08, DelayP: 0.12, DelayMax: 20 * time.Microsecond,
+		})
+	if wl == "migration" {
+		plan.TypeCrashes = append(plan.TypeCrashes, faultinj.TypeCrash{
+			Node: 1, Type: int(msg.TypeMigrate), Nth: 2, After: 2 * time.Microsecond,
+		})
+	}
+	o.EnableFaults(plan, msg.FaultConfig{})
+	switch wl {
+	case "migration":
+		_, err = workload.MigrationBenefit(o, workload.MigrationBenefitSpec{Pages: 16, Rounds: 2})
+		if err == nil {
+			_, err = workload.MigrationBenefit(o, workload.MigrationBenefitSpec{Pages: 16, Rounds: 2, Migrate: true})
+		}
+	case "futex":
+		_, err = workload.FutexChain(o, workload.FutexChainSpec{Threads: 8, Iters: 4, CS: time.Microsecond, Shared: true})
+	default:
+		return fmt.Errorf("unknown workload %q", wl)
+	}
+	if err != nil && !faultDegradation(err) {
+		return err
+	}
+	m := o.Metrics()
+	for _, c := range faultCounterRows {
+		agg.Counter(c.name).Add(m.Counter(c.name).Value())
+	}
+	return nil
+}
+
+// faultDegradation reports whether err is an acceptable consequence of the
+// fault plan — the workload observed a dead kernel — rather than a bug.
+func faultDegradation(err error) bool {
+	if msg.IsDeadPeer(err) {
+		return true
+	}
+	s := err.Error()
+	for _, marker := range []string{"dead kernel", "peer kernel is dead", "died while task waited"} {
+		if strings.Contains(s, marker) {
+			return true
+		}
+	}
+	return false
+}

@@ -50,6 +50,7 @@ func Experiments() []Experiment {
 		{ID: "D3", Title: "Ablation: kernel count", Run: wrapT(AblationKernelCount)},
 		{ID: "D4", Title: "Ablation: ring slot size", Run: wrapT(AblationSlotSize)},
 		{ID: "D5", Title: "Ablation: page ownership vs write forwarding", Run: wrapT(AblationPageOwnership)},
+		{ID: "R1", Title: "Fault-sweep transport & degradation counters", Run: wrapT(R1FaultCounters)},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
 	return exps

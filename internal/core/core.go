@@ -9,8 +9,10 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
+	"repro/internal/faultinj"
 	"repro/internal/hw"
 	"repro/internal/kernel"
 	"repro/internal/mem"
@@ -65,6 +67,9 @@ type OS struct {
 	placement PlacementPolicy
 	// rr is the round-robin cursor for automatic thread placement.
 	rr int
+	// live tracks every running Thread by task ID so the fault plane can
+	// halt the ones hosted by a crashing kernel.
+	live map[task.ID]*Thread
 }
 
 var _ osi.OS = (*OS)(nil)
@@ -102,7 +107,7 @@ func Boot(cfg Config) (*OS, error) {
 		e.Close()
 		return nil, err
 	}
-	return &OS{e: e, machine: machine, cluster: cluster, metrics: metrics, placement: cfg.Placement}, nil
+	return &OS{e: e, machine: machine, cluster: cluster, metrics: metrics, placement: cfg.Placement, live: make(map[task.ID]*Thread)}, nil
 }
 
 // BootOn builds a replicated-kernel OS on an existing engine and machine,
@@ -113,7 +118,7 @@ func BootOn(e *sim.Engine, machine *hw.Machine, clusterCfg kernel.ClusterConfig)
 	if err != nil {
 		return nil, err
 	}
-	return &OS{e: e, machine: machine, cluster: cluster, metrics: metrics}, nil
+	return &OS{e: e, machine: machine, cluster: cluster, metrics: metrics, live: make(map[task.ID]*Thread)}, nil
 }
 
 // Name implements osi.OS.
@@ -157,6 +162,38 @@ func (o *OS) AttachSanitizer(cfg sanitize.Config) *sanitize.Checker {
 		kn.TG.AttachChecker(c)
 	}
 	return c
+}
+
+// EnableFaults attaches a fault plan to the inter-kernel fabric and wires
+// the OS-level degradation hooks: a crashing kernel halts every thread it
+// hosts (marked lost; their group accounting completes via the survivors'
+// reaping), and each surviving kernel's declared-dead verdict drives its
+// thread-group, VM and futex services' recovery. Call after boot, before the
+// workload runs. A nil plan changes nothing.
+func (o *OS) EnableFaults(plan *faultinj.Plan, cfg msg.FaultConfig) {
+	o.cluster.Fabric.EnableFaults(plan, cfg, msg.FaultHooks{
+		NodeCrashed: func(n msg.NodeID) {
+			ids := make([]task.ID, 0, len(o.live))
+			for id, th := range o.live {
+				if th.k.Node == n {
+					ids = append(ids, id)
+				}
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			for _, id := range ids {
+				th := o.live[id]
+				th.task.State = task.StateLost
+				o.metrics.Counter("core.threads.lost").Inc()
+				th.p.Kill()
+			}
+		},
+		PeerDead: func(p *sim.Proc, observer, dead msg.NodeID) {
+			k := o.cluster.Kernels[observer]
+			k.TG.PeerDied(p, dead)
+			k.VM.PeerDied(p, dead)
+			k.Futex.PeerDied(p, dead)
+		},
+	})
 }
 
 // Close shuts the simulation down, unwinding all service processes.
@@ -239,6 +276,8 @@ func (pr *Process) Spawn(p *sim.Proc, kernelHint int, fn osi.ThreadFunc) error {
 	pr.os.e.Spawn(fmt.Sprintf("thread-%d", tk.ID), func(tp *sim.Proc) {
 		defer pr.wg.Done()
 		th := &Thread{pr: pr, p: tp, task: tk, k: pr.os.cluster.Kernels[tk.Kernel]}
+		pr.os.live[tk.ID] = th
+		defer delete(pr.os.live, tk.ID)
 		th.core = th.k.Sched.Acquire(tp)
 		tk.State = task.StateRunning
 		fn(th)
@@ -415,6 +454,8 @@ func (t *Thread) Spawn(kernelHint int, fn osi.ThreadFunc) error {
 	pr.os.e.Spawn(fmt.Sprintf("thread-%d", tk.ID), func(tp *sim.Proc) {
 		defer pr.wg.Done()
 		th := &Thread{pr: pr, p: tp, task: tk, k: pr.os.cluster.Kernels[tk.Kernel]}
+		pr.os.live[tk.ID] = th
+		defer delete(pr.os.live, tk.ID)
 		th.core = th.k.Sched.Acquire(tp)
 		tk.State = task.StateRunning
 		fn(th)
@@ -447,6 +488,15 @@ func (t *Thread) Migrate(kernelHint int) error {
 	}
 	t.task = moved
 	t.k = t.pr.os.cluster.Kernels[dst]
+	if t.pr.os.cluster.Fabric.Crashed(dst) {
+		// The acceptance ack raced the destination's death: the context
+		// landed on a kernel that no longer exists, so the thread is lost
+		// with it. The crash-time registry sweep missed it because it was
+		// still in flight (t.k pointed at the source).
+		t.task.State = task.StateLost
+		t.pr.os.metrics.Counter("core.threads.lost").Inc()
+		t.p.Kill()
+	}
 	t.core = t.k.Sched.Acquire(t.p)
 	t.task.State = task.StateRunning
 	return nil

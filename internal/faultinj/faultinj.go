@@ -1,0 +1,175 @@
+// Package faultinj describes deterministic fault-injection plans for the
+// inter-kernel message fabric. A Plan is a pure description — which links
+// misbehave, with what probability, and which kernels die when — plus a
+// seeded RNG that makes every decision replayable: the same Plan driven by
+// the same schedule produces byte-identical faults, so a failing fault
+// sweep replays exactly from its seed pair.
+//
+// The package deliberately knows nothing about the msg package: links and
+// message types are plain ints (msg.NodeID / msg.Type values), so the
+// fabric can depend on faultinj without a cycle.
+package faultinj
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Wildcard matches any node or message type in a Rule.
+const Wildcard = -1
+
+// Rule applies probabilistic faults to messages matching (From, To, Type);
+// Wildcard (-1) fields match anything. The first matching rule in a Plan
+// wins, so a leading all-zero rule exempts a type or link from later
+// wildcard rules.
+type Rule struct {
+	From, To int // sending/receiving kernel, or Wildcard
+	Type     int // message type (int(msg.Type)), or Wildcard
+
+	DropP  float64 // probability the message is dropped at commit
+	DupP   float64 // probability a duplicate delivery is also scheduled
+	DelayP float64 // probability delivery is deferred out of FIFO order
+
+	// DelayMax bounds the extra latency for delayed primaries and for
+	// duplicate deliveries. Delayed messages bypass the per-pair FIFO wire,
+	// so DelayMax is also the plan's reorder window.
+	DelayMax time.Duration
+}
+
+func (r Rule) matches(from, to, typ int) bool {
+	return (r.From == Wildcard || r.From == from) &&
+		(r.To == Wildcard || r.To == to) &&
+		(r.Type == Wildcard || r.Type == typ)
+}
+
+// NodeCrash kills a kernel at an absolute simulation time: its endpoint
+// goes dark and every process it hosts halts.
+type NodeCrash struct {
+	Node int
+	At   time.Duration
+}
+
+// TypeCrash kills a kernel relative to protocol progress: After elapses
+// from the moment the Nth message of the given type (requests and replies
+// both count) commits to a wire. This is how a sweep lands a crash
+// mid-migration without knowing the schedule's absolute timings.
+type TypeCrash struct {
+	Node  int
+	Type  int
+	Nth   int // 1-based commit count that arms the crash
+	After time.Duration
+}
+
+// Partition makes the link between kernels A and B (both directions) drop
+// everything during [From, Until), then heal.
+type Partition struct {
+	A, B        int
+	From, Until time.Duration
+}
+
+// Decision is the fault plane's verdict for one committed message.
+type Decision struct {
+	Drop     bool
+	Dup      bool
+	Delay    time.Duration // >0 defers the primary delivery (reorder)
+	DupDelay time.Duration // extra latency of the duplicate copy
+}
+
+// Plan is one run's complete fault schedule. The zero value (or nil) is a
+// fully reliable fabric. Plans are single-use: Decide and RecordCommit
+// mutate internal counters and the RNG stream.
+type Plan struct {
+	// Seed drives every probabilistic decision through a dedicated
+	// splitmix64 stream, separate from the engine's schedule RNG so fault
+	// plans compose with tie-shuffled schedules without perturbing them.
+	Seed int64
+
+	Rules       []Rule
+	Crashes     []NodeCrash
+	TypeCrashes []TypeCrash
+	Partitions  []Partition
+
+	rng     *sim.RNG
+	commits map[int]int
+	fired   []bool
+}
+
+// HasCrashes reports whether the plan kills any kernel, which is what
+// decides whether the fabric needs heartbeats and failure detectors.
+func (pl *Plan) HasCrashes() bool {
+	return pl != nil && (len(pl.Crashes) > 0 || len(pl.TypeCrashes) > 0)
+}
+
+func (pl *Plan) ensure() {
+	if pl.rng == nil {
+		pl.rng = sim.NewRNG(pl.Seed)
+	}
+	if pl.commits == nil {
+		pl.commits = make(map[int]int)
+	}
+	if pl.fired == nil {
+		pl.fired = make([]bool, len(pl.TypeCrashes))
+	}
+}
+
+// Decide rolls the plan's RNG for one committed message. The draw sequence
+// is a pure function of the commit order, which the deterministic engine
+// fixes, so a replay makes identical decisions.
+func (pl *Plan) Decide(from, to, typ int) Decision {
+	pl.ensure()
+	for _, r := range pl.Rules {
+		if !r.matches(from, to, typ) {
+			continue
+		}
+		var d Decision
+		if r.DropP > 0 && pl.rng.Float64() < r.DropP {
+			d.Drop = true
+		}
+		if r.DupP > 0 && pl.rng.Float64() < r.DupP {
+			d.Dup = true
+			d.DupDelay = pl.delay(r)
+		}
+		if !d.Drop && r.DelayP > 0 && pl.rng.Float64() < r.DelayP {
+			d.Delay = pl.delay(r)
+		}
+		return d
+	}
+	return Decision{}
+}
+
+func (pl *Plan) delay(r Rule) time.Duration {
+	if r.DelayMax <= 0 {
+		return 0
+	}
+	return time.Duration(pl.rng.Int63n(int64(r.DelayMax)) + 1)
+}
+
+// RecordCommit counts one wire commit of typ and returns the TypeCrashes it
+// arms (each fires at most once).
+func (pl *Plan) RecordCommit(typ int) []TypeCrash {
+	pl.ensure()
+	pl.commits[typ]++
+	var armed []TypeCrash
+	for i, tc := range pl.TypeCrashes {
+		if !pl.fired[i] && tc.Type == typ && pl.commits[typ] == tc.Nth {
+			pl.fired[i] = true
+			armed = append(armed, tc)
+		}
+	}
+	return armed
+}
+
+// Partitioned reports whether the a<->b link is inside a partition window
+// at the given simulation time.
+func (pl *Plan) Partitioned(now time.Duration, a, b int) bool {
+	for _, part := range pl.Partitions {
+		if now < part.From || now >= part.Until {
+			continue
+		}
+		if (part.A == a && part.B == b) || (part.A == b && part.B == a) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,90 @@
+package faultinj
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDecideDeterministic: two plans with the same seed and rules make the
+// same decision sequence; a different seed diverges somewhere.
+func TestDecideDeterministic(t *testing.T) {
+	mk := func(seed int64) *Plan {
+		return &Plan{Seed: seed, Rules: []Rule{{
+			From: Wildcard, To: Wildcard, Type: Wildcard,
+			DropP: 0.3, DupP: 0.3, DelayP: 0.3, DelayMax: 10 * time.Microsecond,
+		}}}
+	}
+	a, b, c := mk(7), mk(7), mk(8)
+	same, diverged := true, false
+	for i := 0; i < 256; i++ {
+		da, db, dc := a.Decide(0, 1, 3), b.Decide(0, 1, 3), c.Decide(0, 1, 3)
+		if da != db {
+			same = false
+		}
+		if da != dc {
+			diverged = true
+		}
+	}
+	if !same {
+		t.Error("identical seeds made different decisions")
+	}
+	if !diverged {
+		t.Error("different seeds never diverged in 256 draws")
+	}
+}
+
+// TestRuleFirstMatchWins: a leading all-zero rule exempts its match from
+// later wildcard rules.
+func TestRuleFirstMatchWins(t *testing.T) {
+	pl := &Plan{Seed: 1, Rules: []Rule{
+		{From: Wildcard, To: Wildcard, Type: 5}, // exemption: no faults
+		{From: Wildcard, To: Wildcard, Type: Wildcard, DropP: 1},
+	}}
+	for i := 0; i < 32; i++ {
+		if d := pl.Decide(0, 1, 5); d.Drop {
+			t.Fatal("exempted type was dropped")
+		}
+		if d := pl.Decide(0, 1, 6); !d.Drop {
+			t.Fatal("wildcard DropP=1 did not drop")
+		}
+	}
+}
+
+// TestRecordCommitArmsNth: the crash arms exactly at the Nth commit of its
+// type and only once.
+func TestRecordCommitArmsNth(t *testing.T) {
+	pl := &Plan{Seed: 1, TypeCrashes: []TypeCrash{
+		{Node: 1, Type: 9, Nth: 3, After: time.Microsecond},
+	}}
+	for i := 1; i <= 5; i++ {
+		armed := pl.RecordCommit(9)
+		if i == 3 && len(armed) != 1 {
+			t.Fatalf("commit %d armed %d crashes, want 1", i, len(armed))
+		}
+		if i != 3 && len(armed) != 0 {
+			t.Fatalf("commit %d armed %d crashes, want 0", i, len(armed))
+		}
+	}
+	if armed := pl.RecordCommit(8); len(armed) != 0 {
+		t.Error("commit of unrelated type armed a crash")
+	}
+}
+
+// TestPartitionWindow: the partition holds during [From, Until) in both
+// directions and nowhere else.
+func TestPartitionWindow(t *testing.T) {
+	pl := &Plan{Partitions: []Partition{{A: 0, B: 2, From: 10, Until: 20}}}
+	cases := []struct {
+		now  time.Duration
+		a, b int
+		want bool
+	}{
+		{9, 0, 2, false}, {10, 0, 2, true}, {15, 2, 0, true},
+		{19, 0, 2, true}, {20, 0, 2, false}, {15, 0, 1, false},
+	}
+	for _, c := range cases {
+		if got := pl.Partitioned(c.now, c.a, c.b); got != c.want {
+			t.Errorf("Partitioned(%d, %d, %d) = %v, want %v", c.now, c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -53,6 +53,16 @@ type waiterRef struct {
 type localWaiter struct {
 	p     *sim.Proc
 	woken bool
+	// parked is true only while p sits in Wait's futex Suspend. A wakeup can
+	// overtake the opWait reply on a faulty fabric, arriving while p is still
+	// blocked inside the RPC; resuming it there would corrupt the RPC wait,
+	// so an early wakeup only sets woken and lets Wait skip the sleep.
+	parked bool
+	// home is the kernel whose wait queue holds this waiter; if it dies the
+	// degradation path error-wakes the waiter instead of leaving it wedged.
+	home msg.NodeID
+	// err, when set by an error wake, is returned from Wait.
+	err error
 }
 
 // Service is the per-kernel futex service.
@@ -145,7 +155,7 @@ func (s *Service) Wait(p *sim.Proc, gid vm.GID, addr mem.Addr, expect int64) err
 	}
 	s.nextToken++
 	token := s.nextToken
-	lw := &localWaiter{p: p}
+	lw := &localWaiter{p: p, home: home}
 	s.waiters[token] = lw
 	defer delete(s.waiters, token)
 	s.metrics.Counter("futex.wait").Inc()
@@ -178,12 +188,79 @@ func (s *Service) Wait(p *sim.Proc, gid vm.GID, addr mem.Addr, expect int64) err
 	}
 	if !lw.woken {
 		p.SetWaitInfo("futex", fmt.Sprintf("g%d@%#x", gid, uint64(addr)), nil)
+		lw.parked = true
 		p.Suspend()
+		lw.parked = false
 	}
 	if !lw.woken {
 		return errors.New("futex: waiter woken without a wake")
 	}
-	return nil
+	return lw.err
+}
+
+// PeerDied runs this kernel's futex-side degradation after dead is declared
+// gone: queued references owned by the dead kernel are reaped from every
+// home-side bucket here, and local waiters whose home queue died with the
+// peer are error-woken (their wakeup can never arrive) so no thread wedges
+// on a dead kernel's futex state.
+func (s *Service) PeerDied(p *sim.Proc, dead msg.NodeID) {
+	keys := make([]key, 0, len(s.buckets))
+	for k := range s.buckets {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	for _, k := range keys {
+		b := s.buckets[k]
+		b.mu.Lock(p)
+		kept := b.waiters[:0]
+		for _, ref := range b.waiters {
+			if ref.node == dead {
+				s.metrics.Counter("futex.waiter.reaped").Inc()
+				continue
+			}
+			kept = append(kept, ref)
+		}
+		b.waiters = kept
+		b.mu.Unlock(p)
+	}
+	tokens := make([]uint64, 0, len(s.waiters))
+	for tok, lw := range s.waiters {
+		if lw.home == dead && !lw.woken {
+			tokens = append(tokens, tok)
+		}
+	}
+	sortTokens(tokens)
+	for _, tok := range tokens {
+		lw := s.waiters[tok]
+		lw.woken = true
+		lw.err = fmt.Errorf("futex: home kernel %d died while task waited: %w", dead, msg.ErrDeadPeer)
+		s.metrics.Counter("futex.wait.deadhome").Inc()
+		if lw.parked {
+			lw.p.Resume()
+		}
+	}
+}
+
+func sortKeys(keys []key) {
+	less := func(a, b key) bool {
+		if a.gid != b.gid {
+			return a.gid < b.gid
+		}
+		return a.addr < b.addr
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && less(keys[j], keys[j-1]); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+}
+
+func sortTokens(ts []uint64) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
 }
 
 // Wake releases up to count waiters on (gid, addr) and returns how many.
@@ -277,7 +354,9 @@ func (s *Service) wakeLocal(token uint64) {
 		return
 	}
 	lw.woken = true
-	lw.p.Resume()
+	if lw.parked {
+		lw.p.Resume()
+	}
 }
 
 func (s *Service) handleOp(p *sim.Proc, m *msg.Message) *msg.Message {

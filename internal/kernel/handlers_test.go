@@ -17,6 +17,7 @@ var handlerExempt = map[msg.Type]string{
 	msg.TypePing:        "control traffic owned by tests and the T1 benchmark, which register it themselves",
 	msg.TypeUser:        "application-level traffic; the multikernel baseline wires it per domain",
 	msg.TypeMigrateBack: "reserved for wire compatibility; back-migration reuses TypeMigrate toward the origin",
+	msg.TypeHeartbeat:   "consumed by the fabric itself in deliver; never enqueued or dispatched to a handler",
 }
 
 // TestClusterHandlesEveryMessageType boots a cluster and cross-checks the

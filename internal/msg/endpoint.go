@@ -18,12 +18,46 @@ type Endpoint struct {
 	handlers   map[Type]Handler
 	pending    map[uint64]*call
 	dispatcher *sim.Proc
+
+	// procs tracks every process this endpoint spawned (handlers, multicast
+	// workers, failure detection) so a kernel crash can halt all of them.
+	procs map[int64]*sim.Proc
+
+	// Fault-plane state, allocated by EnableFaults and nil otherwise.
+	// dead marks a crashed kernel; lastHeard/declaredDead are this kernel's
+	// local failure-detector view; seen is the at-most-once dedup table.
+	dead         bool
+	detecting    bool
+	lastHeard    map[NodeID]sim.Time
+	declaredDead map[NodeID]bool
+	seen         map[dedupKey]*dedupEntry
 }
 
 type call struct {
 	waiter *sim.Proc
+	to     NodeID
 	reply  *Message
 	done   bool
+	// failed is set (with a Resume) when the failure detector declares the
+	// callee dead; timedOut is the reply-timeout timer's wake marker.
+	failed   bool
+	timedOut bool
+}
+
+// dedupKey identifies a request for at-most-once delivery: the fabric-wide
+// Seq is unique per RPC, and From guards against the (impossible today,
+// cheap to be safe about) reuse of a Seq by another sender.
+type dedupKey struct {
+	from NodeID
+	seq  uint64
+}
+
+// dedupEntry remembers a request this kernel already accepted. While the
+// handler runs, duplicates are suppressed outright; once done, duplicates
+// of an RPC re-send the cached reply (the caller evidently missed it).
+type dedupEntry struct {
+	done  bool
+	reply *Message
 }
 
 func newEndpoint(f *Fabric, node NodeID) *Endpoint {
@@ -33,6 +67,7 @@ func newEndpoint(f *Fabric, node NodeID) *Endpoint {
 		hasWork:  sim.NewCond(),
 		handlers: make(map[Type]Handler),
 		pending:  make(map[uint64]*call),
+		procs:    make(map[int64]*sim.Proc),
 	}
 	ep.dispatcher = f.e.SpawnDaemon(fmt.Sprintf("msg-dispatch-%d", node), ep.dispatch)
 	return ep
@@ -40,6 +75,13 @@ func newEndpoint(f *Fabric, node NodeID) *Endpoint {
 
 // Node returns the kernel this endpoint belongs to.
 func (ep *Endpoint) Node() NodeID { return ep.node }
+
+// Ordered reports whether the fabric still guarantees per-pair FIFO
+// delivery. A fault plan's delay, duplication and retransmission rules can
+// reorder messages on a link, so protocol layers that rely on FIFO to prune
+// bookkeeping (e.g. clearing racing-invalidation marks) must keep it when
+// this returns false.
+func (ep *Endpoint) Ordered() bool { return !ep.f.FaultsEnabled() }
 
 // Handle registers the handler for a message type. Registering twice for
 // the same type panics: handler wiring is static kernel configuration, and a
@@ -56,6 +98,18 @@ func (ep *Endpoint) Handle(t Type, h Handler) {
 func (ep *Endpoint) Handles(t Type) bool {
 	_, ok := ep.handlers[t]
 	return ok
+}
+
+// spawnTracked spawns fn as an endpoint-owned process: it is registered
+// with the endpoint for its lifetime so crashNode can halt it. The registry
+// is plain map bookkeeping (no events, no RNG), so tracking is always on.
+func (ep *Endpoint) spawnTracked(name string, fn func(p *sim.Proc)) *sim.Proc {
+	pr := ep.f.e.Spawn(name, func(p *sim.Proc) {
+		defer delete(ep.procs, p.ID())
+		fn(p)
+	})
+	ep.procs[pr.ID()] = pr
+	return pr
 }
 
 // Send transmits m asynchronously (fire-and-forget): the caller is charged
@@ -75,13 +129,33 @@ func (ep *Endpoint) Send(p *sim.Proc, m *Message) {
 // Call transmits m and blocks p until the destination's handler returns a
 // reply. The round trip charges send cost here, receive+handler cost on the
 // remote kernel, and the reply's costs symmetrically.
+//
+// On a reliable fabric a Call waits indefinitely (a lost reply is a protocol
+// bug the deadlock detector reports). With a fault plan attached the call
+// runs the hardened loop instead: a sim-time reply timeout, bounded
+// retransmission with exponential backoff (the receiver dedups, so handlers
+// still observe at-most-once semantics), and a DeadPeerError once the peer
+// is declared dead or retries are exhausted. Either way the wait-table
+// entry is removed on every exit path, including kill-unwind.
 func (ep *Endpoint) Call(p *sim.Proc, m *Message) (*Message, error) {
 	if m.To == ep.node {
 		return nil, fmt.Errorf("msg: node %d RPC to itself (type %v)", ep.node, m.Type)
 	}
+	if ep.declaredDead[m.To] {
+		ep.f.metrics.Counter("msg.fault.fastfail").Inc()
+		return nil, &DeadPeerError{Peer: m.To, Type: m.Type}
+	}
+	if ep.dead {
+		// This kernel itself crashed: a straggler issuing RPCs through its
+		// endpoint (say, teardown of a process whose origin died) fails fast
+		// instead of waiting on wires that no longer exist.
+		ep.f.metrics.Counter("msg.fault.fastfail").Inc()
+		return nil, &DeadPeerError{Peer: ep.node, Type: m.Type}
+	}
 	ep.prepare(m)
-	c := &call{waiter: p}
+	c := &call{waiter: p, to: m.To}
 	ep.pending[m.Seq] = c
+	defer delete(ep.pending, m.Seq)
 	ep.f.metrics.Counter("msg.sent").Inc()
 	ep.f.metrics.Counter("msg.rpc").Inc()
 	ep.f.traceEvent("msg.send", m.From, "%v to k%d seq=%d size=%d rpc", m.Type, m.To, m.Seq, m.Size)
@@ -92,13 +166,75 @@ func (ep *Endpoint) Call(p *sim.Proc, m *Message) (*Message, error) {
 	entry := ep.f.reserve(m)
 	p.Sleep(ep.f.sendCost(m))
 	ep.f.commit(entry)
+	if ep.f.plan != nil {
+		return ep.callHardened(p, m, c, start)
+	}
 	if !c.done {
-		p.SetWaitInfo("rpc-reply", fmt.Sprintf("%v from k%d", m.Type, m.To), nil)
+		p.SetWaitInfo("rpc-reply", fmt.Sprintf("%v from k%d seq=%d", m.Type, m.To, m.Seq), nil)
 		p.Suspend()
 	}
-	delete(ep.pending, m.Seq)
 	if !c.done {
 		return nil, fmt.Errorf("msg: RPC %v to node %d woken without reply", m.Type, m.To)
+	}
+	ep.f.metrics.Histogram("msg.rpc.rtt").Observe(p.Now().Sub(start))
+	return c.reply, nil
+}
+
+// callHardened is the fault-mode wait half of Call: the request is already
+// on the wire; wait for the reply under a timeout, retransmitting with
+// exponential backoff until the reply lands, the peer is declared dead, or
+// retries run out.
+func (ep *Endpoint) callHardened(p *sim.Proc, m *Message, c *call, start sim.Time) (*Message, error) {
+	cfg := ep.f.fcfg
+	timeout := cfg.RPCTimeout
+	attempts := 1
+	for !c.done {
+		if c.failed || ep.declaredDead[m.To] {
+			ep.f.metrics.Counter("msg.fault.rpcdead").Inc()
+			return nil, &DeadPeerError{Peer: m.To, Type: m.Type, Attempts: attempts}
+		}
+		h := ep.f.e.Schedule(timeout, func() {
+			if c.done || c.failed || c.timedOut {
+				return
+			}
+			c.timedOut = true
+			p.Resume()
+		})
+		p.SetWaitInfo("rpc-reply", fmt.Sprintf("%v from k%d seq=%d", m.Type, m.To, m.Seq), nil)
+		p.Suspend()
+		h.Cancel()
+		if c.done {
+			break
+		}
+		if c.failed {
+			continue
+		}
+		if !c.timedOut {
+			return nil, fmt.Errorf("msg: RPC %v to node %d woken without reply", m.Type, m.To)
+		}
+		c.timedOut = false
+		ep.f.countLink("msg.fault.timeout", ep.node, m.To)
+		if attempts > cfg.RPCRetries {
+			ep.f.countLink("msg.fault.exhausted", ep.node, m.To)
+			return nil, &DeadPeerError{Peer: m.To, Type: m.Type, Attempts: attempts}
+		}
+		attempts++
+		timeout *= 2
+		// Retransmit the same Seq through the normal wire path. The
+		// observer sees another MsgSent for the same key — a harmless
+		// over-approximation that only adds the caller's own clock ticks to
+		// the edge the eventual delivery joins.
+		ep.f.countLink("msg.fault.retransmit", ep.node, m.To)
+		ep.f.traceEvent("msg.send", m.From, "%v to k%d seq=%d size=%d rpc retransmit=%d", m.Type, m.To, m.Seq, m.Size, attempts)
+		if o := ep.f.observer; o != nil {
+			o.MsgSent(p, m)
+		}
+		entry := ep.f.reserve(m)
+		p.Sleep(ep.f.sendCost(m))
+		ep.f.commit(entry)
+	}
+	if c.failed {
+		return nil, &DeadPeerError{Peer: m.To, Type: m.Type, Attempts: attempts}
 	}
 	ep.f.metrics.Histogram("msg.rpc.rtt").Observe(p.Now().Sub(start))
 	return c.reply, nil
@@ -119,10 +255,22 @@ func (ep *Endpoint) prepare(m *Message) {
 	}
 }
 
-// deliver enqueues m at its destination endpoint.
+// deliver enqueues m at its destination endpoint. In fault mode every
+// delivery refreshes the detector's last-heard clock, and heartbeats are
+// consumed here without ever touching the queue, tracer, or observer.
 func (f *Fabric) deliver(m *Message) {
-	f.traceEvent("msg.deliver", m.To, "%v from k%d seq=%d size=%d reply=%v", m.Type, m.From, m.Seq, m.Size, m.IsReply)
 	dst := f.endpoints[m.To]
+	if f.plan != nil {
+		if dst.dead {
+			return
+		}
+		dst.lastHeard[m.From] = f.e.Now()
+		if m.Type == TypeHeartbeat {
+			f.metrics.Counter("msg.heartbeat.recv").Inc()
+			return
+		}
+	}
+	f.traceEvent("msg.deliver", m.To, "%v from k%d seq=%d size=%d reply=%v", m.Type, m.From, m.Seq, m.Size, m.IsReply)
 	dst.queue = append(dst.queue, m)
 	depth := uint64(len(dst.queue))
 	f.metrics.Counter("msg.delivered").Inc()
@@ -147,17 +295,27 @@ func (ep *Endpoint) dispatch(p *sim.Proc) {
 			ep.completeCall(m)
 			continue
 		}
+		if ep.seen != nil && ep.dedup(p, m) {
+			continue
+		}
 		h, ok := ep.handlers[m.Type]
 		if !ok {
 			panic(fmt.Sprintf("msg: node %d has no handler for %v", ep.node, m.Type))
 		}
 		mm := m
-		ep.f.e.Spawn(fmt.Sprintf("msg-handler-%d-%v", ep.node, m.Type), func(hp *sim.Proc) {
+		ep.spawnTracked(fmt.Sprintf("msg-handler-%d-%v", ep.node, m.Type), func(hp *sim.Proc) {
 			if o := ep.f.observer; o != nil {
 				o.MsgDelivered(hp, mm)
 			}
 			reply := h(hp, mm)
+			var de *dedupEntry
+			if ep.seen != nil {
+				de = ep.seen[dedupKey{from: mm.From, seq: mm.Seq}]
+			}
 			if reply == nil {
+				if de != nil {
+					de.done = true
+				}
 				return
 			}
 			reply.Type = mm.Type
@@ -165,14 +323,45 @@ func (ep *Endpoint) dispatch(p *sim.Proc) {
 			reply.Seq = mm.Seq
 			reply.IsReply = true
 			ep.Send(hp, reply)
+			if de != nil {
+				de.done = true
+				de.reply = reply
+			}
 		})
 	}
+}
+
+// dedup enforces at-most-once request delivery under duplication and
+// retransmission. The first arrival of a (from, seq) is recorded and
+// handled normally; a duplicate while the handler is still running is
+// suppressed; a duplicate of a completed RPC re-sends the cached reply —
+// the retransmission means the caller never saw it. The resend reuses the
+// original reply's identity and skips MsgSent, so the sanitizer joins the
+// caller against the handler's original clock, not a phantom second reply.
+func (ep *Endpoint) dedup(p *sim.Proc, m *Message) bool {
+	k := dedupKey{from: m.From, seq: m.Seq}
+	de, dup := ep.seen[k]
+	if !dup {
+		ep.seen[k] = &dedupEntry{}
+		return false
+	}
+	if !de.done || de.reply == nil {
+		ep.f.countLink("msg.fault.dupdrop", m.From, ep.node)
+		return true
+	}
+	ep.f.countLink("msg.fault.replayed", ep.node, m.From)
+	ep.f.traceEvent("msg.send", ep.node, "%v to k%d seq=%d cached-reply resend", de.reply.Type, de.reply.To, de.reply.Seq)
+	rm := *de.reply
+	entry := ep.f.reserve(&rm)
+	p.Sleep(ep.f.sendCost(&rm))
+	ep.f.commit(entry)
+	return true
 }
 
 // completeCall matches a reply to its pending RPC and wakes the caller.
 func (ep *Endpoint) completeCall(m *Message) {
 	c, ok := ep.pending[m.Seq]
-	if !ok {
+	if !ok || c.done || c.failed {
 		ep.f.metrics.Counter("msg.rpc.orphan").Inc()
 		return
 	}

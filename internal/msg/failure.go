@@ -1,0 +1,413 @@
+package msg
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/faultinj"
+	"repro/internal/sim"
+)
+
+// ErrDeadPeer is the sentinel wrapped by every DeadPeerError, so protocol
+// layers can branch on errors.Is without depending on the concrete type.
+var ErrDeadPeer = errors.New("msg: peer kernel is dead")
+
+// DeadPeerError reports an RPC abandoned because the destination kernel is
+// dead: either the failure detector declared it, or retransmission was
+// exhausted without a reply.
+type DeadPeerError struct {
+	Peer     NodeID
+	Type     Type
+	Attempts int
+}
+
+func (e *DeadPeerError) Error() string {
+	return fmt.Sprintf("msg: RPC %v to dead kernel %d abandoned after %d attempts", e.Type, e.Peer, e.Attempts)
+}
+
+func (e *DeadPeerError) Unwrap() error { return ErrDeadPeer }
+
+// IsDeadPeer reports whether err means the remote kernel died. Protocol
+// degradation paths (group exit, directory revocation) treat this as "the
+// peer's state is gone" rather than as a failure.
+func IsDeadPeer(err error) bool { return errors.Is(err, ErrDeadPeer) }
+
+// FaultConfig tunes the hardened transport that EnableFaults switches on.
+type FaultConfig struct {
+	// RPCTimeout is the first-attempt reply timeout; it doubles on every
+	// retransmission, so the total patience is RPCTimeout * (2^RPCRetries-1).
+	RPCTimeout time.Duration
+	// RPCRetries bounds retransmissions of an unanswered RPC before the
+	// caller gives up with a DeadPeerError.
+	RPCRetries int
+	// SendRetries bounds the transport's link-layer redelivery of a dropped
+	// fire-and-forget message (replies included); RPC requests are excluded
+	// because the caller's timeout loop already retransmits them.
+	SendRetries int
+	// SendRetryEvery is the base link-layer redelivery backoff (linear:
+	// attempt n waits n * SendRetryEvery).
+	SendRetryEvery time.Duration
+	// HeartbeatEvery is the failure detector's probe period.
+	HeartbeatEvery time.Duration
+	// DeadAfter is the silence threshold at which a peer is declared dead.
+	// It must comfortably exceed HeartbeatEvery plus any partition window
+	// that should heal without a false declaration.
+	DeadAfter time.Duration
+}
+
+// DefaultFaultConfig returns the tuning the fault sweeps use.
+func DefaultFaultConfig() FaultConfig {
+	return FaultConfig{
+		RPCTimeout:     500 * time.Microsecond,
+		RPCRetries:     12,
+		SendRetries:    12,
+		SendRetryEvery: 3 * time.Microsecond,
+		HeartbeatEvery: 200 * time.Microsecond,
+		DeadAfter:      2 * time.Millisecond,
+	}
+}
+
+func (c FaultConfig) withDefaults() FaultConfig {
+	d := DefaultFaultConfig()
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = d.RPCTimeout
+	}
+	if c.RPCRetries <= 0 {
+		c.RPCRetries = d.RPCRetries
+	}
+	if c.SendRetries <= 0 {
+		c.SendRetries = d.SendRetries
+	}
+	if c.SendRetryEvery <= 0 {
+		c.SendRetryEvery = d.SendRetryEvery
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = d.HeartbeatEvery
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = d.DeadAfter
+	}
+	return c
+}
+
+// FaultHooks are the OS-level callbacks the fault plane drives. NodeCrashed
+// fires in engine context the instant a kernel dies (the OS halts the
+// threads it hosted). PeerDead fires in a dedicated degradation process on
+// each surviving kernel after its failure detector declares a peer dead;
+// it may block on simulator primitives and issue RPCs.
+type FaultHooks struct {
+	NodeCrashed func(n NodeID)
+	PeerDead    func(p *sim.Proc, observer, dead NodeID)
+}
+
+// SkipRevokeRule re-expresses vm.InjectSkipRevoke as a fault-plan rule:
+// every page-invalidation sent to the target kernel is dropped, so the
+// origin proceeds on an exhausted revocation and the sanitizer can watch
+// the stale copy being used.
+func SkipRevokeRule(node NodeID) faultinj.Rule {
+	return faultinj.Rule{From: faultinj.Wildcard, To: int(node), Type: int(TypePageInvalidate), DropP: 1}
+}
+
+// EnableFaults attaches a fault plan to the fabric and switches the
+// transport into its hardened mode: RPC timeout/retransmit with dedup,
+// link-layer redelivery of dropped sends, and — once a kernel crashes —
+// per-survivor heartbeats and failure detectors for the failure window
+// (see crashNode). Call it after boot, before the workload runs. With no
+// plan attached none of this machinery exists and the fabric's behavior
+// (including its draw on the engine's schedule RNG) is byte-identical to
+// the reliable transport.
+func (f *Fabric) EnableFaults(plan *faultinj.Plan, cfg FaultConfig, hooks FaultHooks) {
+	if plan == nil {
+		return
+	}
+	f.plan = plan
+	f.fcfg = cfg.withDefaults()
+	f.hooks = hooks
+	f.crashed = make(map[NodeID]bool)
+	f.plannedCrashes = len(plan.Crashes) + len(plan.TypeCrashes)
+	now := f.e.Now()
+	for _, ep := range f.endpoints {
+		ep.lastHeard = make(map[NodeID]sim.Time, len(f.endpoints))
+		ep.declaredDead = make(map[NodeID]bool)
+		ep.seen = make(map[dedupKey]*dedupEntry)
+		for n := range f.endpoints {
+			ep.lastHeard[NodeID(n)] = now
+		}
+	}
+	for _, nc := range plan.Crashes {
+		nc := nc
+		f.e.Schedule(nc.At, func() {
+			f.crashesDone++
+			f.crashNode(NodeID(nc.Node))
+		})
+	}
+}
+
+// FaultsEnabled reports whether a fault plan is attached.
+func (f *Fabric) FaultsEnabled() bool { return f.plan != nil }
+
+// Crashed reports whether kernel n has died. This is not a failure oracle
+// for remote kernels — survivors still learn of deaths through their own
+// detectors — it models physically-local knowledge: code asking about the
+// kernel it is (or is about to be) running on.
+func (f *Fabric) Crashed(n NodeID) bool { return f.crashed[n] }
+
+// dispatchWire is the fault plane's interception point: every message that
+// leaves a wire in commit order passes through here exactly once.
+func (f *Fabric) dispatchWire(m *Message) {
+	if f.plan == nil {
+		f.deliver(m)
+		return
+	}
+	for _, tc := range f.plan.RecordCommit(int(m.Type)) {
+		tc := tc
+		f.traceEvent("msg.crash-armed", NodeID(tc.Node), "kernel %d dies %v after %v commit #%d", tc.Node, tc.After, Type(tc.Type), tc.Nth)
+		f.e.Schedule(tc.After, func() {
+			f.crashesDone++
+			f.crashNode(NodeID(tc.Node))
+		})
+	}
+	f.route(m)
+}
+
+// route applies the plan's probabilistic faults to one message and
+// delivers, delays, duplicates, or drops it. Delayed and duplicated copies
+// bypass the per-pair FIFO wire — that is the plan's reorder window.
+// Link-layer redeliveries of dropped messages re-enter here and re-roll.
+func (f *Fabric) route(m *Message) {
+	if f.crashed[m.From] || f.crashed[m.To] {
+		f.metrics.Counter("msg.fault.dead-link").Inc()
+		return
+	}
+	if f.plan.Partitioned(f.e.Now().Duration(), int(m.From), int(m.To)) {
+		f.countLink("msg.fault.partition", m.From, m.To)
+		f.dropMsg(m)
+		return
+	}
+	if m.Type == TypeHeartbeat {
+		// Heartbeats are exempt from probabilistic rules: the detector
+		// measures crashes and partitions, not link noise.
+		f.deliver(m)
+		return
+	}
+	d := f.plan.Decide(int(m.From), int(m.To), int(m.Type))
+	if d.Dup {
+		f.countLink("msg.fault.dup", m.From, m.To)
+		dup := *m
+		f.e.Schedule(d.DupDelay, func() {
+			if !f.crashed[dup.From] && !f.crashed[dup.To] {
+				f.deliver(&dup)
+			}
+		})
+	}
+	if d.Drop {
+		f.countLink("msg.fault.drop", m.From, m.To)
+		f.dropMsg(m)
+		return
+	}
+	if d.Delay > 0 {
+		f.countLink("msg.fault.delay", m.From, m.To)
+		f.e.Schedule(d.Delay, func() {
+			if !f.crashed[m.From] && !f.crashed[m.To] {
+				f.deliver(m)
+			}
+		})
+		return
+	}
+	f.deliver(m)
+}
+
+// dropMsg handles a message the plan (or a partition) dropped. Heartbeats
+// are lost silently — their loss is the signal. RPC requests are lost too:
+// the caller's timeout loop owns their recovery. Everything else (replies,
+// fire-and-forget notifications) gets bounded link-layer redelivery, the
+// ring's ack/retry, so a single drop cannot wedge a protocol that has no
+// caller-side retry.
+func (f *Fabric) dropMsg(m *Message) {
+	f.traceEvent("msg.drop", m.From, "%v to k%d seq=%d attempt=%d", m.Type, m.To, m.Seq, m.attempts)
+	if m.Type == TypeHeartbeat {
+		return
+	}
+	if !m.IsReply {
+		if _, rpc := f.endpoints[m.From].pending[m.Seq]; rpc {
+			return
+		}
+	}
+	m.attempts++
+	if m.attempts > f.fcfg.SendRetries {
+		f.countLink("msg.fault.lost", m.From, m.To)
+		return
+	}
+	f.countLink("msg.fault.redeliver", m.From, m.To)
+	backoff := f.fcfg.SendRetryEvery * time.Duration(m.attempts)
+	f.e.Schedule(backoff, func() {
+		if !f.crashed[m.From] && !f.crashed[m.To] {
+			f.route(m)
+		}
+	})
+}
+
+// crashNode kills kernel n: its endpoint goes dark, queued and in-flight
+// messages vanish, and every process it hosts (dispatcher, handlers,
+// heartbeats, multicast workers) halts. Runs in engine context.
+func (f *Fabric) crashNode(n NodeID) {
+	ep := f.endpoints[int(n)]
+	if ep.dead {
+		return
+	}
+	ep.dead = true
+	f.crashed[n] = true
+	f.metrics.Counter("msg.fault.crash").Inc()
+	f.traceEvent("msg.crash", n, "kernel %d crashed", n)
+	ep.queue = nil
+	for k := range f.wires {
+		if k.from == n || k.to == n {
+			delete(f.wires, k)
+		}
+	}
+	ep.dispatcher.Kill()
+	ids := make([]int64, 0, len(ep.procs))
+	for id := range ep.procs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		ep.procs[id].Kill()
+	}
+	// Tell the sanitizer (if one is attached) so its shadow state forgets
+	// the dead kernel's page holdings and in-flight clocks.
+	if ck, ok := f.observer.(interface{ NodeCrashed(NodeID) }); ok {
+		ck.NodeCrashed(n)
+	}
+	if f.hooks.NodeCrashed != nil {
+		f.hooks.NodeCrashed(n)
+	}
+	// Spin up the survivors' failure detection for the failure window. The
+	// detectors are local — each kernel measures heartbeat silence on its
+	// own clock — but the simulation only models them from the instant a
+	// kernel dies until every survivor has declared it: an always-on
+	// heartbeat loop would keep the discrete-event engine from ever
+	// quiescing between workload phases. The last-heard clocks reset at the
+	// window's start, so a quiet-but-live peer still gets DeadAfter of
+	// grace before any verdict.
+	now := f.e.Now()
+	for _, sep := range f.endpoints {
+		if sep.dead {
+			continue
+		}
+		for peer := range f.endpoints {
+			if !sep.declaredDead[NodeID(peer)] {
+				sep.lastHeard[NodeID(peer)] = now
+			}
+		}
+		if !sep.detecting {
+			sep.detecting = true
+			f.startFailureDetection(sep)
+		}
+	}
+}
+
+// declareDead is one kernel's local verdict that a peer died: fail every
+// pending RPC aimed at it and run the OS degradation hook in a dedicated
+// process. Each surviving kernel reaches its own declaration from its own
+// detector — there is no global failure oracle, matching the paper's
+// share-nothing design.
+func (f *Fabric) declareDead(ep *Endpoint, dead NodeID) {
+	if ep.declaredDead[dead] {
+		return
+	}
+	ep.declaredDead[dead] = true
+	f.countLink("msg.fault.declared", ep.node, dead)
+	f.traceEvent("msg.declare-dead", ep.node, "kernel %d declares kernel %d dead", ep.node, dead)
+	seqs := make([]uint64, 0, len(ep.pending))
+	for seq, c := range ep.pending {
+		if c.to == dead && !c.done && !c.failed {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		c := ep.pending[seq]
+		c.failed = true
+		c.waiter.Resume()
+	}
+	if f.hooks.PeerDead != nil {
+		ep.spawnTracked(fmt.Sprintf("msg-degrade-%d-%d", ep.node, dead), func(p *sim.Proc) {
+			f.hooks.PeerDead(p, ep.node, dead)
+		})
+	}
+}
+
+// startFailureDetection spawns kernel ep's heartbeat sender and failure
+// detector. Both are ordinary (non-daemon) processes that exit once the
+// plan's crashes have all happened and every survivor has declared them,
+// so a fault run still quiesces.
+func (f *Fabric) startFailureDetection(ep *Endpoint) {
+	cfg := f.fcfg
+	ep.spawnTracked(fmt.Sprintf("msg-heartbeat-%d", ep.node), func(p *sim.Proc) {
+		for !f.settled() {
+			for n := range f.endpoints {
+				to := NodeID(n)
+				// Skip only peers this kernel has itself declared dead: a
+				// survivor has no oracle for who crashed, so its heartbeats
+				// to a dead peer go into the void until its own detector
+				// gives a verdict.
+				if to == ep.node || ep.dead || ep.declaredDead[to] {
+					continue
+				}
+				hb := &Message{Type: TypeHeartbeat, To: to, Size: 16}
+				ep.prepare(hb)
+				f.metrics.Counter("msg.heartbeat.sent").Inc()
+				entry := f.reserve(hb)
+				p.Sleep(f.sendCost(hb))
+				f.commit(entry)
+			}
+			p.Sleep(cfg.HeartbeatEvery)
+		}
+	})
+	ep.spawnTracked(fmt.Sprintf("msg-detector-%d", ep.node), func(p *sim.Proc) {
+		for !f.settled() {
+			p.Sleep(cfg.DeadAfter / 4)
+			if ep.dead {
+				return
+			}
+			now := p.Now()
+			for n := range f.endpoints {
+				peer := NodeID(n)
+				if peer == ep.node || ep.declaredDead[peer] {
+					continue
+				}
+				if now.Sub(ep.lastHeard[peer]) > cfg.DeadAfter {
+					f.declareDead(ep, peer)
+				}
+			}
+		}
+	})
+}
+
+// settled reports whether every planned crash has fired and every survivor
+// has declared every crashed kernel dead — the point where the failure
+// detectors have nothing left to detect and may exit.
+func (f *Fabric) settled() bool {
+	if f.crashesDone < f.plannedCrashes {
+		return false
+	}
+	for _, ep := range f.endpoints {
+		if ep.dead {
+			continue
+		}
+		for n := range f.crashed {
+			if !ep.declaredDead[n] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (f *Fabric) countLink(name string, from, to NodeID) {
+	f.metrics.Counter(name).Inc()
+	f.metrics.Counter(fmt.Sprintf("%s.k%d-k%d", name, from, to)).Inc()
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/faultinj"
 	"repro/internal/hw"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -65,6 +66,12 @@ const (
 	TypeFutexWakeup
 	// TypeSignal delivers a signal to a thread on another kernel.
 	TypeSignal
+	// TypeHeartbeat is the failure detector's liveness probe. It is consumed
+	// by the fabric itself (never enqueued or dispatched to a handler) and is
+	// exempt from probabilistic fault rules, though partitions and crashes
+	// still silence it — that silence is exactly what the detector measures.
+	//popcornvet:allow msgproto heartbeats are consumed inside Fabric.deliver before the dispatch queue, so no kernel handler exists or is needed
+	TypeHeartbeat
 	// TypeUser carries application-level traffic (the multikernel
 	// baseline's explicit inter-domain channels).
 	TypeUser
@@ -102,6 +109,7 @@ var typeNames = map[Type]string{
 	TypeFutexOp:        "futex-op",
 	TypeFutexWakeup:    "futex-wakeup",
 	TypeSignal:         "signal",
+	TypeHeartbeat:      "heartbeat",
 	TypeUser:           "user",
 }
 
@@ -123,6 +131,11 @@ type Message struct {
 	IsReply bool
 	Size    int
 	Payload any
+
+	// attempts counts transport-level redeliveries of a dropped
+	// fire-and-forget message (the ring's link-layer retry); RPC requests
+	// instead rely on the caller's timeout/retransmit loop.
+	attempts int
 }
 
 // Handler processes one received message on the destination kernel. It runs
@@ -192,6 +205,19 @@ type Fabric struct {
 	tracer *trace.Buffer
 	// observer, when attached, sees the happens-before edges messages carry.
 	observer Observer
+
+	// plan, when attached via EnableFaults, intercepts every wire commit;
+	// nil means a perfectly reliable fabric and costs one pointer check per
+	// message (the sanitizer's detached pattern). The remaining fields are
+	// the fault plane's state; see failure.go.
+	plan    *faultinj.Plan
+	fcfg    FaultConfig
+	hooks   FaultHooks
+	crashed map[NodeID]bool
+	// plannedCrashes/crashesDone track whether every plan crash has fired,
+	// which gates the failure detectors' exit (see settled).
+	plannedCrashes int
+	crashesDone    int
 }
 
 // SetTrace attaches an event buffer; nil detaches it.
@@ -242,15 +268,22 @@ func (f *Fabric) reserve(m *Message) *wireEntry {
 }
 
 // commit marks a reserved send complete and delivers every wire-order-ready
-// message at the head of the pair's queue.
+// message at the head of the pair's queue. Each delivery passes through the
+// fault plane (dispatchWire), which is a straight f.deliver when no plan is
+// attached. A kernel crash clears its wires, so the entry may no longer be
+// queued; marking it ready is then a no-op and any surviving ready heads
+// still drain.
 func (f *Fabric) commit(entry *wireEntry) {
 	entry.ready = true
 	k := wireKey{from: entry.m.From, to: entry.m.To}
 	w := f.wires[k]
+	if w == nil {
+		return
+	}
 	for len(w.entries) > 0 && w.entries[0].ready {
 		head := w.entries[0]
 		w.entries = w.entries[1:]
-		f.deliver(head.m)
+		f.dispatchWire(head.m)
 	}
 }
 
@@ -282,6 +315,22 @@ func NewFabric(e *sim.Engine, machine *hw.Machine, nodes int, nodeCore []int, cf
 	for i := 0; i < nodes; i++ {
 		f.endpoints[i] = newEndpoint(f, NodeID(i))
 	}
+	// End-of-run leak assertion: every RPC wait-table entry must belong to a
+	// live caller. Call removes its entry on every exit path (reply, timeout
+	// exhaustion, peer death, kill-unwind), so an entry whose waiter has
+	// finished is a transport bug, not a blocked process (those are the
+	// deadlock detector's department).
+	e.Invariant("msg.pending-leak", func() error {
+		for _, ep := range f.endpoints {
+			for seq, c := range ep.pending {
+				if c.waiter.Finished() {
+					return fmt.Errorf("node %d leaked pending RPC seq=%d to node %d (caller %q finished)",
+						ep.node, seq, c.to, c.waiter.Name())
+				}
+			}
+		}
+		return nil
+	})
 	return f, nil
 }
 

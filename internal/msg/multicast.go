@@ -11,31 +11,41 @@ import (
 // returned indexed like targets. The paper's address-space consistency
 // protocol uses this shape for VMA-update acks and page invalidations.
 func (ep *Endpoint) CallEach(p *sim.Proc, targets []NodeID, build func(to NodeID) *Message) ([]*Message, error) {
-	replies := make([]*Message, len(targets))
-	if len(targets) == 0 {
-		return replies, nil
+	replies, errs := ep.CallEachErr(p, targets, build)
+	for _, err := range errs {
+		if err != nil {
+			return replies, err
+		}
 	}
-	for _, to := range targets {
+	return replies, nil
+}
+
+// CallEachErr is CallEach with per-target verdicts: errs[i] is target i's
+// failure (nil on success), so degradation paths can tolerate dead peers in
+// a fan-out while still surfacing real protocol errors from the survivors.
+func (ep *Endpoint) CallEachErr(p *sim.Proc, targets []NodeID, build func(to NodeID) *Message) ([]*Message, []error) {
+	replies := make([]*Message, len(targets))
+	errs := make([]error, len(targets))
+	if len(targets) == 0 {
+		return replies, errs
+	}
+	for i, to := range targets {
 		if to == ep.node {
-			return nil, fmt.Errorf("msg: CallEach target includes self (node %d)", ep.node)
+			errs[i] = fmt.Errorf("msg: CallEach target includes self (node %d)", ep.node)
+			return replies, errs
 		}
 	}
 	wg := sim.NewWaitGroup()
 	wg.Add(len(targets))
-	var firstErr error
 	for i, to := range targets {
 		i, to := i, to
-		ep.f.e.Spawn(fmt.Sprintf("msg-calleach-%d-%d", ep.node, to), func(cp *sim.Proc) {
+		ep.spawnTracked(fmt.Sprintf("msg-calleach-%d-%d", ep.node, to), func(cp *sim.Proc) {
 			defer wg.Done()
-			reply, err := ep.Call(cp, build(to))
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-			replies[i] = reply
+			replies[i], errs[i] = ep.Call(cp, build(to))
 		})
 	}
 	wg.Wait(p)
-	return replies, firstErr
+	return replies, errs
 }
 
 // SendEach fire-and-forgets one message to every target, charging the

@@ -317,6 +317,33 @@ func (c *Checker) MsgDelivered(p *sim.Proc, m *msg.Message) {
 	}
 }
 
+// NodeCrashed forgets a crashed kernel's holdings: every page copy it held
+// vanishes with it, and a page it held writable loses its known value (the
+// dead kernel's un-written-back stores are gone, so the next grant after
+// ownership reclaim defines the value afresh). In-flight message clocks to
+// or from the dead kernel are dropped — those messages will never deliver.
+func (c *Checker) NodeCrashed(node msg.NodeID) {
+	if c == nil {
+		return
+	}
+	for k, sh := range c.pages {
+		r, held := sh.holders[node]
+		if !held {
+			continue
+		}
+		delete(sh.holders, node)
+		if r&rWrite != 0 {
+			sh.valueKnown = false
+		}
+		c.traceEvent("san.crash-reclaim", node, k.gid, k.vpn, "k%d died holding rights=%d", node, r)
+	}
+	for k := range c.msgs {
+		if k.from == node || k.to == node {
+			delete(c.msgs, k)
+		}
+	}
+}
+
 // ---- coherence hooks (called by internal/vm) -------------------------
 
 // Grant records the origin's decision to hand to a copy of (gid, vpn).
@@ -379,11 +406,15 @@ func (c *Checker) Revoked(p *sim.Proc, gid int64, vpn mem.VPN, at msg.NodeID, do
 			"invalidation ack from k%d writes back %d, sanitizer shadow has %d",
 			at, value, sh.value)
 	}
-	if downgrade {
+	if downgrade && hadCopy {
 		if r, ok := sh.holders[at]; ok {
 			sh.holders[at] = r &^ rWrite
 		}
 	} else {
+		// A full invalidation drops the copy. So does a downgrade ack
+		// without a copy: the kernel had nothing to keep — its grant was
+		// still in flight and will be discarded as stale — and the
+		// directory likewise drops it from the sharer set.
 		delete(sh.holders, at)
 	}
 	c.traceEvent("san.revoke", at, gid, vpn, "at k%d downgrade=%v hadCopy=%v val=%d", at, downgrade, hadCopy, value)

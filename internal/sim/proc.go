@@ -161,3 +161,22 @@ func (p *Proc) Resume() { p.wake() }
 
 // Finished reports whether the process function has returned.
 func (p *Proc) Finished() bool { return p.finished }
+
+// Kill terminates the process: the next time it would run (or immediately,
+// if it is the running process) its blocking primitive panics with
+// ErrKilled, which unwinds the goroutine through its defers and which the
+// spawn wrapper swallows. Killing a finished or already-killed process is a
+// no-op. The fault injector uses Kill to model a kernel crash: the dead
+// kernel's processes halt wherever they stand, but their defers still
+// release engine-level resources (waitgroup counts, tracked registries) so
+// the survivors' bookkeeping stays consistent.
+func (p *Proc) Kill() {
+	if p.finished || p.killed {
+		return
+	}
+	p.killed = true
+	if p == p.e.current {
+		panic(error(ErrKilled))
+	}
+	p.wake()
+}

@@ -31,6 +31,10 @@ const (
 	StateShadow
 	// StateExited means the thread has terminated.
 	StateExited
+	// StateLost means the kernel hosting the live thread crashed before it
+	// could exit: its execution is gone, but the group accounting completed
+	// (join does not wedge on it). Only degradation paths set this.
+	StateLost
 )
 
 var stateNames = map[State]string{
@@ -40,6 +44,7 @@ var stateNames = map[State]string{
 	StateBlocked:  "blocked",
 	StateShadow:   "shadow",
 	StateExited:   "exited",
+	StateLost:     "lost",
 }
 
 func (s State) String() string {

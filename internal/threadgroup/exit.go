@@ -47,11 +47,22 @@ func (s *Service) Exit(p *sim.Proc, gid vm.GID, id task.ID) error {
 	if g.isOrigin {
 		return s.originMemberExited(p, g, id)
 	}
+	if g.originDead {
+		// The origin is gone; local cleanup is all the exit can do. The
+		// survivors' own PeerDied reaping settles the group accounting.
+		s.metrics.Counter("tg.exit.orphaned").Inc()
+		return nil
+	}
 	reply, err := s.ep.Call(p, &msg.Message{
 		Type: msg.TypeExitNotify, To: g.origin, Size: 64,
 		Payload: &exitNotify{GID: gid, TaskID: id},
 	})
 	if err != nil {
+		if msg.IsDeadPeer(err) {
+			g.originDead = true
+			s.metrics.Counter("tg.exit.orphaned").Inc()
+			return nil
+		}
 		return err
 	}
 	if r := reply.Payload.(*exitReply); r.Err != "" {
@@ -81,10 +92,15 @@ func (s *Service) originMemberExited(p *sim.Proc, g *group, id task.ID) error {
 	}
 	sortNodes(targets)
 	if len(targets) > 0 {
-		if _, err := s.ep.CallEach(p, targets, func(to msg.NodeID) *msg.Message {
+		// A replica that died (or dies while we notify it) has no state left
+		// to tear down; only a live replica's refusal is a real error.
+		_, errs := s.ep.CallEachErr(p, targets, func(to msg.NodeID) *msg.Message {
 			return &msg.Message{Type: msg.TypeGroupExit, To: to, Size: 64, Payload: &groupExit{GID: g.gid}}
-		}); err != nil {
-			return err
+		})
+		for _, err := range errs {
+			if err != nil && !msg.IsDeadPeer(err) {
+				return err
+			}
 		}
 	}
 	s.teardownLocal(p, g)
@@ -145,6 +161,22 @@ func sortNodes(ns []msg.NodeID) {
 	for i := 1; i < len(ns); i++ {
 		for j := i; j > 0 && ns[j] < ns[j-1]; j-- {
 			ns[j], ns[j-1] = ns[j-1], ns[j]
+		}
+	}
+}
+
+func sortTasks(ids []task.ID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+func sortGIDs(gids []vm.GID) {
+	for i := 1; i < len(gids); i++ {
+		for j := i; j > 0 && gids[j] < gids[j-1]; j-- {
+			gids[j], gids[j-1] = gids[j-1], gids[j]
 		}
 	}
 }

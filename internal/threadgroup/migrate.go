@@ -64,15 +64,19 @@ func (s *Service) Migrate(p *sim.Proc, gid vm.GID, id task.ID, dst msg.NodeID) (
 		Type: msg.TypeMigrate, To: dst, Size: t.Ctx.Bytes() + 64, Payload: req,
 	})
 	if err != nil {
+		// Transport failure (the destination died or never answered): the
+		// thread never resumed there, so revive the source task and surface
+		// the error. A dead destination that had imported the context loses
+		// that execution with the kernel; resuming from the checkpoint here
+		// is the degradation the shadow exists for.
+		s.rollbackMigration(g, t, id)
+		s.metrics.Counter("tg.migrate.rollback").Inc()
 		return nil, err
 	}
 	r := reply.Payload.(*migrateReply)
 	if r.Err != "" {
 		// Roll back: revive the source task.
-		delete(g.shadows, id)
-		t.Role = task.RoleNormal
-		t.State = task.StateRunnable
-		g.local[id] = t
+		s.rollbackMigration(g, t, id)
 		return nil, fmt.Errorf("threadgroup: migrate to kernel %d: %s", dst, r.Err)
 	}
 	s.metrics.Histogram("tg.migrate.rpc").Observe(p.Now().Sub(rpcStart))
@@ -141,6 +145,19 @@ func (s *Service) handleMigrate(p *sim.Proc, m *msg.Message) *msg.Message {
 		}
 	}
 	return &msg.Message{Size: 64, Payload: &migrateReply{Task: t}}
+}
+
+// rollbackMigration undoes Migrate's phase-1 claim: the shadow becomes the
+// live local task again and the space's thread count is restored.
+func (s *Service) rollbackMigration(g *group, t *task.Task, id task.ID) {
+	delete(g.shadows, id)
+	t.Role = task.RoleNormal
+	t.State = task.StateRunnable
+	t.MigratedTo = 0
+	g.local[id] = t
+	if sp, ok := s.vmsvc.Space(g.gid); ok {
+		sp.ThreadArrived()
+	}
 }
 
 // hopsWithout drops this kernel from the hop list (a revived shadow means

@@ -54,6 +54,10 @@ type group struct {
 	// emptyWaiters are processes blocked in WaitEmpty.
 	emptyWaiters *sim.Cond
 	exited       bool
+
+	// originDead marks a replica whose origin kernel was declared dead:
+	// exits complete locally without the origin round trip.
+	originDead bool
 }
 
 // Config tunes the thread-group service.
@@ -320,6 +324,65 @@ func (s *Service) Shadows(gid vm.GID) int {
 		return 0
 	}
 	return len(g.shadows)
+}
+
+// PeerDied is the degradation hook: the failure detector on this kernel
+// declared `dead` gone. The origin reaps members hosted there (completing
+// group exit/join accounting) and marks shadows stranded there as lost, so
+// a crashed kernel never wedges WaitEmpty or a joiner. Replicas whose
+// origin died switch to local-only exits. Iteration orders are sorted so
+// degradation is as deterministic as the schedule that triggered it.
+func (s *Service) PeerDied(p *sim.Proc, dead msg.NodeID) {
+	gids := make([]vm.GID, 0, len(s.groups))
+	for gid := range s.groups {
+		gids = append(gids, gid)
+	}
+	sortGIDs(gids)
+	for _, gid := range gids {
+		g, ok := s.groups[gid]
+		if !ok {
+			continue // torn down while reaping an earlier group
+		}
+		// Shadows whose live thread was on the dead kernel: the execution is
+		// gone. Mark the task lost and drop the husk so back-migration or
+		// reap bookkeeping never waits on it.
+		ids := make([]task.ID, 0, len(g.shadows))
+		for id, sh := range g.shadows {
+			if sh.MigratedTo == int(dead) {
+				ids = append(ids, id)
+			}
+		}
+		sortTasks(ids)
+		for _, id := range ids {
+			sh := g.shadows[id]
+			delete(g.shadows, id)
+			sh.State = task.StateLost
+			s.metrics.Counter("tg.shadow.lost").Inc()
+		}
+		if !g.isOrigin {
+			if g.origin == dead && !g.originDead {
+				g.originDead = true
+				s.metrics.Counter("tg.origin.lost").Inc()
+			}
+			continue
+		}
+		delete(g.replicas, dead)
+		// Reap members hosted on the dead kernel as if they exited; the last
+		// reap tears the group down and releases WaitEmpty.
+		ids = ids[:0]
+		for id, n := range g.members {
+			if n == dead {
+				ids = append(ids, id)
+			}
+		}
+		sortTasks(ids)
+		for _, id := range ids {
+			s.metrics.Counter("tg.member.lost").Inc()
+			if err := s.originMemberExited(p, g, id); err != nil {
+				s.metrics.Counter("tg.reap.err").Inc()
+			}
+		}
+	}
 }
 
 // WaitEmpty blocks p (at the origin) until every member of gid has exited.

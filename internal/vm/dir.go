@@ -32,6 +32,8 @@ func (sp *Space) dirTransaction(p *sim.Proc, req msg.NodeID, vpn mem.VPN, write 
 	}
 	de.mu.Lock(p)
 	defer de.mu.Unlock(p)
+	de.version++
+	ver := de.version
 
 	sharedProt := vma.Prot &^ mem.ProtWrite
 	exclusiveProt := vma.Prot
@@ -39,17 +41,23 @@ func (sp *Space) dirTransaction(p *sim.Proc, req msg.NodeID, vpn mem.VPN, write 
 	ck := sp.svc.checker
 	switch de.state {
 	case pageUnmapped:
-		de.value = 0
+		// A fresh entry zero-fills. A reclaimed entry (its owner's kernel
+		// died) re-grants the directory's last written-back value, faulted
+		// back from the home node.
+		src := srcZeroFill
+		if de.reclaimed {
+			src = int(sp.origin)
+		}
 		if write {
 			de.state = pageModified
 			de.owner = req
-			ck.Grant(p, int64(sp.gid), vpn, req, true, true, 0)
-			return &pageGrant{Value: 0, Src: srcZeroFill, Prot: exclusiveProt}, nil
+			ck.Grant(p, int64(sp.gid), vpn, req, true, true, de.value)
+			return &pageGrant{Value: de.value, Src: src, Prot: exclusiveProt, Version: ver}, nil
 		}
 		de.state = pageShared
 		de.sharers = map[msg.NodeID]struct{}{req: {}}
-		ck.Grant(p, int64(sp.gid), vpn, req, false, true, 0)
-		return &pageGrant{Value: 0, Src: srcZeroFill, Prot: sharedProt}, nil
+		ck.Grant(p, int64(sp.gid), vpn, req, false, true, de.value)
+		return &pageGrant{Value: de.value, Src: src, Prot: sharedProt, Version: ver}, nil
 
 	case pageShared:
 		_, isSharer := de.sharers[req]
@@ -60,12 +68,12 @@ func (sp *Space) dirTransaction(p *sim.Proc, req msg.NodeID, vpn mem.VPN, write 
 				src = srcHaveCopy
 			}
 			ck.Grant(p, int64(sp.gid), vpn, req, false, !isSharer, de.value)
-			return &pageGrant{Value: de.value, Src: src, Prot: sharedProt}, nil
+			return &pageGrant{Value: de.value, Src: src, Prot: sharedProt, Version: ver}, nil
 		}
 		// Write on a shared page: revoke every other copy, then grant
 		// exclusive.
 		others := nodeSet(de.sharers, req)
-		sp.revokeCopies(p, others, vpn, false)
+		sp.revokeCopies(p, others, vpn, false, ver)
 		de.state = pageModified
 		de.owner = req
 		de.sharers = nil
@@ -74,24 +82,24 @@ func (sp *Space) dirTransaction(p *sim.Proc, req msg.NodeID, vpn mem.VPN, write 
 			src = srcHaveCopy
 		}
 		ck.Grant(p, int64(sp.gid), vpn, req, true, !isSharer, de.value)
-		return &pageGrant{Value: de.value, Src: src, Prot: exclusiveProt}, nil
+		return &pageGrant{Value: de.value, Src: src, Prot: exclusiveProt, Version: ver}, nil
 
 	case pageModified:
 		if de.owner == req {
 			// The owner lost PTE bits (mprotect round trip) but still has
 			// the data; re-grant in place.
 			ck.Grant(p, int64(sp.gid), vpn, req, true, false, 0)
-			return &pageGrant{Src: srcHaveCopy, Prot: exclusiveProt}, nil
+			return &pageGrant{Src: srcHaveCopy, Prot: exclusiveProt, Version: ver}, nil
 		}
 		old := de.owner
-		ack := sp.revokeOwner(p, old, vpn, !write)
+		ack := sp.revokeOwner(p, old, vpn, !write, ver)
 		if ack.HadCopy {
 			de.value = ack.Value
 		}
 		if write {
 			de.owner = req
 			ck.Grant(p, int64(sp.gid), vpn, req, true, true, de.value)
-			return &pageGrant{Value: de.value, Src: int(old), Prot: exclusiveProt}, nil
+			return &pageGrant{Value: de.value, Src: int(old), Prot: exclusiveProt, Version: ver}, nil
 		}
 		de.state = pageShared
 		de.sharers = map[msg.NodeID]struct{}{req: {}}
@@ -101,14 +109,14 @@ func (sp *Space) dirTransaction(p *sim.Proc, req msg.NodeID, vpn mem.VPN, write 
 		}
 		de.owner = 0
 		ck.Grant(p, int64(sp.gid), vpn, req, false, true, de.value)
-		return &pageGrant{Value: de.value, Src: int(old), Prot: sharedProt}, nil
+		return &pageGrant{Value: de.value, Src: int(old), Prot: sharedProt, Version: ver}, nil
 	}
 	return nil, fmt.Errorf("vm: directory entry for %#x in impossible state %d", uint64(vpn.Base()), de.state)
 }
 
 // revokeCopies invalidates read copies at the given kernels (the origin's
 // own copy is handled locally; remote copies over the fabric, in parallel).
-func (sp *Space) revokeCopies(p *sim.Proc, targets []msg.NodeID, vpn mem.VPN, downgrade bool) {
+func (sp *Space) revokeCopies(p *sim.Proc, targets []msg.NodeID, vpn mem.VPN, downgrade bool, ver uint64) {
 	remote := targets[:0:0]
 	for _, t := range targets {
 		if sp.svc.injectSkipRevoke && t == sp.svc.skipRevokeTarget {
@@ -118,7 +126,7 @@ func (sp *Space) revokeCopies(p *sim.Proc, targets []msg.NodeID, vpn mem.VPN, do
 			continue
 		}
 		if t == sp.svc.node {
-			sp.applyInval(p, vpn, downgrade)
+			sp.applyInval(p, vpn, downgrade, ver)
 		} else {
 			remote = append(remote, t)
 		}
@@ -127,18 +135,27 @@ func (sp *Space) revokeCopies(p *sim.Proc, targets []msg.NodeID, vpn mem.VPN, do
 		return
 	}
 	sp.svc.metrics.Counter("vm.inval.sent").Add(uint64(len(remote)))
-	_, err := sp.svc.ep.CallEach(p, remote, func(to msg.NodeID) *msg.Message {
+	_, errs := sp.svc.ep.CallEachErr(p, remote, func(to msg.NodeID) *msg.Message {
 		return &msg.Message{Type: msg.TypePageInvalidate, To: to, Size: sizeSmallReq,
 			Payload: &pageInval{GID: sp.gid, VPN: vpn, Downgrade: downgrade}}
 	})
-	if err != nil {
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if msg.IsDeadPeer(err) {
+			// The sharer's kernel died: its copy is gone with it, which is
+			// exactly what an invalidation would have achieved.
+			sp.svc.metrics.Counter("vm.inval.deadpeer").Inc()
+			continue
+		}
 		panic(fmt.Sprintf("vm: invalidation fan-out failed: %v", err))
 	}
 }
 
 // revokeOwner revokes (or downgrades) the exclusive copy at the owning
 // kernel and returns the written-back contents.
-func (sp *Space) revokeOwner(p *sim.Proc, owner msg.NodeID, vpn mem.VPN, downgrade bool) pageInvalAck {
+func (sp *Space) revokeOwner(p *sim.Proc, owner msg.NodeID, vpn mem.VPN, downgrade bool, ver uint64) pageInvalAck {
 	if sp.svc.injectSkipRevoke && owner == sp.svc.skipRevokeTarget {
 		// Deliberately broken protocol (sanitizer tests): the owner keeps
 		// its writable copy and no write-back happens.
@@ -146,13 +163,20 @@ func (sp *Space) revokeOwner(p *sim.Proc, owner msg.NodeID, vpn mem.VPN, downgra
 		return pageInvalAck{}
 	}
 	if owner == sp.svc.node {
-		return sp.applyInval(p, vpn, downgrade)
+		return sp.applyInval(p, vpn, downgrade, ver)
 	}
 	sp.svc.metrics.Counter("vm.inval.sent").Inc()
 	reply, err := sp.svc.ep.Call(p, &msg.Message{
 		Type: msg.TypePageInvalidate, To: owner, Size: sizeSmallReq,
-		Payload: &pageInval{GID: sp.gid, VPN: vpn, Downgrade: downgrade}})
+		Payload: &pageInval{GID: sp.gid, VPN: vpn, Downgrade: downgrade, Version: ver}})
 	if err != nil {
+		if msg.IsDeadPeer(err) {
+			// The owner died before writing back: its copy (and any writes
+			// not yet written back) are lost with the kernel. The directory's
+			// last known value stands.
+			sp.svc.metrics.Counter("vm.inval.deadpeer").Inc()
+			return pageInvalAck{}
+		}
 		panic(fmt.Sprintf("vm: owner revocation failed: %v", err))
 	}
 	return *reply.Payload.(*pageInvalAck)
@@ -161,10 +185,13 @@ func (sp *Space) revokeOwner(p *sim.Proc, owner msg.NodeID, vpn mem.VPN, downgra
 // applyInval executes an invalidation against this kernel's copy of the
 // page: mark racing faults stale, strip the PTE (or its write bit), release
 // the frame on full invalidation, and charge the TLB shootdown.
-func (sp *Space) applyInval(p *sim.Proc, vpn mem.VPN, downgrade bool) pageInvalAck {
+func (sp *Space) applyInval(p *sim.Proc, vpn mem.VPN, downgrade bool, ver uint64) pageInvalAck {
 	var ack pageInvalAck
 	if pend, ok := sp.pending[vpn]; ok {
 		pend.invalidated = true
+		if ver > pend.invalVersion {
+			pend.invalVersion = ver
+		}
 	}
 	pte, ok := sp.pt.Lookup(vpn)
 	if !ok {

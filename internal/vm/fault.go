@@ -225,9 +225,19 @@ func (sp *Space) resolveFault(p *sim.Proc, vpn mem.VPN, op accessOp, pend *pendi
 	}
 	// Everything the wire delivered to this kernel before the grant is
 	// already processed (per-pair FIFO), so any invalidation marks so far
-	// predate the grant and are consistent with its view: clear them. Only
-	// invalidations arriving from here on genuinely race the install.
-	pend.invalidated = false
+	// predate the grant and are consistent with its view: clear them. Under
+	// a fault plan FIFO no longer holds — a delayed grant reply can be
+	// overtaken by the invalidation that revokes it — so order them by
+	// directory version instead: a grant whose transaction postdates every
+	// revocation observed during the fault is fresh and may install; an
+	// older grant was genuinely overtaken, so keep the mark and let the
+	// access loop retry with a fresh fetch. (Under FIFO the grant's version
+	// always exceeds any prior invalidation's, so faults-off behaviour is
+	// unchanged; layout scrubs pin invalVersion to ^uint64(0) because they
+	// void any grant.)
+	if sp.svc.ep.Ordered() || grant.Version > pend.invalVersion {
+		pend.invalidated = false
+	}
 	return sp.install(p, vpn, grant, pend, op)
 }
 

@@ -141,6 +141,6 @@ func (s *Service) handlePageInvalidate(p *sim.Proc, m *msg.Message) *msg.Message
 		ack := &pageInvalAck{}
 		return &msg.Message{Size: invalAckSize(ack), Payload: ack}
 	}
-	ack := sp.applyInval(p, req.VPN, req.Downgrade)
+	ack := sp.applyInval(p, req.VPN, req.Downgrade, req.Version)
 	return &msg.Message{Size: invalAckSize(&ack), Payload: &ack}
 }

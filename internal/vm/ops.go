@@ -200,6 +200,9 @@ func (sp *Space) scrubLocal(p *sim.Proc, lo, hi mem.VPN) {
 		delete(sp.values, v)
 		if pend, ok := sp.pending[v]; ok {
 			pend.invalidated = true
+			// A layout scrub voids any grant, whatever its directory
+			// version: the mapping itself is gone.
+			pend.invalVersion = ^uint64(0)
 		}
 	}
 	for _, pte := range cleared {
@@ -235,6 +238,9 @@ func (sp *Space) applyProtectLocal(p *sim.Proc, lo, hi mem.VPN, prot mem.Prot) {
 	for v := lo; v < hi; v++ {
 		if pend, ok := sp.pending[v]; ok {
 			pend.invalidated = true
+			// Protection changed under the fault; no grant may install,
+			// whatever its directory version.
+			pend.invalVersion = ^uint64(0)
 		}
 	}
 	if touched > 0 {

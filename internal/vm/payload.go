@@ -129,6 +129,12 @@ type pageGrant struct {
 	Src int
 	// Prot is the protection to install (write bit present iff exclusive).
 	Prot mem.Prot
+	// Version is the directory entry's transaction counter at grant time.
+	// A replica discards a grant older than the latest invalidation it has
+	// seen for the page — without FIFO delivery (fault plans delay and
+	// retransmit), the version is the only way to order a late grant
+	// against the revocation that overtook it.
+	Version uint64
 }
 
 // pageInval revokes or downgrades a copy at its destination kernel.
@@ -137,6 +143,9 @@ type pageInval struct {
 	VPN mem.VPN
 	// Downgrade keeps a read-only copy instead of discarding it.
 	Downgrade bool
+	// Version is the directory transaction this revocation belongs to; see
+	// pageGrant.Version.
+	Version uint64
 }
 
 // pageInvalAck acknowledges an invalidation, carrying the written-back

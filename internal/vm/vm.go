@@ -72,6 +72,14 @@ type dirEntry struct {
 	// value is the origin's record of the page contents as of the last
 	// write-back or shared grant; authoritative while state != pageModified.
 	value int64
+	// reclaimed marks an entry whose last copies were lost when the kernel
+	// holding them crashed; the next grant faults the directory's value back
+	// from the home node instead of zero-filling.
+	reclaimed bool
+	// version counts directory transactions on this page; grants and
+	// revocations carry it so replicas can order a late grant against the
+	// invalidation that overtook it (see pageGrant.Version).
+	version uint64
 	// mu serialises directory transactions for this page.
 	mu *sim.Mutex
 }
@@ -81,6 +89,12 @@ type dirEntry struct {
 type pendingFault struct {
 	done        *sim.Cond
 	invalidated bool
+	// invalVersion is the highest directory version seen on an invalidation
+	// while this fault was in flight; layout-level scrubs (munmap,
+	// mprotect) set it to ^uint64(0) because they void any grant. A grant
+	// with a higher version postdates every revocation observed and may
+	// install; anything else retries.
+	invalVersion uint64
 }
 
 // Space is one kernel's view of a group's address space: the authoritative
@@ -328,6 +342,71 @@ func (s *Service) Drop(p *sim.Proc, gid GID) {
 		}
 	}
 	delete(s.spaces, gid)
+}
+
+// PeerDied reclaims, on every origin directory this kernel hosts, the page
+// ownership and read copies held by a crashed kernel: modified pages lose
+// their (never written back) exclusive copy and fall back to the directory's
+// last value; the dead kernel leaves every sharer set. Runs from the fabric's
+// failure-degradation hook once the local detector declares the peer dead.
+func (s *Service) PeerDied(p *sim.Proc, dead msg.NodeID) {
+	gids := make([]GID, 0, len(s.spaces))
+	for gid := range s.spaces {
+		gids = append(gids, gid)
+	}
+	sortGIDsVM(gids)
+	for _, gid := range gids {
+		sp, ok := s.spaces[gid]
+		if !ok || !sp.isOrigin {
+			continue
+		}
+		delete(sp.replicas, dead)
+		// Snapshot the entries: transactions racing with this sweep can add
+		// fresh pages, but a fresh entry cannot involve the dead kernel.
+		vpns := make([]mem.VPN, 0, len(sp.dir))
+		for vpn := range sp.dir {
+			vpns = append(vpns, vpn)
+		}
+		sortVPNs(vpns)
+		for _, vpn := range vpns {
+			de := sp.dir[vpn]
+			de.mu.Lock(p)
+			switch {
+			case de.state == pageModified && de.owner == dead:
+				de.state = pageUnmapped
+				de.owner = 0
+				de.reclaimed = true
+				s.metrics.Counter("vm.pages.reclaimed").Inc()
+			case de.state == pageShared:
+				if _, held := de.sharers[dead]; held {
+					delete(de.sharers, dead)
+					if len(de.sharers) == 0 {
+						de.state = pageUnmapped
+						de.sharers = nil
+						de.reclaimed = true
+					}
+					s.metrics.Counter("vm.pages.reclaimed").Inc()
+				}
+			}
+			de.mu.Unlock(p)
+		}
+	}
+}
+
+func sortGIDsVM(gids []GID) {
+	for i := 1; i < len(gids); i++ {
+		for j := i; j > 0 && gids[j] < gids[j-1]; j-- {
+			gids[j], gids[j-1] = gids[j-1], gids[j]
+		}
+	}
+}
+
+func sortVPNs(vpns []mem.VPN) {
+	for i := 1; i < len(vpns); i++ {
+		for j := i; j > 0 && vpns[j] < vpns[j-1]; j-- {
+			vpns[j], vpns[j-1] = vpns[j-1], vpns[j]
+		}
+	}
 }
 
 // GID returns the group this space belongs to.
