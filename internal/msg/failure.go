@@ -138,7 +138,9 @@ func (f *Fabric) EnableFaults(plan *faultinj.Plan, cfg FaultConfig, hooks FaultH
 	}
 	for _, nc := range plan.Crashes {
 		nc := nc
-		f.e.Schedule(nc.At, func() {
+		// NodeCrash.At is an absolute simulation time; Schedule is relative
+		// to Now (and clamps negative delays to 0).
+		f.e.Schedule(nc.At-f.e.Now().Duration(), func() {
 			f.crashesDone++
 			f.crashNode(NodeID(nc.Node))
 		})

@@ -215,6 +215,40 @@ func TestFastFailAfterDeclaredDead(t *testing.T) {
 	}
 }
 
+// TestNodeCrashAtIsAbsolute pins NodeCrash.At's documented semantics: it is
+// an absolute simulation time, not an offset from when EnableFaults runs.
+// Boot work advances the clock to 1ms before faults are enabled; a crash
+// planned At=1.5ms must then fire at 1.5ms, not 2.5ms.
+func TestNodeCrashAtIsAbsolute(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	f := testFabric(t, e)
+	e.Spawn("boot", func(p *sim.Proc) { p.Sleep(time.Millisecond) })
+	if err := e.Run(); err != nil {
+		t.Fatalf("boot Run: %v", err)
+	}
+	if got := e.Now().Duration(); got != time.Millisecond {
+		t.Fatalf("boot advanced clock to %v, want 1ms", got)
+	}
+	plan := &faultinj.Plan{
+		Seed:    1,
+		Crashes: []faultinj.NodeCrash{{Node: 1, At: 1500 * time.Microsecond}},
+	}
+	crashedAt := sim.Time(-1)
+	f.EnableFaults(plan, FaultConfig{}, FaultHooks{
+		NodeCrashed: func(n NodeID) { crashedAt = e.Now() },
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := crashedAt.Duration(); got != 1500*time.Microsecond {
+		t.Fatalf("crash fired at %v, want the absolute 1.5ms (relative scheduling would give 2.5ms)", got)
+	}
+	if !f.Crashed(1) {
+		t.Error("kernel 1 not marked crashed")
+	}
+}
+
 // TestNilPlanKeepsFabricIdentical runs the same traffic with and without a
 // zero-fault plan attached and requires identical event counts: the fault
 // plane must cost nothing when its rules decide nothing, and must not

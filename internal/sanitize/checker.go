@@ -326,7 +326,18 @@ func (c *Checker) NodeCrashed(node msg.NodeID) {
 	if c == nil {
 		return
 	}
-	for k, sh := range c.pages {
+	keys := make([]pageKey, 0, len(c.pages))
+	for k := range c.pages {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].gid != keys[j].gid {
+			return keys[i].gid < keys[j].gid
+		}
+		return keys[i].vpn < keys[j].vpn
+	})
+	for _, k := range keys {
+		sh := c.pages[k]
 		r, held := sh.holders[node]
 		if !held {
 			continue

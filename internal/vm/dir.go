@@ -137,7 +137,7 @@ func (sp *Space) revokeCopies(p *sim.Proc, targets []msg.NodeID, vpn mem.VPN, do
 	sp.svc.metrics.Counter("vm.inval.sent").Add(uint64(len(remote)))
 	_, errs := sp.svc.ep.CallEachErr(p, remote, func(to msg.NodeID) *msg.Message {
 		return &msg.Message{Type: msg.TypePageInvalidate, To: to, Size: sizeSmallReq,
-			Payload: &pageInval{GID: sp.gid, VPN: vpn, Downgrade: downgrade}}
+			Payload: &pageInval{GID: sp.gid, VPN: vpn, Downgrade: downgrade, Version: ver}}
 	})
 	for _, err := range errs {
 		if err == nil {

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/hw"
 	"repro/internal/mem"
+	"repro/internal/msg"
 	"repro/internal/sim"
 )
 
@@ -194,4 +195,56 @@ func TestProtocolConcurrentOpsAndFaults(t *testing.T) {
 // racing a concurrent unmap/mprotect rather than a protocol failure.
 func isExpectedRace(err error) bool {
 	return errors.Is(err, ErrSegv) || errors.Is(err, ErrAccess)
+}
+
+// invalVersionObserver records the directory version carried by every
+// page-invalidation committed to the wire.
+type invalVersionObserver struct{ versions []uint64 }
+
+func (o *invalVersionObserver) MsgSent(p *sim.Proc, m *msg.Message) {
+	if m.Type == msg.TypePageInvalidate && !m.IsReply {
+		o.versions = append(o.versions, m.Payload.(*pageInval).Version)
+	}
+}
+
+func (o *invalVersionObserver) MsgDelivered(p *sim.Proc, m *msg.Message) {}
+
+// TestFanoutInvalidationCarriesVersion pins the write-on-shared revocation
+// path: a write while several remote kernels hold read copies fans out
+// invalidations via revokeCopies, and each must carry the directory
+// transaction version (de.version starts at 1, so zero means the field was
+// dropped). Without the version, a delayed grant overtaken by the
+// revocation passes resolveFault's grant.Version > pend.invalVersion check
+// and installs a stale read copy under fault plans.
+func TestFanoutInvalidationCarriesVersion(t *testing.T) {
+	ev := newEnv(t, 3, 64)
+	obs := &invalVersionObserver{}
+	ev.fabric.SetObserver(obs)
+	sps := ev.group(t, 1)
+	ev.run(t, func(p *sim.Proc) {
+		base, err := sps[0].Map(p, hw.PageSize, mem.ProtRead|mem.ProtWrite)
+		if err != nil {
+			t.Errorf("Map: %v", err)
+			return
+		}
+		// Kernels 1 and 2 take read copies, then kernel 0 writes: the
+		// directory must invalidate both remote sharers in one fan-out.
+		for k := 1; k <= 2; k++ {
+			if _, err := sps[k].Load(p, 2*k, base); err != nil {
+				t.Errorf("kernel %d Load: %v", k, err)
+				return
+			}
+		}
+		if err := sps[0].Store(p, 0, base, 7); err != nil {
+			t.Errorf("Store: %v", err)
+		}
+	})
+	if len(obs.versions) < 2 {
+		t.Fatalf("observed %d page invalidations, want >= 2 (fan-out to both sharers)", len(obs.versions))
+	}
+	for i, v := range obs.versions {
+		if v == 0 {
+			t.Errorf("invalidation %d carries version 0; fan-out dropped the directory version", i)
+		}
+	}
 }
