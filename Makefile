@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet popcornvet popcornmc test bench
+.PHONY: verify build vet popcornvet popcornmc soak test bench
 
-verify: build vet popcornvet test popcornmc
+verify: build vet popcornvet test popcornmc soak
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,12 @@ popcornmc:
 	$(GO) run ./cmd/popcornmc -workload migration -seeds 32
 	$(GO) run ./cmd/popcornmc -workload migration -seeds 16 -faults
 	$(GO) run ./cmd/popcornmc -workload futex -seeds 16 -faults
+
+# Chaos soak: crash -> heal -> crash kernels under message noise with the
+# sanitizer attached, asserting every lost recoverable thread is restarted
+# from its checkpoint; see DESIGN.md §9.
+soak:
+	$(GO) run ./cmd/popcornmc -soak -seeds 16
 
 test:
 	$(GO) test -race ./...

@@ -15,6 +15,11 @@
 // leaks — with dead-peer degradation errors being the only tolerated
 // outcome difference.
 //
+// With -soak the tool instead runs the chaos soak (soak.go): a 4-kernel
+// cluster under crash → heal → crash cycles, a partition and link noise,
+// with recoverable threads that must be lost and restarted from their
+// checkpoints, asserting the end-state recovery invariants per seed.
+//
 // A failing seed is shrunk to the shortest event prefix that still fails
 // (binary search over the engine's event limit — the schedule is a pure
 // function of the seed, so any prefix replays exactly), and the tool
@@ -24,6 +29,7 @@
 //
 //	popcornmc -workload all -seeds 32
 //	popcornmc -workload all -seeds 16 -faults                (fault sweep)
+//	popcornmc -soak -seeds 16                                (chaos soak)
 //	popcornmc -workload contention -seed 17 -events 4213     (replay a repro)
 //	popcornmc -workload migration -inject skip-revoke=0      (plant a protocol bug)
 package main
@@ -62,11 +68,15 @@ func run() error {
 	inject := flag.String("inject", "", "plant a protocol bug: skip-revoke=K drops invalidations to kernel K")
 	faults := flag.Bool("faults", false, "layer a seed-derived fault plan (drop/dup/delay on all links, plus a kernel crash mid-migration) over the sweep")
 	fseed := flag.Int64("fseed", 0, "fault-plan seed (default: the schedule seed)")
+	soak := flag.Bool("soak", false, "run the chaos soak: crash→heal→crash cycles over recoverable workloads, asserting end-state recovery invariants")
 	traceN := flag.Int("trace", 512, "trace buffer capacity behind violation reports")
 	noShrink := flag.Bool("noshrink", false, "report the failing seed without minimising it")
 	verbose := flag.Bool("v", false, "print a line per seed")
 	flag.Parse()
 
+	if *soak {
+		return runSoak(*seeds, *seed, *verbose)
+	}
 	injectNode, err := parseInject(*inject)
 	if err != nil {
 		return err

@@ -8,6 +8,8 @@
 //	locksend  sim.Mutex held across a blocking fabric send or RPC
 //	lockorder sim-lock acquisition-order cycles (hierarchy inversions)
 //	          and undocumented same-class lock nesting
+//	dirver    pageGrant/pageInval composite literals that leave the
+//	          directory Version unstamped (error replies exempt)
 //
 // Usage:
 //

@@ -52,6 +52,8 @@ var faultCounterRows = []struct{ name, desc string }{
 	{"msg.fault.retransmit", "RPC retransmissions"},
 	{"msg.fault.dupdrop", "duplicates suppressed in flight"},
 	{"msg.fault.replayed", "duplicates answered from reply cache"},
+	{"msg.fault.dedup_hits", "dedup-window hits (suppressed + replayed)"},
+	{"msg.fault.fenced", "stale-incarnation messages fenced"},
 	{"msg.fault.lost", "non-RPC messages lost after redelivery budget"},
 	{"msg.fault.crash", "kernel crashes"},
 	{"msg.fault.declared", "dead-peer declarations by survivors"},

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/task"
+	"repro/internal/threadgroup"
 	"repro/internal/trace"
 	"repro/internal/vm"
 )
@@ -70,6 +72,19 @@ type OS struct {
 	// live tracks every running Thread by task ID so the fault plane can
 	// halt the ones hosted by a crashing kernel.
 	live map[task.ID]*Thread
+	// restartable maps recoverable threads to their re-execution entry; the
+	// thread-group restart hook consults it after a hosting-kernel crash.
+	restartable map[task.ID]restartEntry
+	// faultsOn gates the recovery checks on syscall hot paths (suspicion
+	// probes in Compute) so fault-free runs pay nothing.
+	faultsOn bool
+}
+
+// restartEntry is what checkpointed restart needs to re-execute a thread:
+// its process and its function.
+type restartEntry struct {
+	pr *Process
+	fn osi.ThreadFunc
 }
 
 var _ osi.OS = (*OS)(nil)
@@ -107,7 +122,7 @@ func Boot(cfg Config) (*OS, error) {
 		e.Close()
 		return nil, err
 	}
-	return &OS{e: e, machine: machine, cluster: cluster, metrics: metrics, placement: cfg.Placement, live: make(map[task.ID]*Thread)}, nil
+	return &OS{e: e, machine: machine, cluster: cluster, metrics: metrics, placement: cfg.Placement, live: make(map[task.ID]*Thread), restartable: make(map[task.ID]restartEntry)}, nil
 }
 
 // BootOn builds a replicated-kernel OS on an existing engine and machine,
@@ -118,7 +133,7 @@ func BootOn(e *sim.Engine, machine *hw.Machine, clusterCfg kernel.ClusterConfig)
 	if err != nil {
 		return nil, err
 	}
-	return &OS{e: e, machine: machine, cluster: cluster, metrics: metrics, live: make(map[task.ID]*Thread)}, nil
+	return &OS{e: e, machine: machine, cluster: cluster, metrics: metrics, live: make(map[task.ID]*Thread), restartable: make(map[task.ID]restartEntry)}, nil
 }
 
 // Name implements osi.OS.
@@ -165,12 +180,21 @@ func (o *OS) AttachSanitizer(cfg sanitize.Config) *sanitize.Checker {
 }
 
 // EnableFaults attaches a fault plan to the inter-kernel fabric and wires
-// the OS-level degradation hooks: a crashing kernel halts every thread it
-// hosts (marked lost; their group accounting completes via the survivors'
-// reaping), and each surviving kernel's declared-dead verdict drives its
-// thread-group, VM and futex services' recovery. Call after boot, before the
-// workload runs. A nil plan changes nothing.
+// the OS-level degradation and recovery hooks: a crashing kernel halts every
+// thread it hosts (marked lost; their group accounting completes via the
+// survivors' reaping, or — for recoverable threads — via checkpointed
+// restart at the origin), a healing kernel resets its services to boot
+// state before the fabric's rejoin handshake runs, and each surviving
+// kernel's declared-dead verdict drives its VM, futex and thread-group
+// services' degradation. Call after boot, before the workload runs. A nil
+// plan changes nothing.
 func (o *OS) EnableFaults(plan *faultinj.Plan, cfg msg.FaultConfig) {
+	if plan != nil {
+		o.faultsOn = true
+		for _, kn := range o.cluster.Kernels {
+			kn.TG.SetRestartHook(o.restartHookFor(kn))
+		}
+	}
 	o.cluster.Fabric.EnableFaults(plan, cfg, msg.FaultHooks{
 		NodeCrashed: func(n msg.NodeID) {
 			ids := make([]task.ID, 0, len(o.live))
@@ -187,14 +211,65 @@ func (o *OS) EnableFaults(plan *faultinj.Plan, cfg msg.FaultConfig) {
 				th.p.Kill()
 			}
 		},
+		NodeRebooted: func(n msg.NodeID) {
+			// The kernel boots from scratch: all pre-crash service state is
+			// gone (the fabric's incarnation fencing keeps zombie messages
+			// from resurrecting any of it). VM before TG is irrelevant here —
+			// everything is dropped wholesale — but the locks must be rebuilt
+			// because a thread killed mid-critical-section never unlocked.
+			k := o.cluster.Kernels[n]
+			k.VM.Reboot()
+			k.Futex.Reboot()
+			k.TG.Reboot()
+			k.Frames.Reset()
+			k.Sched.Reset()
+		},
 		PeerDead: func(p *sim.Proc, observer, dead msg.NodeID) {
+			// VM first: the directory reclaim is a bounded local+fan-out pass,
+			// so restarted threads (spawned from TG's sweep below) fault
+			// against an already-reclaimed directory instead of racing it.
 			k := o.cluster.Kernels[observer]
-			k.TG.PeerDied(p, dead)
 			k.VM.PeerDied(p, dead)
 			k.Futex.PeerDied(p, dead)
+			k.TG.PeerDied(p, dead)
 		},
 	})
 }
+
+// restartHookFor builds kn's checkpointed-restart hook: re-execute a
+// recovered task's registered function on kn. The task keeps StateRecovered
+// while the re-execution runs and leaves through the ordinary exit path.
+func (o *OS) restartHookFor(kn *kernel.Kernel) threadgroup.RestartHook {
+	return func(p *sim.Proc, tk *task.Task) bool {
+		ent, ok := o.restartable[tk.ID]
+		if !ok {
+			return false
+		}
+		o.metrics.Counter("core.threads.recovered").Inc()
+		pr := ent.pr
+		pr.wg.Add(1)
+		o.e.Spawn(fmt.Sprintf("thread-%d-r", tk.ID), func(tp *sim.Proc) {
+			defer pr.wg.Done()
+			th := &Thread{pr: pr, p: tp, task: tk, k: kn}
+			o.live[tk.ID] = th
+			defer func() {
+				// Only remove our own entry: a superseded incarnation dying
+				// late must not deregister the copy that replaced it.
+				if o.live[tk.ID] == th {
+					delete(o.live, tk.ID)
+				}
+			}()
+			th.core = th.k.Sched.Acquire(tp)
+			ent.fn(th)
+			th.exit()
+		})
+		return true
+	}
+}
+
+// LiveThreads returns how many threads are currently executing. Zero after
+// the simulation quiesces means every thread reached a terminal state.
+func (o *OS) LiveThreads() int { return len(o.live) }
 
 // Close shuts the simulation down, unwinding all service processes.
 func (o *OS) Close() { o.e.Close() }
@@ -261,6 +336,21 @@ func (pr *Process) Origin() int { return int(pr.origin) }
 
 // Spawn implements osi.Process.
 func (pr *Process) Spawn(p *sim.Proc, kernelHint int, fn osi.ThreadFunc) error {
+	return pr.spawnThread(p, kernelHint, fn, false)
+}
+
+// SpawnRecoverable is Spawn plus checkpointed-restart registration: the
+// group origin retains the thread's last migration payload, and if the
+// kernel hosting the thread later crashes, the origin restarts fn from that
+// checkpoint (the task in StateRecovered) instead of reaping the member as
+// lost. fn therefore re-runs from its last migration boundary — it must
+// tolerate partial re-execution of the work since then. Restart is
+// at-most-once per thread, and only while the origin kernel survives.
+func (pr *Process) SpawnRecoverable(p *sim.Proc, kernelHint int, fn osi.ThreadFunc) error {
+	return pr.spawnThread(p, kernelHint, fn, true)
+}
+
+func (pr *Process) spawnThread(p *sim.Proc, kernelHint int, fn osi.ThreadFunc, recoverable bool) error {
 	k, err := pr.os.pickKernel(kernelHint)
 	if err != nil {
 		return err
@@ -272,22 +362,55 @@ func (pr *Process) Spawn(p *sim.Proc, kernelHint int, fn osi.ThreadFunc) error {
 	if err != nil {
 		return err
 	}
+	if recoverable {
+		tk.Recoverable = true
+		// For a remote clone the hosting kernel holds its own task struct;
+		// mark it too so the flag rides the thread's future migrations.
+		if ht, ok := pr.os.cluster.Kernels[tk.Kernel].TG.Task(pr.gid, tk.ID); ok {
+			ht.Recoverable = true
+		}
+		if err := pr.os.cluster.Kernels[pr.origin].TG.SetRecoverable(pr.gid, tk.ID); err != nil {
+			return err
+		}
+		pr.os.restartable[tk.ID] = restartEntry{pr: pr, fn: fn}
+	}
+	pr.runThread(tk, fn)
+	return nil
+}
+
+// runThread starts the simulation proc that executes fn as thread tk.
+func (pr *Process) runThread(tk *task.Task, fn osi.ThreadFunc) {
 	pr.wg.Add(1)
 	pr.os.e.Spawn(fmt.Sprintf("thread-%d", tk.ID), func(tp *sim.Proc) {
 		defer pr.wg.Done()
 		th := &Thread{pr: pr, p: tp, task: tk, k: pr.os.cluster.Kernels[tk.Kernel]}
 		pr.os.live[tk.ID] = th
-		defer delete(pr.os.live, tk.ID)
+		defer func() {
+			// Only remove our own entry: a superseded incarnation dying late
+			// must not deregister the restarted copy that replaced it.
+			if pr.os.live[tk.ID] == th {
+				delete(pr.os.live, tk.ID)
+			}
+		}()
 		th.core = th.k.Sched.Acquire(tp)
 		tk.State = task.StateRunning
 		fn(th)
 		th.exit()
 	})
-	return nil
 }
 
 // Wait implements osi.Process.
 func (pr *Process) Wait(p *sim.Proc) { pr.wg.Wait(p) }
+
+// Join blocks until every thread of the process other than the main thread
+// has left the group — by exiting, by being reaped as lost, or by a
+// checkpointed restart running to completion. Unlike Wait, which tracks
+// simulation procs and so returns as soon as a crashed thread's proc
+// unwinds, Join tracks the origin's member table and waits out pending
+// restarts of lost threads.
+func (pr *Process) Join(p *sim.Proc) error {
+	return pr.os.cluster.Kernels[pr.origin].TG.WaitMembers(p, pr.gid, 1)
+}
 
 // Close implements osi.Process: the main thread exits, tearing down the
 // distributed group on every kernel.
@@ -327,9 +450,43 @@ func (t *Thread) Core() int { return t.core }
 // Migrations returns how many times this thread has moved between kernels.
 func (t *Thread) Migrations() int { return t.task.Migrations }
 
-// Compute implements osi.Thread.
+// Compute implements osi.Thread. Under a fault plan it first gives the
+// thread a chance to evacuate a kernel whose link to the group origin has
+// turned suspicious.
 func (t *Thread) Compute(d time.Duration) {
+	if t.pr.os.faultsOn {
+		t.maybeEvacuate()
+	}
 	t.core = t.k.Sched.Run(t.p, d)
+}
+
+// maybeEvacuate proactively migrates the thread off a kernel whose local
+// failure detector suspects the group origin (silence past half the
+// declare-dead threshold, verdict not yet reached). The danger of staying
+// put is the symmetric view: if this kernel cannot hear the origin, the
+// origin likely cannot hear this kernel, and once the origin declares it
+// dead it reaps — or restarts — the member while it is still running here.
+// Moving to a kernel the detector does not suspect re-registers the
+// thread's location with the origin through a healthy path. Best-effort: a
+// failed migration just resumes here and the crash path cleans up as usual.
+func (t *Thread) maybeEvacuate() {
+	if t.k.Node == t.pr.origin {
+		return
+	}
+	ep := t.pr.os.cluster.Fabric.Endpoint(t.k.Node)
+	if !ep.Suspects(t.pr.origin) {
+		return
+	}
+	for k := range t.pr.os.cluster.Kernels {
+		dst := msg.NodeID(k)
+		if dst == t.k.Node || ep.Suspects(dst) || t.pr.os.cluster.Fabric.Crashed(dst) {
+			continue
+		}
+		if err := t.Migrate(k); err == nil {
+			t.pr.os.metrics.Counter("core.threads.evacuated").Inc()
+		}
+		return
+	}
 }
 
 // space returns the thread's current kernel's view of the address space.
@@ -449,18 +606,7 @@ func (t *Thread) Spawn(kernelHint int, fn osi.ThreadFunc) error {
 	if err != nil {
 		return err
 	}
-	pr := t.pr
-	pr.wg.Add(1)
-	pr.os.e.Spawn(fmt.Sprintf("thread-%d", tk.ID), func(tp *sim.Proc) {
-		defer pr.wg.Done()
-		th := &Thread{pr: pr, p: tp, task: tk, k: pr.os.cluster.Kernels[tk.Kernel]}
-		pr.os.live[tk.ID] = th
-		defer delete(pr.os.live, tk.ID)
-		th.core = th.k.Sched.Acquire(tp)
-		tk.State = task.StateRunning
-		fn(th)
-		th.exit()
-	})
+	t.pr.runThread(tk, fn)
 	return nil
 }
 
@@ -482,6 +628,15 @@ func (t *Thread) Migrate(kernelHint int) error {
 	t.k.Sched.Release(t.p)
 	moved, err := t.k.TG.Migrate(t.p, t.pr.gid, t.task.ID, dst)
 	if err != nil {
+		if errors.Is(err, threadgroup.ErrSuperseded) {
+			// The migration's fate was ambiguous and the origin resolved it
+			// against us: another incarnation of this thread (a checkpointed
+			// restart, or the import that did land) owns the identity now.
+			// This copy must die rather than resume and fork the thread.
+			t.task.State = task.StateLost
+			t.pr.os.metrics.Counter("core.threads.lost").Inc()
+			t.p.Kill()
+		}
 		// Failed migrations resume on the source kernel.
 		t.core = t.k.Sched.Acquire(t.p)
 		return err

@@ -61,6 +61,16 @@ type TypeCrash struct {
 	After time.Duration
 }
 
+// NodeHeal reboots a crashed kernel at an absolute simulation time: the
+// kernel comes back empty (all pre-crash state is gone), bumps its
+// incarnation number, and runs the rejoin handshake with the survivors.
+// Healing a kernel that is not crashed is a no-op, so crash/heal pairs can
+// be scheduled independently.
+type NodeHeal struct {
+	Node int
+	At   time.Duration
+}
+
 // Partition makes the link between kernels A and B (both directions) drop
 // everything during [From, Until), then heal.
 type Partition struct {
@@ -88,6 +98,7 @@ type Plan struct {
 	Rules       []Rule
 	Crashes     []NodeCrash
 	TypeCrashes []TypeCrash
+	Heals       []NodeHeal
 	Partitions  []Partition
 
 	rng     *sim.RNG
@@ -99,6 +110,11 @@ type Plan struct {
 // decides whether the fabric needs heartbeats and failure detectors.
 func (pl *Plan) HasCrashes() bool {
 	return pl != nil && (len(pl.Crashes) > 0 || len(pl.TypeCrashes) > 0)
+}
+
+// HasHeals reports whether the plan reboots any kernel.
+func (pl *Plan) HasHeals() bool {
+	return pl != nil && len(pl.Heals) > 0
 }
 
 func (pl *Plan) ensure() {

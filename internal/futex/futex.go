@@ -198,6 +198,16 @@ func (s *Service) Wait(p *sim.Proc, gid vm.GID, addr mem.Addr, expect int64) err
 	return lw.err
 }
 
+// Reboot resets the service to boot state for a kernel reboot: home-side
+// buckets (with their mutexes — a crash can kill a holder mid-critical
+// section, and killed holders never unlock) and local waiter records are
+// discarded. The wait token counter keeps counting so tokens stay unique
+// across incarnations.
+func (s *Service) Reboot() {
+	s.buckets = make(map[key]*bucket)
+	s.waiters = make(map[uint64]*localWaiter)
+}
+
 // PeerDied runs this kernel's futex-side degradation after dead is declared
 // gone: queued references owned by the dead kernel are reaped from every
 // home-side bucket here, and local waiters whose home queue died with the

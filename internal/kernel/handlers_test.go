@@ -18,6 +18,7 @@ var handlerExempt = map[msg.Type]string{
 	msg.TypeUser:        "application-level traffic; the multikernel baseline wires it per domain",
 	msg.TypeMigrateBack: "reserved for wire compatibility; back-migration reuses TypeMigrate toward the origin",
 	msg.TypeHeartbeat:   "consumed by the fabric itself in deliver; never enqueued or dispatched to a handler",
+	msg.TypeRejoin:      "registered by msg.EnableFaults on every endpoint; only a fault plan's rejoin handshake sends it",
 }
 
 // TestClusterHandlesEveryMessageType boots a cluster and cross-checks the

@@ -58,6 +58,15 @@ func NewLockedFrames(e *sim.Engine, machine *hw.Machine, alloc *mem.FrameAllocat
 	return &LockedFrames{e: e, machine: machine, alloc: alloc, mu: sim.NewMutex(e).SetLabel("kernel.frames"), crossNode: crossNode, maxSharers: maxSharers}
 }
 
+// Reset returns the frame zone to its boot state for a kernel reboot: the
+// allocator forgets every allocation and the zone lock is replaced — a crash
+// can kill a process while it holds the lock, and a killed holder never
+// unlocks.
+func (f *LockedFrames) Reset() {
+	f.alloc.Reset()
+	f.mu = sim.NewMutex(f.e).SetLabel("kernel.frames")
+}
+
 func (f *LockedFrames) bounce(p *sim.Proc) {
 	sharers := f.mu.Waiters()
 	if sharers > f.maxSharers-1 {

@@ -129,6 +129,18 @@ func (a *FrameAllocator) Free(f FrameID) error {
 	return nil
 }
 
+// Reset returns the allocator to its boot state: every frame free, nothing
+// allocated. A kernel reboot resets its frame partition wholesale — the
+// frames' previous contents are gone with the crash, so there is nothing to
+// free individually.
+func (a *FrameAllocator) Reset() {
+	a.free = a.free[:0]
+	a.allocated = make(map[FrameID]struct{})
+	for i := a.count - 1; i >= 0; i-- {
+		a.free = append(a.free, a.start+FrameID(i))
+	}
+}
+
 // InUse returns the number of allocated frames.
 func (a *FrameAllocator) InUse() int { return len(a.allocated) }
 

@@ -24,18 +24,38 @@ type Endpoint struct {
 	procs map[int64]*sim.Proc
 
 	// Fault-plane state, allocated by EnableFaults and nil otherwise.
-	// dead marks a crashed kernel; lastHeard/declaredDead are this kernel's
-	// local failure-detector view; seen is the at-most-once dedup table.
+	// dead marks a crashed kernel; lastHeard/declaredDead/suspects are this
+	// kernel's local failure-detector view; seen is the at-most-once dedup
+	// table.
 	dead         bool
 	detecting    bool
 	lastHeard    map[NodeID]sim.Time
 	declaredDead map[NodeID]bool
+	suspects     map[NodeID]bool
 	seen         map[dedupKey]*dedupEntry
+	// knownInc is the highest incarnation of each peer this kernel has
+	// completed a rejoin handshake with (i.e. finished reclaiming the
+	// previous incarnation's state). Messages stamped with a newer
+	// incarnation are dropped at delivery until the handshake lands:
+	// serving a fresh kernel while its predecessor's reclamation sweep is
+	// still pending would let the sweep wipe state granted to the new one.
+	knownInc map[NodeID]uint64
+	// sweeping marks peers whose detector-declared degradation sweep is
+	// still running in its spawned process; a rejoin handshake for such a
+	// peer waits for the sweep to finish before admitting the new
+	// incarnation.
+	sweeping  map[NodeID]bool
+	sweepDone *sim.Cond
 }
 
 type call struct {
 	waiter *sim.Proc
 	to     NodeID
+	// dstInc is the callee incarnation the request was stamped with; a
+	// rejoin handshake fails calls still waiting on an older incarnation
+	// (their requests are fenced at the rejoined kernel, so no reply can
+	// ever come).
+	dstInc uint64
 	reply  *Message
 	done   bool
 	// failed is set (with a Resume) when the failure detector declares the
@@ -100,6 +120,13 @@ func (ep *Endpoint) Handles(t Type) bool {
 	return ok
 }
 
+// Suspects reports whether this kernel's failure detector is currently
+// suspicious of peer n: heartbeat silence has crossed half the DeadAfter
+// threshold but no verdict has been reached. Like Fabric.Crashed, this is
+// physically-local knowledge — each kernel reads only its own detector —
+// and the OS uses it to evacuate threads before a peer is declared dead.
+func (ep *Endpoint) Suspects(n NodeID) bool { return ep.suspects[n] }
+
 // spawnTracked spawns fn as an endpoint-owned process: it is registered
 // with the endpoint for its lifetime so crashNode can halt it. The registry
 // is plain map bookkeeping (no events, no RNG), so tracking is always on.
@@ -153,7 +180,7 @@ func (ep *Endpoint) Call(p *sim.Proc, m *Message) (*Message, error) {
 		return nil, &DeadPeerError{Peer: ep.node, Type: m.Type}
 	}
 	ep.prepare(m)
-	c := &call{waiter: p, to: m.To}
+	c := &call{waiter: p, to: m.To, dstInc: m.DstInc}
 	ep.pending[m.Seq] = c
 	defer delete(ep.pending, m.Seq)
 	ep.f.metrics.Counter("msg.sent").Inc()
@@ -240,7 +267,10 @@ func (ep *Endpoint) callHardened(p *sim.Proc, m *Message, c *call, start sim.Tim
 	return c.reply, nil
 }
 
-// prepare stamps From and Seq and validates the destination.
+// prepare stamps From, Seq, and (in fault mode) the incarnation pair, and
+// validates the destination. Retransmissions re-enter with SrcInc already
+// set and keep their original stamps: a copy prepared before a reboot must
+// stay fenceable, and at-most-once dedup holds across incarnations.
 func (ep *Endpoint) prepare(m *Message) {
 	if int(m.To) < 0 || int(m.To) >= len(ep.f.endpoints) {
 		panic(fmt.Sprintf("msg: send to unknown node %d", m.To))
@@ -253,15 +283,33 @@ func (ep *Endpoint) prepare(m *Message) {
 		ep.f.nextSeq++
 		m.Seq = ep.f.nextSeq
 	}
+	if ep.f.incarnation != nil && m.SrcInc == 0 {
+		m.SrcInc = ep.f.incarnation[ep.node]
+		m.DstInc = ep.f.incarnation[m.To]
+	}
 }
 
-// deliver enqueues m at its destination endpoint. In fault mode every
-// delivery refreshes the detector's last-heard clock, and heartbeats are
-// consumed here without ever touching the queue, tracer, or observer.
+// deliver enqueues m at its destination endpoint. In fault mode stale
+// incarnations are fenced first — before the last-heard refresh, so a
+// zombie heartbeat cannot feed the failure detector — then every surviving
+// delivery refreshes the detector's clock, and heartbeats are consumed here
+// without ever touching the queue, tracer, or observer.
 func (f *Fabric) deliver(m *Message) {
 	dst := f.endpoints[m.To]
 	if f.plan != nil {
 		if dst.dead {
+			return
+		}
+		if f.fenced(m) {
+			return
+		}
+		if m.Type != TypeRejoin && m.SrcInc > dst.knownInc[m.From] {
+			// The sender rebooted and this kernel has not yet completed its
+			// rejoin handshake (the previous incarnation's reclamation may
+			// still be pending here). Admitting traffic now would let that
+			// sweep wipe state granted to the fresh kernel, so drop; RPC
+			// retransmits cover the gap until the handshake lands.
+			f.countLink("msg.fault.unadmitted", m.From, m.To)
 			return
 		}
 		dst.lastHeard[m.From] = f.e.Now()
@@ -345,6 +393,7 @@ func (ep *Endpoint) dedup(p *sim.Proc, m *Message) bool {
 		ep.seen[k] = &dedupEntry{}
 		return false
 	}
+	ep.f.countLink("msg.fault.dedup_hits", m.From, ep.node)
 	if !de.done || de.reply == nil {
 		ep.f.countLink("msg.fault.dupdrop", m.From, ep.node)
 		return true

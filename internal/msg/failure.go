@@ -96,10 +96,14 @@ func (c FaultConfig) withDefaults() FaultConfig {
 // fires in engine context the instant a kernel dies (the OS halts the
 // threads it hosted). PeerDead fires in a dedicated degradation process on
 // each surviving kernel after its failure detector declares a peer dead;
-// it may block on simulator primitives and issue RPCs.
+// it may block on simulator primitives and issue RPCs. NodeRebooted fires
+// in engine context the instant a crashed kernel heals, before the rejoin
+// handshake runs: the OS must reset the kernel's services to boot state
+// (the crash destroyed everything they knew) without blocking.
 type FaultHooks struct {
-	NodeCrashed func(n NodeID)
-	PeerDead    func(p *sim.Proc, observer, dead NodeID)
+	NodeCrashed  func(n NodeID)
+	PeerDead     func(p *sim.Proc, observer, dead NodeID)
+	NodeRebooted func(n NodeID)
 }
 
 // SkipRevokeRule re-expresses vm.InjectSkipRevoke as a fault-plan rule:
@@ -127,13 +131,22 @@ func (f *Fabric) EnableFaults(plan *faultinj.Plan, cfg FaultConfig, hooks FaultH
 	f.hooks = hooks
 	f.crashed = make(map[NodeID]bool)
 	f.plannedCrashes = len(plan.Crashes) + len(plan.TypeCrashes)
+	f.plannedHeals = len(plan.Heals)
+	f.incarnation = make([]uint64, len(f.endpoints))
 	now := f.e.Now()
-	for _, ep := range f.endpoints {
+	for n, ep := range f.endpoints {
+		f.incarnation[n] = 1
 		ep.lastHeard = make(map[NodeID]sim.Time, len(f.endpoints))
 		ep.declaredDead = make(map[NodeID]bool)
+		ep.suspects = make(map[NodeID]bool)
 		ep.seen = make(map[dedupKey]*dedupEntry)
-		for n := range f.endpoints {
-			ep.lastHeard[NodeID(n)] = now
+		ep.knownInc = make(map[NodeID]uint64, len(f.endpoints))
+		ep.sweeping = make(map[NodeID]bool)
+		ep.sweepDone = sim.NewCond()
+		ep.Handle(TypeRejoin, f.handleRejoin)
+		for peer := range f.endpoints {
+			ep.lastHeard[NodeID(peer)] = now
+			ep.knownInc[NodeID(peer)] = 1
 		}
 	}
 	for _, nc := range plan.Crashes {
@@ -145,10 +158,50 @@ func (f *Fabric) EnableFaults(plan *faultinj.Plan, cfg FaultConfig, hooks FaultH
 			f.crashNode(NodeID(nc.Node))
 		})
 	}
+	for _, nh := range plan.Heals {
+		nh := nh
+		f.e.Schedule(nh.At-f.e.Now().Duration(), func() {
+			f.healsDone++
+			f.healNode(NodeID(nh.Node))
+		})
+	}
+	for _, part := range plan.Partitions {
+		part := part
+		f.e.Schedule(part.Until-f.e.Now().Duration(), func() {
+			f.partitionClosed(NodeID(part.A), NodeID(part.B))
+		})
+	}
 }
 
 // FaultsEnabled reports whether a fault plan is attached.
 func (f *Fabric) FaultsEnabled() bool { return f.plan != nil }
+
+// Incarnation returns kernel n's current incarnation number: 1 from
+// EnableFaults, bumped by every reboot, zero when no fault plan is attached.
+func (f *Fabric) Incarnation(n NodeID) uint64 {
+	if f.incarnation == nil {
+		return 0
+	}
+	return f.incarnation[n]
+}
+
+// fenced reports whether m carries a stale incarnation stamp and must be
+// discarded: the sender rebooted since the message was prepared (a zombie
+// from the previous incarnation), or the destination did (the message
+// targets state that died with the crash). Unstamped messages — sent before
+// EnableFaults — pass.
+func (f *Fabric) fenced(m *Message) bool {
+	if m.SrcInc == 0 {
+		return false
+	}
+	if m.SrcInc == f.incarnation[m.From] && m.DstInc == f.incarnation[m.To] {
+		return false
+	}
+	f.countLink("msg.fault.fenced", m.From, m.To)
+	f.traceEvent("msg.fenced", m.To, "%v from k%d seq=%d stamped (%d,%d), current (%d,%d)",
+		m.Type, m.From, m.Seq, m.SrcInc, m.DstInc, f.incarnation[m.From], f.incarnation[m.To])
+	return true
+}
 
 // Crashed reports whether kernel n has died. This is not a failure oracle
 // for remote kernels — survivors still learn of deaths through their own
@@ -311,6 +364,182 @@ func (f *Fabric) crashNode(n NodeID) {
 	}
 }
 
+// healNode reboots crashed kernel n: the kernel returns empty — every
+// pre-crash structure is gone — under a bumped incarnation, reattaches to
+// the fabric, and runs the rejoin handshake with the survivors. Runs in
+// engine context.
+func (f *Fabric) healNode(n NodeID) {
+	ep := f.endpoints[int(n)]
+	if !ep.dead {
+		return
+	}
+	delete(f.crashed, n)
+	f.incarnation[n]++
+	ep.dead = false
+	f.metrics.Counter("msg.fault.heal").Inc()
+	f.traceEvent("msg.heal", n, "kernel %d rebooted, incarnation %d", n, f.incarnation[n])
+	// Fresh transport state. The inbound queue, wait table, and dedup table
+	// belonged to the previous incarnation; the work-queue condition is
+	// replaced because the killed dispatcher may still sit in its waiter
+	// list, where it would silently consume a wakeup meant for its
+	// replacement.
+	ep.queue = nil
+	ep.pending = make(map[uint64]*call)
+	ep.seen = make(map[dedupKey]*dedupEntry)
+	ep.hasWork = sim.NewCond()
+	ep.suspects = make(map[NodeID]bool)
+	// The fresh incarnation owes no peer a reclamation sweep (it has no
+	// pre-crash state to reconcile), so it admits every peer at its
+	// current incarnation immediately.
+	ep.knownInc = make(map[NodeID]uint64, len(f.endpoints))
+	for peer := range f.endpoints {
+		ep.knownInc[NodeID(peer)] = f.incarnation[peer]
+	}
+	ep.sweeping = make(map[NodeID]bool)
+	ep.sweepDone = sim.NewCond()
+	// Boot-time knowledge from the service processor: kernels that are down
+	// right now start out declared, so the fresh kernel neither burns RPC
+	// retries rediscovering them nor holds up settling. Its own detector
+	// takes over from here for future crashes.
+	ep.declaredDead = make(map[NodeID]bool)
+	for peer := range f.crashed {
+		ep.declaredDead[peer] = true
+	}
+	now := f.e.Now()
+	for peer := range f.endpoints {
+		ep.lastHeard[NodeID(peer)] = now
+	}
+	ep.dispatcher = f.e.SpawnDaemon(fmt.Sprintf("msg-dispatch-%d", ep.node), ep.dispatch)
+	// Tell the sanitizer (mirroring crashNode) that this kernel is live
+	// again, so grants to the fresh incarnation are tracked normally.
+	if ck, ok := f.observer.(interface{ NodeHealed(NodeID) }); ok {
+		ck.NodeHealed(n)
+	}
+	if f.hooks.NodeRebooted != nil {
+		f.hooks.NodeRebooted(n)
+	}
+	if !f.settled() {
+		// A failure window is open: the rejoined kernel must heartbeat so
+		// the running detectors keep trusting it, and must watch its peers
+		// for the crashes still to come.
+		ep.detecting = true
+		f.startFailureDetection(ep)
+	}
+	inc := f.incarnation[n]
+	ep.spawnTracked(fmt.Sprintf("msg-rejoin-%d", n), func(p *sim.Proc) {
+		targets := make([]NodeID, 0, len(f.endpoints))
+		for peer := range f.endpoints {
+			pn := NodeID(peer)
+			if pn == n || ep.declaredDead[pn] {
+				continue
+			}
+			targets = append(targets, pn)
+		}
+		_, errs := ep.CallEachErr(p, targets, func(to NodeID) *Message {
+			return &Message{Type: TypeRejoin, To: to, Size: 64, Payload: &rejoinReq{Node: n, Incarnation: inc}}
+		})
+		for _, err := range errs {
+			if err != nil && !IsDeadPeer(err) {
+				panic(fmt.Sprintf("msg: rejoin handshake from kernel %d failed: %v", n, err))
+			}
+		}
+	})
+}
+
+// rejoinReq announces a rebooted kernel's new incarnation to one survivor.
+type rejoinReq struct {
+	Node        NodeID
+	Incarnation uint64
+}
+
+// handleRejoin runs on a surviving kernel when a rebooted peer announces
+// itself. The survivor cuts loose any RPC still waiting on the previous
+// incarnation, settles the reclamation it owes that incarnation's state
+// (running it now if its own detector never reached a verdict), and then
+// forgets the death verdict so traffic with the rejoiner resumes.
+func (f *Fabric) handleRejoin(p *sim.Proc, m *Message) *Message {
+	req := m.Payload.(*rejoinReq)
+	ep := f.endpoints[m.To]
+	node := req.Node
+	f.traceEvent("msg.rejoin", ep.node, "kernel %d accepts kernel %d at incarnation %d", ep.node, node, req.Incarnation)
+	f.failStaleCalls(ep, node, req.Incarnation)
+	for ep.sweeping[node] {
+		// A detector declaration's degradation sweep for the previous
+		// incarnation is still running in its own process. Reclamation
+		// must complete before the new incarnation is admitted, or the
+		// sweep would wipe state the fresh kernel had already been
+		// granted.
+		ep.sweepDone.Wait(p)
+	}
+	if !ep.declaredDead[node] {
+		// Fast heal: the kernel rebooted before this survivor's detector
+		// reached a verdict, but the old incarnation's state is just as
+		// dead. Run the degradation sweep the declaration would have run.
+		// The verdict flag is claimed for the sweep's duration so a
+		// concurrent detector declaration cannot double-sweep and new RPCs
+		// to the rejoiner fast-fail until reclamation is done.
+		ep.declaredDead[node] = true
+		f.countLink("msg.fault.rejoin-sweep", ep.node, node)
+		if f.hooks.PeerDead != nil {
+			f.hooks.PeerDead(p, ep.node, node)
+		}
+	}
+	delete(ep.declaredDead, node)
+	delete(ep.suspects, node)
+	ep.lastHeard[node] = p.Now()
+	// Reclamation is settled: admit the new incarnation's traffic.
+	ep.knownInc[node] = req.Incarnation
+	f.countLink("msg.fault.rejoined", ep.node, node)
+	return &Message{Size: 16}
+}
+
+// failStaleCalls fails every pending RPC this endpoint has outstanding to
+// an older incarnation of peer. Such requests (and their retransmissions,
+// which keep the original stamps) are fenced at the rejoined kernel, so
+// waiting out the full retry schedule would only delay the inevitable
+// DeadPeerError.
+func (f *Fabric) failStaleCalls(ep *Endpoint, peer NodeID, inc uint64) {
+	seqs := make([]uint64, 0, len(ep.pending))
+	for seq, c := range ep.pending {
+		if c.to == peer && c.dstInc < inc && !c.done && !c.failed {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		c := ep.pending[seq]
+		c.failed = true
+		f.countLink("msg.fault.stalecall", ep.node, peer)
+		c.waiter.Resume()
+	}
+}
+
+// partitionClosed resets the failure detectors' silence clocks on both ends
+// of a healed link. The misses accumulated during the window were the
+// partition's fault, not the peer's: without the reset, a detector that was
+// part-way to a verdict when the window closed would go on to declare a
+// healed peer dead from pre-heal silence.
+func (f *Fabric) partitionClosed(a, b NodeID) {
+	if f.incarnation == nil {
+		return
+	}
+	now := f.e.Now()
+	f.resetSilence(a, b, now)
+	f.resetSilence(b, a, now)
+}
+
+func (f *Fabric) resetSilence(at, peer NodeID, now sim.Time) {
+	ep := f.endpoints[at]
+	if ep.dead || ep.declaredDead[peer] {
+		return
+	}
+	ep.lastHeard[peer] = now
+	if ep.suspects[peer] {
+		delete(ep.suspects, peer)
+		f.countLink("msg.fault.unsuspected", ep.node, peer)
+	}
+}
+
 // declareDead is one kernel's local verdict that a peer died: fail every
 // pending RPC aimed at it and run the OS degradation hook in a dedicated
 // process. Each surviving kernel reaches its own declaration from its own
@@ -321,6 +550,7 @@ func (f *Fabric) declareDead(ep *Endpoint, dead NodeID) {
 		return
 	}
 	ep.declaredDead[dead] = true
+	delete(ep.suspects, dead)
 	f.countLink("msg.fault.declared", ep.node, dead)
 	f.traceEvent("msg.declare-dead", ep.node, "kernel %d declares kernel %d dead", ep.node, dead)
 	seqs := make([]uint64, 0, len(ep.pending))
@@ -336,8 +566,13 @@ func (f *Fabric) declareDead(ep *Endpoint, dead NodeID) {
 		c.waiter.Resume()
 	}
 	if f.hooks.PeerDead != nil {
+		// Track the sweep so a rejoin handshake racing it can wait for
+		// reclamation to finish before re-admitting the peer.
+		ep.sweeping[dead] = true
 		ep.spawnTracked(fmt.Sprintf("msg-degrade-%d-%d", ep.node, dead), func(p *sim.Proc) {
 			f.hooks.PeerDead(p, ep.node, dead)
+			delete(ep.sweeping, dead)
+			ep.sweepDone.Broadcast()
 		})
 	}
 }
@@ -370,6 +605,10 @@ func (f *Fabric) startFailureDetection(ep *Endpoint) {
 		}
 	})
 	ep.spawnTracked(fmt.Sprintf("msg-detector-%d", ep.node), func(p *sim.Proc) {
+		// Clearing the flag on every exit path (settling, the kernel's own
+		// death, kill-unwind at a crash) is what lets detection restart for
+		// a later failure window — a healed kernel can crash again.
+		defer func() { ep.detecting = false }()
 		for !f.settled() {
 			p.Sleep(cfg.DeadAfter / 4)
 			if ep.dead {
@@ -381,19 +620,36 @@ func (f *Fabric) startFailureDetection(ep *Endpoint) {
 				if peer == ep.node || ep.declaredDead[peer] {
 					continue
 				}
-				if now.Sub(ep.lastHeard[peer]) > cfg.DeadAfter {
+				silence := now.Sub(ep.lastHeard[peer])
+				switch {
+				case silence > cfg.DeadAfter:
 					f.declareDead(ep, peer)
+				case silence > cfg.DeadAfter/2:
+					// Suspicion at half the declaration threshold: the OS
+					// reads it (Endpoint.Suspects) to evacuate threads off a
+					// possibly-partitioned kernel before any verdict falls.
+					if !ep.suspects[peer] {
+						ep.suspects[peer] = true
+						f.countLink("msg.fault.suspected", ep.node, peer)
+					}
+				default:
+					if ep.suspects[peer] {
+						delete(ep.suspects, peer)
+						f.countLink("msg.fault.unsuspected", ep.node, peer)
+					}
 				}
 			}
 		}
 	})
 }
 
-// settled reports whether every planned crash has fired and every survivor
-// has declared every crashed kernel dead — the point where the failure
-// detectors have nothing left to detect and may exit.
+// settled reports whether every planned crash and heal has fired and every
+// survivor has declared every currently-crashed kernel dead — the point
+// where the failure detectors have nothing left to detect and may exit.
+// Pending heals keep the detectors alive: a rejoined kernel both sends and
+// expects heartbeats for as long as a window can still be open.
 func (f *Fabric) settled() bool {
-	if f.crashesDone < f.plannedCrashes {
+	if f.crashesDone < f.plannedCrashes || f.healsDone < f.plannedHeals {
 		return false
 	}
 	for _, ep := range f.endpoints {

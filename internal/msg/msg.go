@@ -72,6 +72,12 @@ const (
 	// still silence it — that silence is exactly what the detector measures.
 	//popcornvet:allow msgproto heartbeats are consumed inside Fabric.deliver before the dispatch queue, so no kernel handler exists or is needed
 	TypeHeartbeat
+	// TypeRejoin is the handshake a rebooted kernel sends every survivor: it
+	// announces the kernel's new incarnation so the survivor finishes any
+	// reclamation it owes the previous incarnation, forgets its death
+	// verdict, and resumes traffic. EnableFaults registers its handler on
+	// every endpoint; without a fault plan it is never sent.
+	TypeRejoin
 	// TypeUser carries application-level traffic (the multikernel
 	// baseline's explicit inter-domain channels).
 	TypeUser
@@ -110,6 +116,7 @@ var typeNames = map[Type]string{
 	TypeFutexWakeup:    "futex-wakeup",
 	TypeSignal:         "signal",
 	TypeHeartbeat:      "heartbeat",
+	TypeRejoin:         "rejoin",
 	TypeUser:           "user",
 }
 
@@ -131,6 +138,16 @@ type Message struct {
 	IsReply bool
 	Size    int
 	Payload any
+
+	// SrcInc/DstInc are the sender's and destination's incarnation numbers
+	// as the sender knew them when the message was first prepared (fault
+	// mode only; zero on a reliable fabric). Retransmissions and cached-reply
+	// resends keep the original stamps, so any copy of a message that
+	// straddles a kernel reboot — a zombie reply, a delayed grant, a
+	// pre-crash heartbeat — is fenced at delivery instead of corrupting the
+	// new incarnation's state.
+	SrcInc uint64
+	DstInc uint64
 
 	// attempts counts transport-level redeliveries of a dropped
 	// fire-and-forget message (the ring's link-layer retry); RPC requests
@@ -218,6 +235,12 @@ type Fabric struct {
 	// which gates the failure detectors' exit (see settled).
 	plannedCrashes int
 	crashesDone    int
+	// incarnation holds each kernel's current epoch (1 at boot, bumped by
+	// every reboot); messages carry the sender's view and stale stamps are
+	// fenced at delivery. plannedHeals/healsDone mirror the crash counters.
+	incarnation  []uint64
+	plannedHeals int
+	healsDone    int
 }
 
 // SetTrace attaches an event buffer; nil detaches it.

@@ -96,6 +96,12 @@ type Checker struct {
 		gid  int64
 	}]uint64
 
+	// dead marks crashed kernels between NodeCrashed and NodeHealed:
+	// grants addressed to them never install (the reply dies with the
+	// wire), so recording them as holders would plant phantoms the crash
+	// sweep has already run too early to clear.
+	dead map[msg.NodeID]bool
+
 	violations []*Violation
 	candidates map[pageKey]*Violation
 }
@@ -114,6 +120,7 @@ func New(e *sim.Engine, cfg Config) *Checker {
 		locks:     make(map[any]VC),
 		syncVC:    make(map[pageKey]VC),
 		syncAddrs: make(map[pageKey]bool),
+		dead:      make(map[msg.NodeID]bool),
 		layout: make(map[struct {
 			node msg.NodeID
 			gid  int64
@@ -326,6 +333,7 @@ func (c *Checker) NodeCrashed(node msg.NodeID) {
 	if c == nil {
 		return
 	}
+	c.dead[node] = true
 	keys := make([]pageKey, 0, len(c.pages))
 	for k := range c.pages {
 		keys = append(keys, k)
@@ -355,6 +363,16 @@ func (c *Checker) NodeCrashed(node msg.NodeID) {
 	}
 }
 
+// NodeHealed marks a rebooted kernel live again. The fresh incarnation
+// boots with no page copies (NodeCrashed forgot the old ones), so grants
+// to it are real again from here on.
+func (c *Checker) NodeHealed(node msg.NodeID) {
+	if c == nil {
+		return
+	}
+	delete(c.dead, node)
+}
+
 // ---- coherence hooks (called by internal/vm) -------------------------
 
 // Grant records the origin's decision to hand to a copy of (gid, vpn).
@@ -382,6 +400,14 @@ func (c *Checker) Grant(p *sim.Proc, gid int64, vpn mem.VPN, to msg.NodeID, excl
 				pageToken(gid, vpn), to, n)
 		}
 	}
+	if c.dead[to] {
+		// The grantee died while its request was being served: the reply
+		// commits to a deleted wire and the copy is never installed. The
+		// crash sweep already ran, so recording the holder here would leave
+		// a phantom copy that blocks every later exclusive grant.
+		c.traceEvent("san.grant-dead", to, gid, vpn, "grant to dead k%d never installs; not recorded", to)
+		return
+	}
 	if fresh {
 		if sh.valueKnown && value != sh.value {
 			c.violate("stale-read", to, gid, vpn,
@@ -403,9 +429,13 @@ func (c *Checker) Grant(p *sim.Proc, gid int64, vpn mem.VPN, to msg.NodeID, excl
 	c.traceEvent("san.grant", to, gid, vpn, "%s to k%d fresh=%v val=%d", mode, to, fresh, value)
 }
 
-// Revoked records that kernel at processed an invalidation (downgrade
-// strips write; full invalidation drops the copy). A revoked copy whose
-// written-back value disagrees with the shadow means a write was lost.
+// Revoked records that the origin collected kernel at's invalidation ack
+// (downgrade strips write; full invalidation drops the copy). A revoked
+// copy whose written-back value disagrees with the shadow means a write was
+// lost. The call is made at the origin on ack receipt, not at the revokee:
+// a revokee that dies with its ack in flight never commits here, so its
+// shadow holding stays writable until NodeCrashed forgets it — which also
+// un-defines the value, accepting the directory's degraded older copy.
 func (c *Checker) Revoked(p *sim.Proc, gid int64, vpn mem.VPN, at msg.NodeID, downgrade, hadCopy bool, value int64) {
 	if c == nil {
 		return

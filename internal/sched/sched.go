@@ -79,6 +79,19 @@ func New(e *sim.Engine, machine *hw.Machine, coreIDs []int, metrics *stats.Regis
 	return s, nil
 }
 
+// Reset returns the scheduler to its boot state. A kernel reboot calls this
+// after the crash killed every hosted process: killed tasks never Release
+// their cores, so the occupancy map and run queue describe executions that
+// no longer exist and are discarded wholesale.
+func (s *Scheduler) Reset() {
+	s.running = make(map[int64]int)
+	s.runq = nil
+	s.free = s.free[:0]
+	for i := len(s.coreIDs) - 1; i >= 0; i-- {
+		s.free = append(s.free, s.coreIDs[i])
+	}
+}
+
 // Cores returns the number of cores this scheduler drives.
 func (s *Scheduler) Cores() int { return len(s.coreIDs) }
 

@@ -35,16 +35,23 @@ const (
 	// could exit: its execution is gone, but the group accounting completed
 	// (join does not wedge on it). Only degradation paths set this.
 	StateLost
+	// StateRecovered marks a replacement task restarted on a surviving
+	// kernel from a lost thread's last migration checkpoint. It stays in
+	// this state while the re-execution runs (so the recovery is observable
+	// at end of run) and transitions to StateExited through the normal exit
+	// path.
+	StateRecovered
 )
 
 var stateNames = map[State]string{
-	StateNew:      "new",
-	StateRunnable: "runnable",
-	StateRunning:  "running",
-	StateBlocked:  "blocked",
-	StateShadow:   "shadow",
-	StateExited:   "exited",
-	StateLost:     "lost",
+	StateNew:       "new",
+	StateRunnable:  "runnable",
+	StateRunning:   "running",
+	StateBlocked:   "blocked",
+	StateShadow:    "shadow",
+	StateExited:    "exited",
+	StateLost:      "lost",
+	StateRecovered: "recovered",
 }
 
 func (s State) String() string {
@@ -126,6 +133,11 @@ type Task struct {
 	// PendingSignals holds delivered-but-unconsumed signal numbers, in
 	// delivery order. Pending signals migrate with the thread.
 	PendingSignals []int
+	// Recoverable marks a thread whose origin retains its last migration
+	// payload as a checkpoint: if the hosting kernel crashes, the origin may
+	// restart the thread (StateRecovered) instead of reaping it as lost.
+	// The flag travels with the task across migrations.
+	Recoverable bool
 }
 
 // New returns a normal task in StateNew.

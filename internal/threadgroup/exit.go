@@ -72,9 +72,16 @@ func (s *Service) Exit(p *sim.Proc, gid vm.GID, id task.ID) error {
 }
 
 // originMemberExited updates the origin's member table and tears the group
-// down when the last member leaves.
+// down when the last member leaves. Every membership drop broadcasts to
+// emptyWaiters: WaitMembers callers watch intermediate counts, not just
+// empty.
 func (s *Service) originMemberExited(p *sim.Proc, g *group, id task.ID) error {
 	delete(g.members, id)
+	delete(g.checkpoints, id)
+	delete(g.recoverable, id)
+	delete(g.restarted, id)
+	delete(g.moveEpoch, id)
+	g.emptyWaiters.Broadcast()
 	if len(g.members) > 0 {
 		return nil
 	}
@@ -130,6 +137,17 @@ func (s *Service) handleExitNotify(p *sim.Proc, m *msg.Message) *msg.Message {
 			delete(g.shadows, req.TaskID)
 			sh.State = task.StateExited
 			s.metrics.Counter("tg.shadow.reaped").Inc()
+		}
+		return nil
+	}
+	if req.Ghost {
+		if t, ok := g.local[req.TaskID]; ok {
+			delete(g.local, req.TaskID)
+			t.State = task.StateLost
+			if sp, ok := s.vmsvc.Space(req.GID); ok {
+				sp.ThreadLeft()
+			}
+			s.metrics.Counter("tg.migrate.ghostdrop").Inc()
 		}
 		return nil
 	}

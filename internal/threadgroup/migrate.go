@@ -48,13 +48,14 @@ func (s *Service) Migrate(p *sim.Proc, gid vm.GID, id task.ID, dst msg.NodeID) (
 
 	hops := append(append([]int(nil), t.Hops...), int(s.node))
 	req := &migrateReq{
-		GID:        gid,
-		Origin:     g.origin,
-		TaskID:     id,
-		Ctx:        t.Ctx,
-		Hops:       hops,
-		Migrations: t.Migrations + 1,
-		Pending:    append([]int(nil), t.PendingSignals...),
+		GID:         gid,
+		Origin:      g.origin,
+		TaskID:      id,
+		Ctx:         t.Ctx,
+		Hops:        hops,
+		Migrations:  t.Migrations + 1,
+		Pending:     append([]int(nil), t.PendingSignals...),
+		Recoverable: t.Recoverable,
 	}
 	t.PendingSignals = nil
 
@@ -68,18 +69,49 @@ func (s *Service) Migrate(p *sim.Proc, gid vm.GID, id task.ID, dst msg.NodeID) (
 		// thread never resumed there, so revive the source task and surface
 		// the error. A dead destination that had imported the context loses
 		// that execution with the kernel; resuming from the checkpoint here
-		// is the degradation the shadow exists for.
+		// is the degradation the shadow exists for. But the revival must be
+		// claimed from the origin first: if the import registered there
+		// before the destination died, the recovery sweep may already have
+		// restarted the member from its checkpoint, and reviving the shadow
+		// too would fork the thread into two live incarnations.
+		if !s.claimRollback(p, g, t, id) {
+			return nil, fmt.Errorf("%w: task %d", ErrSuperseded, id)
+		}
 		s.rollbackMigration(g, t, id)
 		s.metrics.Counter("tg.migrate.rollback").Inc()
 		return nil, err
 	}
 	r := reply.Payload.(*migrateReply)
 	if r.Err != "" {
-		// Roll back: revive the source task.
+		// Roll back: revive the source task — under the same origin claim
+		// as the transport-failure path, because a refused import can mean
+		// a duplicate of this very migration already ran there.
+		if !s.claimRollback(p, g, t, id) {
+			return nil, fmt.Errorf("%w: task %d", ErrSuperseded, id)
+		}
 		s.rollbackMigration(g, t, id)
 		return nil, fmt.Errorf("threadgroup: migrate to kernel %d: %s", dst, r.Err)
 	}
 	s.metrics.Histogram("tg.migrate.rpc").Observe(p.Now().Sub(rpcStart))
+
+	// The SOURCE registers the new location, after the import reply is in
+	// hand: the origin must not learn of the move before the thread's
+	// executor is known to have survived the handoff. If this kernel dies
+	// while the import is in flight, the executing proc dies with it; the
+	// member then stays registered here, so the origin's recovery sweep
+	// restarts or reaps it instead of pointing joiners at an executor-less
+	// ghost on the destination.
+	if err := s.registerMove(p, g, r.Task, dst); err != nil {
+		// The origin refused the location: a checkpointed restart (or a
+		// newer registration) owns this thread's identity. The imported
+		// copy must never run — reap it and lose this execution.
+		s.ep.Send(p, &msg.Message{
+			Type: msg.TypeExitNotify, To: dst, Size: 64,
+			Payload: &exitNotify{GID: gid, TaskID: id, Ghost: true},
+		})
+		s.dropSupersededShadow(g, t, id)
+		return nil, err
+	}
 	s.metrics.Histogram("tg.migrate.total").Observe(p.Now().Sub(totalStart))
 	s.metrics.Counter("tg.migrate").Inc()
 	s.checker.ThreadMigrated(p, int64(gid), int64(id), s.node, dst)
@@ -92,6 +124,13 @@ func (s *Service) handleMigrate(p *sim.Proc, m *msg.Message) *msg.Message {
 	g, err := s.ensureReplica(p, req.GID, req.Origin)
 	if err != nil {
 		return &msg.Message{Size: 64, Payload: &migrateReply{Err: err.Error()}}
+	}
+	if _, live := g.local[req.TaskID]; live {
+		// A duplicate import: the first execution of this request already
+		// landed and the dedup window that would normally replay its reply
+		// died with a reboot. Re-importing would fork the thread.
+		s.metrics.Counter("tg.migrate.dupimport").Inc()
+		return &msg.Message{Size: 64, Payload: &migrateReply{Err: fmt.Sprintf("task %d already live on kernel %d", req.TaskID, s.node)}}
 	}
 
 	var t *task.Task
@@ -126,6 +165,7 @@ func (s *Service) handleMigrate(p *sim.Proc, m *msg.Message) *msg.Message {
 	t.Kernel = int(s.node)
 	t.State = task.StateRunnable
 	t.Migrations = req.Migrations
+	t.Recoverable = req.Recoverable
 	t.Hops = hopsWithout(req.Hops, int(s.node))
 	p.Sleep(s.machine.Cost.ContextSwitch / 2)
 	t.PendingSignals = append(t.PendingSignals, req.Pending...)
@@ -136,15 +176,73 @@ func (s *Service) handleMigrate(p *sim.Proc, m *msg.Message) *msg.Message {
 	s.adoptOrphanSignals(g, t)
 	s.metrics.Histogram("tg.migrate.import").Observe(p.Now().Sub(importStart))
 
-	// Register the new location with the origin.
-	if g.isOrigin {
-		g.members[req.TaskID] = s.node
-	} else {
-		if err := s.notifyOriginMoved(p, g, req.TaskID); err != nil {
-			return &msg.Message{Size: 64, Payload: &migrateReply{Err: err.Error()}}
-		}
-	}
+	// Deliberately NO origin registration here: the source registers the
+	// move after it receives this reply (see Migrate). Committing the new
+	// location from the destination would let a source crash strand the
+	// member — registered here while the only executor died over there.
 	return &msg.Message{Size: 64, Payload: &migrateReply{Task: t}}
+}
+
+// claimRollback asks the origin whether the source of a failed migration
+// may revive task id from its pre-migration shadow. Granted only while the
+// origin still has the member registered at this kernel under the same
+// move epoch — no newer location accepted, no checkpointed restart, no
+// reap. A grant bumps the epoch so any later registration from the failed
+// destination is rejected as stale. Denial means another incarnation owns
+// the thread's identity and the shadow must be discarded. An unreachable
+// origin grants by default: that is the orphaned-group degradation, with
+// no authority left to race against.
+func (s *Service) claimRollback(p *sim.Proc, g *group, t *task.Task, id task.ID) bool {
+	if g.isOrigin {
+		if n, ok := g.members[id]; !ok || n != s.node || g.moveEpoch[id] != t.Migrations {
+			s.dropSupersededShadow(g, t, id)
+			return false
+		}
+		g.moveEpoch[id] = t.Migrations + 1
+		t.Migrations++
+		return true
+	}
+	for {
+		reply, err := s.ep.Call(p, &msg.Message{
+			Type: msg.TypeGroupSetup, To: g.origin, Size: 64,
+			Payload: &groupSetupReq{GID: g.gid, Node: s.node, ClaimMember: id, MoveEpoch: t.Migrations},
+		})
+		if err != nil {
+			if msg.IsDeadPeer(err) {
+				// Orphaned: the origin is gone, and restarts only ever run
+				// there — no authority left to race against.
+				g.originDead = true
+				return true
+			}
+			// Transient (timeout, partition): guessing either way risks a
+			// fork or an unnecessary kill, so keep asking until the origin
+			// answers or is declared dead.
+			s.metrics.Counter("tg.claim.retry").Inc()
+			continue
+		}
+		r := reply.Payload.(*groupSetupReply)
+		if r.Denied {
+			s.dropSupersededShadow(g, t, id)
+			return false
+		}
+		if r.Err != "" {
+			// The origin rebooted and lost the group: orphaned degradation.
+			g.originDead = true
+			return true
+		}
+		t.Migrations++
+		return true
+	}
+}
+
+// dropSupersededShadow discards the phase-1 shadow of a migration whose
+// rollback the origin denied. The thread's identity now belongs to the
+// restarted (or already-reaped) incarnation; nothing here may keep
+// running under it.
+func (s *Service) dropSupersededShadow(g *group, t *task.Task, id task.ID) {
+	delete(g.shadows, id)
+	t.State = task.StateLost
+	s.metrics.Counter("tg.migrate.superseded").Inc()
 }
 
 // rollbackMigration undoes Migrate's phase-1 claim: the shadow becomes the
@@ -255,19 +353,60 @@ func (s *Service) handleThreadCreate(p *sim.Proc, m *msg.Message) *msg.Message {
 	return &msg.Message{Size: 64, Payload: &threadCreateReply{TaskID: t.ID, Task: t}}
 }
 
-// notifyOriginMoved updates the origin's member table after a migration.
-func (s *Service) notifyOriginMoved(p *sim.Proc, g *group, id task.ID) error {
-	reply, err := s.ep.Call(p, &msg.Message{
-		Type: msg.TypeGroupSetup, To: g.origin, Size: 64,
-		Payload: &groupSetupReq{GID: g.gid, Node: s.node, MovedMember: id},
-	})
-	if err != nil {
-		return err
+// registerMove commits a completed migration's new location with the
+// origin. Called by the migration's SOURCE once the destination's import
+// reply is in hand — see Migrate for why the destination must not do this.
+// For recoverable threads the shipped context rides along so the origin's
+// restart checkpoint tracks the thread's latest state. Transport failures
+// retry until the origin answers or is declared dead (orphaned-group
+// degradation: proceed unregistered; there is no authority left to
+// contradict the move). Denial means a restart or a newer registration
+// owns the thread's identity; the returned error wraps ErrSuperseded.
+func (s *Service) registerMove(p *sim.Proc, g *group, moved *task.Task, dst msg.NodeID) error {
+	id := moved.ID
+	if g.isOrigin {
+		if _, ok := g.members[id]; !ok || moved.Migrations <= g.moveEpoch[id] {
+			return fmt.Errorf("%w: move registration for task %d", ErrSuperseded, id)
+		}
+		g.members[id] = dst
+		g.moveEpoch[id] = moved.Migrations
+		if moved.Recoverable {
+			g.checkpoints[id] = moved.Ctx
+		}
+		return nil
 	}
-	if r := reply.Payload.(*groupSetupReply); r.Err != "" {
-		return fmt.Errorf("threadgroup: move registration: %s", r.Err)
+	req := &groupSetupReq{GID: g.gid, Node: dst, MovedMember: id, MoveEpoch: moved.Migrations}
+	size := 64
+	if moved.Recoverable {
+		ctx := moved.Ctx
+		req.Ctx = &ctx
+		size += ctx.Bytes()
 	}
-	return nil
+	for {
+		reply, err := s.ep.Call(p, &msg.Message{
+			Type: msg.TypeGroupSetup, To: g.origin, Size: size, Payload: req,
+		})
+		if err != nil {
+			if msg.IsDeadPeer(err) {
+				g.originDead = true
+				s.metrics.Counter("tg.move.orphaned").Inc()
+				return nil
+			}
+			s.metrics.Counter("tg.move.retry").Inc()
+			continue
+		}
+		r := reply.Payload.(*groupSetupReply)
+		if r.Denied {
+			return fmt.Errorf("%w: move registration for task %d", ErrSuperseded, id)
+		}
+		if r.Err != "" {
+			// The origin rebooted and lost the group: orphaned degradation.
+			g.originDead = true
+			s.metrics.Counter("tg.move.orphaned").Inc()
+			return nil
+		}
+		return nil
+	}
 }
 
 // handleGroupSetup runs at the origin: register a replica kernel and/or
@@ -278,7 +417,7 @@ func (s *Service) handleGroupSetup(p *sim.Proc, m *msg.Message) *msg.Message {
 	if !ok || !g.isOrigin {
 		return &msg.Message{Size: 64, Payload: &groupSetupReply{Err: fmt.Sprintf("kernel %d is not origin of group %d", s.node, req.GID)}}
 	}
-	if _, fresh := g.replicas[req.Node]; !fresh {
+	if _, have := g.replicas[req.Node]; !have && req.Node != s.node {
 		g.replicas[req.Node] = struct{}{}
 		if err := s.vmsvc.RegisterReplica(req.GID, req.Node); err != nil {
 			return &msg.Message{Size: 64, Payload: &groupSetupReply{Err: err.Error()}}
@@ -288,7 +427,39 @@ func (s *Service) handleGroupSetup(p *sim.Proc, m *msg.Message) *msg.Message {
 		g.members[req.NewMember] = req.Node
 	}
 	if req.MovedMember != task.NoTask {
-		g.members[req.MovedMember] = req.Node
+		id := req.MovedMember
+		n, ok := g.members[id]
+		switch {
+		case ok && n == req.Node && g.moveEpoch[id] == req.MoveEpoch:
+			// Already applied: a fresh Call retrying a registration whose
+			// reply was lost. Idempotent success.
+		case !ok || req.MoveEpoch <= g.moveEpoch[id]:
+			// Stale: the member was reaped, restarted from its checkpoint,
+			// or re-registered under a newer epoch. The source must discard
+			// the imported copy instead of letting it run.
+			return &msg.Message{Size: 64, Payload: &groupSetupReply{Denied: true}}
+		default:
+			g.members[id] = req.Node
+			g.moveEpoch[id] = req.MoveEpoch
+			if req.Ctx != nil {
+				g.checkpoints[id] = *req.Ctx
+			}
+		}
+	}
+	if req.ClaimMember != task.NoTask {
+		id := req.ClaimMember
+		n, ok := g.members[id]
+		granted := ok && n == req.Node && g.moveEpoch[id] == req.MoveEpoch
+		replayed := ok && n == req.Node && g.moveEpoch[id] == req.MoveEpoch+1
+		if !granted && !replayed {
+			return &msg.Message{Size: 64, Payload: &groupSetupReply{Denied: true}}
+		}
+		// Granted: sequence the revival so any late registration for the
+		// failed migration arrives stale. (replayed = a retried claim this
+		// origin already granted but whose reply was lost; only a grant to
+		// this same kernel leaves the member here at epoch+1, so answering
+		// success again is safe.)
+		g.moveEpoch[id] = req.MoveEpoch + 1
 	}
 	return &msg.Message{Size: 64, Payload: &groupSetupReply{}}
 }

@@ -30,10 +30,28 @@ type groupSetupReq struct {
 	NewMember task.ID
 	// MovedMember records a thread that migrated to Node.
 	MovedMember task.ID
+	// Ctx, when non-nil, piggybacks the moved member's migration payload so
+	// the origin can refresh its restart checkpoint. Only set for
+	// recoverable threads (the message grows by the context size).
+	Ctx *task.Context
+	// MoveEpoch sequences MovedMember and ClaimMember requests against the
+	// origin's accepted history for the member: a move registration must
+	// carry a strictly newer epoch, a claim must match the current one.
+	// Stale retransmits handled by a rebooted destination (whose dedup
+	// window died with the crash) and rollbacks that lost the race against
+	// a checkpointed restart are rejected here.
+	MoveEpoch int
+	// ClaimMember asks the origin, from a failed migration's source, for
+	// permission to revive the member from its pre-migration shadow.
+	ClaimMember task.ID
 }
 
 type groupSetupReply struct {
 	Err string
+	// Denied rejects a MovedMember or ClaimMember request whose epoch lost:
+	// another incarnation of the thread owns the identity, so the requester
+	// must discard its copy instead of running it.
+	Denied bool
 }
 
 // migrateReq carries a thread's execution context to its new kernel.
@@ -46,6 +64,9 @@ type migrateReq struct {
 	Migrations int
 	// Pending carries the thread's undelivered signals to the new kernel.
 	Pending []int
+	// Recoverable travels with the thread: the destination must keep
+	// refreshing the origin's restart checkpoint on later hops.
+	Recoverable bool
 }
 
 type migrateReply struct {
@@ -59,6 +80,10 @@ type exitNotify struct {
 	GID    vm.GID
 	TaskID task.ID
 	Reap   bool
+	// Ghost reaps an imported-but-never-registered local copy on the
+	// destination of a migration whose move registration the origin
+	// denied: the copy has no executor and must not be revivable.
+	Ghost bool
 }
 
 type exitReply struct {

@@ -29,6 +29,12 @@ var (
 	ErrNotOrigin = errors.New("threadgroup: kernel is not the group origin")
 	// ErrBadMigration is returned for invalid migration requests.
 	ErrBadMigration = errors.New("threadgroup: invalid migration")
+
+	// ErrSuperseded is returned when a failed migration's rollback loses
+	// the race against the origin's recovery: the member was already
+	// restarted from its checkpoint (or reaped as lost), so the source must
+	// not revive a second incarnation of the thread.
+	ErrSuperseded = errors.New("threadgroup: rollback superseded by origin recovery")
 )
 
 // pid allocation: the PID space is partitioned by kernel so every kernel
@@ -51,9 +57,30 @@ type group struct {
 	members map[task.ID]msg.NodeID
 	// replicas is the set of kernels hosting (or having hosted) members.
 	replicas map[msg.NodeID]struct{}
-	// emptyWaiters are processes blocked in WaitEmpty.
+	// emptyWaiters are processes blocked in WaitEmpty or WaitMembers.
 	emptyWaiters *sim.Cond
 	exited       bool
+	// checkpoints retains, per recoverable member, the last migration
+	// payload the origin saw — the lightweight checkpoint restart rebuilds
+	// the thread from.
+	checkpoints map[task.ID]task.Context
+	// recoverable marks members eligible for checkpointed restart if their
+	// hosting kernel crashes.
+	recoverable map[task.ID]bool
+	// restarted records members already restarted once; restart is
+	// at-most-once per member, so a second hosting-kernel crash reaps the
+	// thread as lost.
+	restarted map[task.ID]bool
+	// moveEpoch is the per-member sequence number of the last location
+	// change the origin accepted (the task's Migrations counter at that
+	// move; zero until the first migration). It makes the origin the single
+	// arbiter of a thread's identity when a migration fails: the source's
+	// rollback claim, the destination's (possibly retransmitted) move
+	// registration, and the recovery sweep's checkpointed restart all race
+	// for the same member, and whichever the origin sequences first wins —
+	// every later arrival carries a stale epoch and is denied, so exactly
+	// one incarnation of the thread survives.
+	moveEpoch map[task.ID]int
 
 	// originDead marks a replica whose origin kernel was declared dead:
 	// exits complete locally without the origin round trip.
@@ -95,6 +122,9 @@ type Service struct {
 	orphanSignals map[task.ID][]int
 	// sigWaiters holds tasks blocked in WaitSignal.
 	sigWaiters map[task.ID]*sigWaiter
+	// restart, when set, re-executes recovered tasks on this kernel (the
+	// degradation sweep invokes it at the origin for restartable members).
+	restart RestartHook
 }
 
 // NewService creates the kernel's thread-group service and registers its
@@ -187,6 +217,10 @@ func (s *Service) CreateGroup(p *sim.Proc) (vm.GID, *task.Task, error) {
 		members:      make(map[task.ID]msg.NodeID),
 		replicas:     make(map[msg.NodeID]struct{}),
 		emptyWaiters: sim.NewCond(),
+		checkpoints:  make(map[task.ID]task.Context),
+		recoverable:  make(map[task.ID]bool),
+		restarted:    make(map[task.ID]bool),
+		moveEpoch:    make(map[task.ID]int),
 	}
 	s.groups[gid] = g
 	main, err := s.spawnLocal(p, g)
@@ -377,6 +411,16 @@ func (s *Service) PeerDied(p *sim.Proc, dead msg.NodeID) {
 		}
 		sortTasks(ids)
 		for _, id := range ids {
+			if g.recoverable[id] && !g.restarted[id] && s.restart != nil {
+				// Checkpointed restart: rebuild the thread here instead of
+				// reaping it. At-most-once — mark before attempting so a
+				// failed hook still burns the member's one restart.
+				g.restarted[id] = true
+				if s.restartMember(p, g, id) {
+					s.metrics.Counter("tg.member.restarted").Inc()
+					continue
+				}
+			}
 			s.metrics.Counter("tg.member.lost").Inc()
 			if err := s.originMemberExited(p, g, id); err != nil {
 				s.metrics.Counter("tg.reap.err").Inc()

@@ -1,0 +1,91 @@
+package vetcheck
+
+import (
+	"go/ast"
+)
+
+// DirVer checks the coherence protocol's version discipline at its source:
+// every pageGrant and pageInval the vm package constructs must stamp the
+// directory's transaction counter into its Version field. Replicas order
+// grants against invalidations by that counter — under a fault plan the
+// fabric delays and reorders freely — so a composite literal that leaves
+// Version zero ships an "older than everything" message that a replica will
+// silently discard (grant) or fail to order (inval). Exactly this slip, an
+// unversioned fan-out invalidation, caused a real stale-read bug; the rule
+// makes the stamp mechanical.
+//
+// Error replies are exempt: a grant carrying Err/Code transfers no page
+// copy, so there is nothing to order. Other deliberately unversioned
+// literals (e.g. replies that install nothing) take a justified
+// //popcornvet:allow dirver directive.
+type DirVer struct{}
+
+// Name implements Analyzer.
+func (DirVer) Name() string { return "dirver" }
+
+// Check implements Analyzer.
+func (DirVer) Check(t *Tree) []Finding {
+	var out []Finding
+	for _, pkg := range t.Pkgs {
+		if pkg.Name != "vm" {
+			continue
+		}
+		for _, file := range pkg.Files {
+			if file.Test {
+				continue
+			}
+			ast.Inspect(file.AST, func(n ast.Node) bool {
+				cl, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				name, ok := versionedLitType(cl)
+				if !ok {
+					return true
+				}
+				var hasVersion, isError bool
+				for _, el := range cl.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					switch key.Name {
+					case "Version":
+						hasVersion = true
+					case "Err", "Code":
+						isError = true
+					}
+				}
+				if !hasVersion && !isError {
+					out = append(out, Finding{
+						Pos:  t.Fset.Position(cl.Pos()),
+						Rule: "dirver",
+						Message: name + " literal without Version: an unversioned " +
+							"grant/invalidation cannot be ordered against concurrent " +
+							"directory transactions and replicas will mis-sequence it",
+					})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// versionedLitType reports whether a composite literal constructs one of
+// the version-carrying coherence payloads, returning its type name.
+func versionedLitType(cl *ast.CompositeLit) (string, bool) {
+	id, ok := cl.Type.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	switch id.Name {
+	case "pageGrant", "pageInval":
+		return id.Name, true
+	}
+	return "", false
+}

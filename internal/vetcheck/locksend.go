@@ -23,12 +23,15 @@ import (
 //     them from stdlib sync calls;
 //   - the blocking set is seeded with the fabric methods {Call, CallEach,
 //     Send, SendEach} and closed over the call graph: a function whose
-//     body invokes a blocking callee is itself blocking. Callees resolve
-//     package-locally first — a name the caller's own package declares
-//     means that declaration — and fall back to "blocking in any package"
-//     only for names the package does not declare. Without type
-//     information that is the cut that keeps a trivial sim.Engine helper
-//     from poisoning every caller of an identically-named method
+//     body invokes a blocking callee is itself blocking. A call qualified
+//     with an imported package's name (strings.Join, msg.IsDeadPeer)
+//     resolves in that package — stdlib and other out-of-tree packages
+//     cannot touch the fabric, so their calls never block. Unqualified
+//     callees resolve package-locally first — a name the caller's own
+//     package declares means that declaration — and fall back to "blocking
+//     in any package" only for names the package does not declare. Without
+//     type information that is the cut that keeps a trivial sim.Engine
+//     helper from poisoning every caller of an identically-named method
 //     elsewhere;
 //   - Lock/RLock/Unlock/RUnlock never propagate blocking: acquiring a
 //     contended sim.Mutex parks too, but lock-ordering cycles are the
@@ -57,7 +60,7 @@ func (LockSend) Check(t *Tree) []Finding {
 				if !ok || fd.Body == nil {
 					continue
 				}
-				w := &lockWalker{t: t, pkg: pkg.Name, resolver: r}
+				w := &lockWalker{t: t, pkg: pkg.Name, file: file.AST, resolver: r}
 				w.stmts(fd.Body.List, map[string]bool{})
 				out = append(out, w.out...)
 			}
@@ -81,13 +84,20 @@ var lockOpNames = map[string]bool{
 // blockResolver computes which functions (transitively) perform fabric
 // operations, with package-local name resolution.
 type blockResolver struct {
-	decls   map[string]map[string][]*ast.BlockStmt // pkg -> func name -> bodies
-	blocked map[string]map[string]bool             // pkg -> func name -> blocking
+	decls   map[string]map[string][]bodyCtx // pkg -> func name -> bodies
+	blocked map[string]map[string]bool      // pkg -> func name -> blocking
+}
+
+// bodyCtx is one function body with the file it came from; the file's
+// import table qualifies cross-package calls during resolution.
+type bodyCtx struct {
+	body *ast.BlockStmt
+	file *ast.File
 }
 
 func newBlockResolver(t *Tree) *blockResolver {
 	r := &blockResolver{
-		decls:   make(map[string]map[string][]*ast.BlockStmt),
+		decls:   make(map[string]map[string][]bodyCtx),
 		blocked: make(map[string]map[string]bool),
 	}
 	for _, pkg := range t.Pkgs {
@@ -101,10 +111,10 @@ func newBlockResolver(t *Tree) *blockResolver {
 					continue
 				}
 				if r.decls[pkg.Name] == nil {
-					r.decls[pkg.Name] = make(map[string][]*ast.BlockStmt)
+					r.decls[pkg.Name] = make(map[string][]bodyCtx)
 					r.blocked[pkg.Name] = make(map[string]bool)
 				}
-				r.decls[pkg.Name][fd.Name.Name] = append(r.decls[pkg.Name][fd.Name.Name], fd.Body)
+				r.decls[pkg.Name][fd.Name.Name] = append(r.decls[pkg.Name][fd.Name.Name], bodyCtx{body: fd.Body, file: file.AST})
 			}
 		}
 	}
@@ -115,8 +125,8 @@ func newBlockResolver(t *Tree) *blockResolver {
 				if r.blocked[pkgName][name] {
 					continue
 				}
-				for _, body := range bodies {
-					if r.bodyBlocks(pkgName, body) {
+				for _, bc := range bodies {
+					if r.bodyBlocks(pkgName, bc) {
 						r.blocked[pkgName][name] = true
 						changed = true
 						break
@@ -148,13 +158,61 @@ func (r *blockResolver) isBlocking(pkg, name string) bool {
 	return false
 }
 
-func (r *blockResolver) bodyBlocks(pkg string, body *ast.BlockStmt) bool {
+// callBlocks resolves one call site. A call qualified with a name the file
+// imports resolves in that package: in-tree packages by their computed
+// blocking set, everything else (stdlib, external) as non-blocking — fmt
+// and strings cannot touch the fabric, and without this cut a blocking
+// in-tree function named like a stdlib one (Join, Wait) would poison every
+// stdlib call of that name.
+func (r *blockResolver) callBlocks(pkg string, file *ast.File, call *ast.CallExpr) bool {
+	name := calleeName(call)
+	if name == "" || lockOpNames[name] {
+		return false
+	}
+	if seedNames[name] {
+		return true
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if target, imported := importedPackage(file, id.Name); imported {
+				if _, in := r.decls[target]; in {
+					return r.blocked[target][name]
+				}
+				return false
+			}
+		}
+	}
+	return r.isBlocking(pkg, name)
+}
+
+// importedPackage reports whether ident is one of the file's import names,
+// returning the imported package's name (the final path segment, matching
+// the Tree's package naming).
+func importedPackage(f *ast.File, ident string) (string, bool) {
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		base := path
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			base = path[i+1:]
+		}
+		local := base
+		if imp.Name != nil {
+			local = imp.Name.Name
+		}
+		if local == ident {
+			return base, true
+		}
+	}
+	return "", false
+}
+
+func (r *blockResolver) bodyBlocks(pkg string, bc bodyCtx) bool {
 	blocks := false
-	ast.Inspect(body, func(n ast.Node) bool {
+	ast.Inspect(bc.body, func(n ast.Node) bool {
 		if blocks {
 			return false
 		}
-		if call, ok := n.(*ast.CallExpr); ok && r.isBlocking(pkg, calleeName(call)) {
+		if call, ok := n.(*ast.CallExpr); ok && r.callBlocks(pkg, bc.file, call) {
 			blocks = true
 		}
 		return true
@@ -166,6 +224,7 @@ func (r *blockResolver) bodyBlocks(pkg string, body *ast.BlockStmt) bool {
 type lockWalker struct {
 	t        *Tree
 	pkg      string
+	file     *ast.File
 	resolver *blockResolver
 	out      []Finding
 }
@@ -297,7 +356,7 @@ func (w *lockWalker) scan(e ast.Expr, held map[string]bool) {
 			return true
 		}
 		name := calleeName(call)
-		if !w.resolver.isBlocking(w.pkg, name) {
+		if !w.resolver.callBlocks(w.pkg, w.file, call) {
 			return true
 		}
 		w.out = append(w.out, Finding{

@@ -155,3 +155,51 @@ func (s *svc) bad(p *proc) error {
 		t.Fatalf("want one SendEach finding, got:\n%s", renderFindings(got))
 	}
 }
+
+func TestLockSendStdlibQualifiedCallNotPoisoned(t *testing.T) {
+	// A blocking in-tree function named like a stdlib one (here Join, the
+	// shape of core's Process.Join) must not make strings.Join — or any
+	// other stdlib-qualified call — look blocking under a held lock.
+	got := findingsFor(t, map[string]string{
+		"internal/core/join.go": `package core
+
+func Join(p int) { ep.Call(p) }
+`,
+		"internal/kernel/render.go": `package kernel
+
+import "strings"
+
+func render(p int) string {
+	mu.Lock(p)
+	defer mu.Unlock(p)
+	return strings.Join([]string{"a", "b"}, ", ")
+}
+`,
+	}, LockSend{})
+	if len(got) != 0 {
+		t.Fatalf("want no findings, got:\n%s", renderFindings(got))
+	}
+}
+
+func TestLockSendImportQualifiedInTreeCallStillBlocks(t *testing.T) {
+	// Qualified calls into an in-tree package keep their real verdict: a
+	// helper package whose exported function performs an RPC poisons its
+	// callers even through the package qualifier.
+	got := findingsFor(t, map[string]string{
+		"internal/proto/proto.go": `package proto
+
+func Push(p int) { ep.Call(p) }
+`,
+		"internal/kernel/use.go": `package kernel
+
+import "repro/internal/proto"
+
+func use(p int) {
+	mu.Lock(p)
+	proto.Push(p)
+	mu.Unlock(p)
+}
+`,
+	}, LockSend{})
+	wantRules(t, got, "Push can block on the fabric")
+}

@@ -56,7 +56,7 @@ func TestMsgProtoOrphanType(t *testing.T) {
 
 func TestMsgProtoFullyWiredIsClean(t *testing.T) {
 	got := findingsFor(t, map[string]string{
-		"internal/msg/msg.go": strings.Replace(msgFixture, "\tTypeOrphan\n", "", 1),
+		"internal/msg/msg.go":      strings.Replace(msgFixture, "\tTypeOrphan\n", "", 1),
 		"internal/msg/endpoint.go": msgUserFixture,
 	}, MsgProto{})
 	if len(got) != 0 {

@@ -126,7 +126,8 @@ func (sp *Space) revokeCopies(p *sim.Proc, targets []msg.NodeID, vpn mem.VPN, do
 			continue
 		}
 		if t == sp.svc.node {
-			sp.applyInval(p, vpn, downgrade, ver)
+			ack := sp.applyInval(p, vpn, downgrade, ver)
+			sp.svc.checker.Revoked(p, int64(sp.gid), vpn, t, downgrade, ack.HadCopy, ack.Value)
 		} else {
 			remote = append(remote, t)
 		}
@@ -135,17 +136,20 @@ func (sp *Space) revokeCopies(p *sim.Proc, targets []msg.NodeID, vpn mem.VPN, do
 		return
 	}
 	sp.svc.metrics.Counter("vm.inval.sent").Add(uint64(len(remote)))
-	_, errs := sp.svc.ep.CallEachErr(p, remote, func(to msg.NodeID) *msg.Message {
+	replies, errs := sp.svc.ep.CallEachErr(p, remote, func(to msg.NodeID) *msg.Message {
 		return &msg.Message{Type: msg.TypePageInvalidate, To: to, Size: sizeSmallReq,
 			Payload: &pageInval{GID: sp.gid, VPN: vpn, Downgrade: downgrade, Version: ver}}
 	})
-	for _, err := range errs {
+	for i, err := range errs {
 		if err == nil {
+			ack := replies[i].Payload.(*pageInvalAck)
+			sp.svc.checker.Revoked(p, int64(sp.gid), vpn, remote[i], downgrade, ack.HadCopy, ack.Value)
 			continue
 		}
 		if msg.IsDeadPeer(err) {
 			// The sharer's kernel died: its copy is gone with it, which is
-			// exactly what an invalidation would have achieved.
+			// exactly what an invalidation would have achieved. No Revoked
+			// commit — the sanitizer's crash sweep already forgot the copy.
 			sp.svc.metrics.Counter("vm.inval.deadpeer").Inc()
 			continue
 		}
@@ -163,7 +167,9 @@ func (sp *Space) revokeOwner(p *sim.Proc, owner msg.NodeID, vpn mem.VPN, downgra
 		return pageInvalAck{}
 	}
 	if owner == sp.svc.node {
-		return sp.applyInval(p, vpn, downgrade, ver)
+		ack := sp.applyInval(p, vpn, downgrade, ver)
+		sp.svc.checker.Revoked(p, int64(sp.gid), vpn, owner, downgrade, ack.HadCopy, ack.Value)
+		return ack
 	}
 	sp.svc.metrics.Counter("vm.inval.sent").Inc()
 	reply, err := sp.svc.ep.Call(p, &msg.Message{
@@ -173,18 +179,31 @@ func (sp *Space) revokeOwner(p *sim.Proc, owner msg.NodeID, vpn mem.VPN, downgra
 		if msg.IsDeadPeer(err) {
 			// The owner died before writing back: its copy (and any writes
 			// not yet written back) are lost with the kernel. The directory's
-			// last known value stands.
+			// last known value stands; the sanitizer saw the crash while the
+			// owner still shadowed as writable, so the value is redefined by
+			// the next grant rather than checked against the lost write-back.
 			sp.svc.metrics.Counter("vm.inval.deadpeer").Inc()
 			return pageInvalAck{}
 		}
 		panic(fmt.Sprintf("vm: owner revocation failed: %v", err))
 	}
-	return *reply.Payload.(*pageInvalAck)
+	ack := *reply.Payload.(*pageInvalAck)
+	sp.svc.checker.Revoked(p, int64(sp.gid), vpn, owner, downgrade, ack.HadCopy, ack.Value)
+	return ack
 }
 
 // applyInval executes an invalidation against this kernel's copy of the
 // page: mark racing faults stale, strip the PTE (or its write bit), release
 // the frame on full invalidation, and charge the TLB shootdown.
+//
+// The sanitizer is deliberately NOT told here. The revocation only takes
+// effect at the origin when the ack arrives — that is where the directory
+// commits the written-back value — and a revokee can die with its ack in
+// flight, in which case the write-back is lost and the directory keeps its
+// older value. Committing the shadow at the revokee would make that
+// legitimate degradation look like a stale-read violation, so the caller
+// (revokeOwner/revokeCopies, at the origin) drives Checker.Revoked from the
+// ack instead.
 func (sp *Space) applyInval(p *sim.Proc, vpn mem.VPN, downgrade bool, ver uint64) pageInvalAck {
 	var ack pageInvalAck
 	if pend, ok := sp.pending[vpn]; ok {
@@ -195,7 +214,6 @@ func (sp *Space) applyInval(p *sim.Proc, vpn mem.VPN, downgrade bool, ver uint64
 	}
 	pte, ok := sp.pt.Lookup(vpn)
 	if !ok {
-		sp.svc.checker.Revoked(p, int64(sp.gid), vpn, sp.svc.node, downgrade, false, 0)
 		return ack
 	}
 	ack.HadCopy = true
@@ -210,7 +228,6 @@ func (sp *Space) applyInval(p *sim.Proc, vpn mem.VPN, downgrade bool, ver uint64
 		}
 		delete(sp.values, vpn)
 	}
-	sp.svc.checker.Revoked(p, int64(sp.gid), vpn, sp.svc.node, downgrade, true, ack.Value)
 	p.Sleep(sp.svc.machine.TLBShootdown(sp.shootdownCores(), false))
 	sp.svc.metrics.Counter("vm.inval.applied").Inc()
 	return ack

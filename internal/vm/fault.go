@@ -528,6 +528,7 @@ func (sp *Space) Prefetch(p *sim.Proc, core int, addr mem.Addr, pages int) (int,
 // overlap), collected into one grant. The caller holds the address-space
 // lock shared for the whole batch.
 func (sp *Space) batchTransactions(p *sim.Proc, req msg.NodeID, first mem.VPN, count int) *pageGrant {
+	//popcornvet:allow dirver the batch envelope carries no page itself; the requester installs entries under the asLock held across the whole prefetch, which orders them against every concurrent directory transaction
 	out := &pageGrant{Batch: make([]batchEntry, count)}
 	wg := sim.NewWaitGroup()
 	for i := 0; i < count; i++ {

@@ -104,6 +104,7 @@ func (s *Service) handlePageFetch(p *sim.Proc, m *msg.Message) *msg.Message {
 	}
 	if req.Forward != fwdNone {
 		val, err := sp.applyForwarded(p, req)
+		//popcornvet:allow dirver a forwarded-op reply installs no page copy (srcApplied); there is nothing for the replica to order
 		grant := &pageGrant{Value: val, Src: srcApplied, Swapped: sp.lastApplySwap}
 		if err != nil {
 			grant = forwardedError(err)

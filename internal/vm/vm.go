@@ -344,6 +344,14 @@ func (s *Service) Drop(p *sim.Proc, gid GID) {
 	delete(s.spaces, gid)
 }
 
+// Reboot discards every space this kernel hosts, for a kernel reboot after
+// a crash. Unlike Drop it does not free frames one by one: the physical
+// allocator is reset wholesale by the reboot (a crashed kernel's frame
+// bookkeeping is gone), so per-page frees would double-free.
+func (s *Service) Reboot() {
+	s.spaces = make(map[GID]*Space)
+}
+
 // PeerDied reclaims, on every origin directory this kernel hosts, the page
 // ownership and read copies held by a crashed kernel: modified pages lose
 // their (never written back) exclusive copy and fall back to the directory's
