@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet popcornvet popcornmc soak test bench
+.PHONY: verify build vet popcornvet popcornmc soak test bench trace-demo
 
-verify: build vet popcornvet test popcornmc soak
+verify: build vet popcornvet test popcornmc soak trace-demo
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,16 @@ soak:
 
 test:
 	$(GO) test -race ./...
+
+# Tracing determinism demo: run T2 twice with the causal tracer attached and
+# assert the exported span trees (Chrome trace_event JSON) are byte-identical
+# — same seed, same spans, same bytes; see DESIGN.md §10.
+trace-demo:
+	rm -rf /tmp/popcorn-trace-a /tmp/popcorn-trace-b
+	$(GO) run ./cmd/benchtable -exp T2 -scale quick -trace -traceout /tmp/popcorn-trace-a > /dev/null
+	$(GO) run ./cmd/benchtable -exp T2 -scale quick -trace -traceout /tmp/popcorn-trace-b > /dev/null
+	cmp /tmp/popcorn-trace-a/T2.trace.json /tmp/popcorn-trace-b/T2.trace.json
+	@echo "trace-demo: span trees byte-identical across runs"
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

@@ -5,7 +5,14 @@
 //
 // Usage:
 //
-//	benchtable [-scale quick|full] [-exp all|T1,F4,...] [-list]
+//	benchtable [-scale quick|full] [-exp all|T1,F4,...] [-list] [-trace] [-traceout DIR]
+//
+// With -trace, experiments that support causal tracing (T1, T2, F2) run with
+// a span collector attached and print a critical-path attribution table per
+// operation kind after the normal output; -traceout additionally writes each
+// experiment's spans as Chrome trace_event JSON (<ID>.trace.json), loadable
+// in chrome://tracing or Perfetto. Tracing reads only virtual timestamps the
+// run already produced, so the normal tables are unchanged.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -25,6 +33,8 @@ func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
 	listFlag := flag.Bool("list", false, "list available experiments and exit")
 	csvDir := flag.String("csv", "", "also write each experiment as CSV into this directory")
+	traceFlag := flag.Bool("trace", false, "attach the causal tracer and print critical-path attribution tables")
+	traceDir := flag.String("traceout", "", "with -trace, write Chrome trace_event JSON per experiment into this directory")
 	flag.Parse()
 
 	if *listFlag {
@@ -63,13 +73,30 @@ func main() {
 	failed := 0
 	for _, exp := range selected {
 		start := time.Now()
-		out, err := exp.Run(scale)
+		var (
+			out fmt.Stringer
+			col *trace.Collector
+			err error
+		)
+		if *traceFlag && exp.RunTraced != nil {
+			out, col, err = exp.RunTraced(scale)
+		} else {
+			out, err = exp.Run(scale)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchtable: %s failed: %v\n", exp.ID, err)
 			failed++
 			continue
 		}
 		fmt.Printf("### %s — %s (generated in %v)\n\n%s\n", exp.ID, exp.Title, time.Since(start).Round(time.Millisecond), out)
+		if *traceFlag {
+			if col == nil {
+				fmt.Printf("(no traced variant for %s)\n\n", exp.ID)
+			} else if err := printAttribution(exp.ID, col, *traceDir); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtable: trace for %s: %v\n", exp.ID, err)
+				failed++
+			}
+		}
 		if *csvDir != "" {
 			if err := writeCSV(*csvDir, exp.ID, out); err != nil {
 				fmt.Fprintf(os.Stderr, "benchtable: csv for %s: %v\n", exp.ID, err)
@@ -80,6 +107,32 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// printAttribution prints one critical-path table per root operation kind in
+// the collector, and optionally writes the full span set as Chrome
+// trace_event JSON.
+func printAttribution(id string, col *trace.Collector, traceDir string) error {
+	for _, root := range col.RootNames() {
+		att := col.CriticalPath(root)
+		if att.Count == 0 || att.Total == 0 {
+			continue
+		}
+		fmt.Printf("%s\n", att.Table())
+	}
+	fmt.Printf("(%d spans traced)\n\n", col.Len())
+	if traceDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(traceDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(traceDir, id+".trace.json"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return col.WriteChromeTrace(f)
 }
 
 // csvWriter is implemented by stats.Table and stats.Series.

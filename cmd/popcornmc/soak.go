@@ -16,6 +16,7 @@ import (
 	"repro/internal/osi"
 	"repro/internal/sanitize"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // The chaos soak (-soak) is the recovery model's endurance test: a
@@ -48,6 +49,9 @@ type soakOutcome struct {
 	evacuated  uint64
 	violations int
 	err        error
+	// spans is the seed's causal span collector, kept so a failing seed can
+	// print the tail of its operation timeline next to the error.
+	spans *trace.Collector
 }
 
 // runSoak sweeps the chaos soak over seeds 1..n (or a single pinned seed)
@@ -73,6 +77,12 @@ func runSoak(seeds, seed int64, verbose bool) error {
 				s, out.events, out.lost, out.recovered, out.evacuated, out.violations)
 		}
 		if out.err != nil {
+			// The failure timeline: the last operations the cluster ran
+			// before the invariant broke, straight from the causal tracer.
+			var tl strings.Builder
+			if werr := out.spans.WriteTimeline(&tl, 40); werr == nil && tl.Len() > 0 {
+				fmt.Printf("last operations before failure (seed %d):\n%s", s, tl.String())
+			}
 			return fmt.Errorf("soak seed %d: %w\nreplay with:\n\n  go run ./cmd/popcornmc -soak -seed %d -v", s, out.err, s)
 		}
 	}
@@ -143,6 +153,7 @@ func soakOne(seed int64) soakOutcome {
 	}
 	defer o.Close()
 	ck := o.AttachSanitizer(sanitize.Config{FailFast: true})
+	out.spans = o.AttachTracer()
 	e := o.Engine()
 	// Backstop only: a healthy soak seed quiesces in well under a million
 	// events; hitting the limit means something retried forever.

@@ -10,6 +10,9 @@
 //	          and undocumented same-class lock nesting
 //	dirver    pageGrant/pageInval composite literals that leave the
 //	          directory Version unstamped (error replies exempt)
+//	doccomment exported declarations and exported struct fields without
+//	          doc comments in the documented-surface packages
+//	          (msg, vm, threadgroup, trace)
 //
 // Usage:
 //

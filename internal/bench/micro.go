@@ -10,12 +10,30 @@ import (
 	"repro/internal/osi"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // T1MessageRoundTrip measures the message layer: RPC round-trip latency
 // versus payload size, for a same-NUMA-node kernel pair and a cross-node
 // pair.
 func T1MessageRoundTrip(s Scale) (*stats.Series, error) {
+	return t1Run(s, nil)
+}
+
+// T1MessageRoundTripTraced is T1 with a causal span collector attached: the
+// returned collector holds the rpc/wire/handle span trees of every measured
+// ping, which the critical-path table attributes leg by leg.
+func T1MessageRoundTripTraced(s Scale) (fmt.Stringer, *trace.Collector, error) {
+	col := trace.NewCollector()
+	series, err := t1Run(s, col)
+	return series, col, err
+}
+
+// t1Run is the shared T1 body. When col is non-nil every per-ping fabric
+// attaches it, so one collector accumulates spans across all the
+// configurations (the per-ping engines run sequentially, so span IDs stay
+// deterministic).
+func t1Run(s Scale, col *trace.Collector) (*stats.Series, error) {
 	sizes := []int{64, 256, 1024, 4096, 16384, 65536}
 	if s == Quick {
 		sizes = []int{64, 4096, 65536}
@@ -28,7 +46,7 @@ func T1MessageRoundTrip(s Scale) (*stats.Series, error) {
 	for _, cross := range []bool{false, true} {
 		ys := make([]float64, len(sizes))
 		for i, size := range sizes {
-			rtt, err := onePing(size, cross)
+			rtt, err := onePing(size, cross, col)
 			if err != nil {
 				return nil, err
 			}
@@ -45,7 +63,7 @@ func T1MessageRoundTrip(s Scale) (*stats.Series, error) {
 	return series, nil
 }
 
-func onePing(size int, crossNode bool) (time.Duration, error) {
+func onePing(size int, crossNode bool, col *trace.Collector) (time.Duration, error) {
 	e := sim.NewEngine(sim.WithSeed(1))
 	defer e.Close()
 	machine, err := hw.NewMachine(testbed(), hw.DefaultCostModel())
@@ -57,6 +75,7 @@ func onePing(size int, crossNode bool) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
+	fabric.SetCollector(col)
 	dst := msg.NodeID(1)
 	if crossNode {
 		dst = 2
@@ -88,12 +107,31 @@ func onePing(size int, crossNode bool) (time.Duration, error) {
 // T2MigrationBreakdown migrates one thread between kernels and reports the
 // per-phase virtual-time costs of the paper's migration protocol.
 func T2MigrationBreakdown(s Scale) (*stats.Table, error) {
+	tab, _, err := t2Run(s, false)
+	return tab, err
+}
+
+// T2MigrationBreakdownTraced is T2 with the causal tracer attached: the
+// collector holds one core.migrate span tree per migration, so the
+// critical-path table can be cross-checked against the histogram means the
+// untraced table reports.
+func T2MigrationBreakdownTraced(s Scale) (fmt.Stringer, *trace.Collector, error) {
+	return t2Run(s, true)
+}
+
+// t2Run is the shared T2 body; traced attaches a span collector to the
+// booted OS (reads only virtual timestamps, so the table is unchanged).
+func t2Run(s Scale, traced bool) (*stats.Table, *trace.Collector, error) {
 	tab := stats.NewTable("T2: thread migration latency breakdown", "phase", "mean-us", "share")
 	o, err := bootPopcorn(testbed(), popcornKernels)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer o.Close()
+	var col *trace.Collector
+	if traced {
+		col = o.AttachTracer()
+	}
 	e := o.Engine()
 	iters := 16
 	if s == Quick {
@@ -117,7 +155,7 @@ func T2MigrationBreakdown(s Scale) (*stats.Table, error) {
 		_ = pr.Close(p)
 	})
 	if err := e.Run(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	reg := o.Metrics()
 	total := reg.Histogram("tg.migrate.total").Mean()
@@ -139,7 +177,7 @@ func T2MigrationBreakdown(s Scale) (*stats.Table, error) {
 		}
 		tab.AddRow(r.name, us(mean), share)
 	}
-	return tab, nil
+	return tab, col, nil
 }
 
 // T3ThreadCreate measures thread creation latency: local clone, first
@@ -261,12 +299,31 @@ func T4SyscallOverhead(s Scale) (*stats.Table, error) {
 // zero-fill at the origin, remote zero-fill, remote read of a modified
 // page, and a write that must invalidate remote readers.
 func F2PageFault(s Scale) (*stats.Table, error) {
+	tab, _, err := f2Run(s, false)
+	return tab, err
+}
+
+// F2PageFaultTraced is F2 with the causal tracer attached: each measured
+// fault leaves a vm.fault span tree whose legs (directory transaction, page
+// transfer wire legs, invalidation fan-out) the critical-path table
+// attributes.
+func F2PageFaultTraced(s Scale) (fmt.Stringer, *trace.Collector, error) {
+	return f2Run(s, true)
+}
+
+// f2Run is the shared F2 body; traced attaches a span collector to the
+// booted OS.
+func f2Run(s Scale, traced bool) (*stats.Table, *trace.Collector, error) {
 	tab := stats.NewTable("F2: page-fault service latency", "fault type", "latency-us")
 	o, err := bootPopcorn(testbed(), popcornKernels)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer o.Close()
+	var col *trace.Collector
+	if traced {
+		col = o.AttachTracer()
+	}
 	e := o.Engine()
 	lat := make(map[string]time.Duration)
 	e.Spawn("driver", func(p *sim.Proc) {
@@ -311,7 +368,7 @@ func F2PageFault(s Scale) (*stats.Table, error) {
 		_ = pr.Close(p)
 	})
 	if err := e.Run(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for _, name := range []string{
 		"local zero-fill (origin)",
@@ -321,7 +378,7 @@ func F2PageFault(s Scale) (*stats.Table, error) {
 	} {
 		tab.AddRow(name, us(lat[name]))
 	}
-	return tab, nil
+	return tab, col, nil
 }
 
 // F3VMAPropagation measures mmap/mprotect/munmap latency at the origin as

@@ -3,6 +3,8 @@ package bench
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/trace"
 )
 
 // Experiment is one reproducible table or figure.
@@ -14,6 +16,12 @@ type Experiment struct {
 	// Run executes the experiment and returns its printable result (a
 	// *stats.Table or *stats.Series rendered via fmt.Stringer).
 	Run func(s Scale) (fmt.Stringer, error)
+	// RunTraced, when non-nil, executes the experiment with a causal span
+	// collector attached and returns it alongside the normal result. The
+	// collector only records virtual timestamps the run already produced, so
+	// the printable result is identical to Run's. Experiments without a
+	// traced variant leave this nil.
+	RunTraced func(s Scale) (fmt.Stringer, *trace.Collector, error)
 }
 
 // wrapT adapts a table generator.
@@ -30,12 +38,12 @@ func wrapT[T fmt.Stringer](fn func(Scale) (T, error)) func(Scale) (fmt.Stringer,
 // Experiments returns the full experiment registry, sorted by ID.
 func Experiments() []Experiment {
 	exps := []Experiment{
-		{ID: "T1", Title: "Message-layer round trip", Run: wrapT(T1MessageRoundTrip)},
-		{ID: "T2", Title: "Thread migration latency breakdown", Run: wrapT(T2MigrationBreakdown)},
+		{ID: "T1", Title: "Message-layer round trip", Run: wrapT(T1MessageRoundTrip), RunTraced: T1MessageRoundTripTraced},
+		{ID: "T2", Title: "Thread migration latency breakdown", Run: wrapT(T2MigrationBreakdown), RunTraced: T2MigrationBreakdownTraced},
 		{ID: "T3", Title: "Remote vs local thread creation", Run: wrapT(T3ThreadCreate)},
 		{ID: "T4", Title: "Uncontended syscall overhead", Run: wrapT(T4SyscallOverhead)},
 		{ID: "F1", Title: "Thread-creation scalability", Run: wrapT(F1ThreadBomb)},
-		{ID: "F2", Title: "Page-fault service latency", Run: wrapT(F2PageFault)},
+		{ID: "F2", Title: "Page-fault service latency", Run: wrapT(F2PageFault), RunTraced: F2PageFaultTraced},
 		{ID: "F3", Title: "VMA-operation propagation", Run: wrapT(F3VMAPropagation)},
 		{ID: "F4", Title: "mmap-storm scalability (headline)", Run: wrapT(F4MmapStorm)},
 		{ID: "F4b", Title: "mmap-storm, one shared process", Run: wrapT(F4bSharedMmapStorm)},

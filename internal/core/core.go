@@ -162,6 +162,24 @@ func (o *OS) Trace(capacity int) *trace.Buffer {
 	return b
 }
 
+// AttachTracer attaches a causal span collector to the inter-kernel fabric
+// and returns it. Every protocol layer reads the collector through the
+// fabric, so this single attachment covers wire legs, RPC rounds, message
+// handlers, VM faults and directory transactions, thread-group migration
+// phases, futex protocol rounds, and core.Migrate roots. Attach before
+// running workloads; detached runs pay one nil check per potential span,
+// and attached runs record only virtual timestamps the simulation already
+// produced — the simulated numbers are identical either way.
+func (o *OS) AttachTracer() *trace.Collector {
+	c := trace.NewCollector()
+	o.cluster.Fabric.SetCollector(c)
+	return c
+}
+
+// Tracer returns the span collector attached with AttachTracer (nil when
+// tracing is detached).
+func (o *OS) Tracer() *trace.Collector { return o.cluster.Fabric.Collector() }
+
 // AttachSanitizer wires a coherence sanitizer and race detector into every
 // layer of the OS: the engine (proc lifecycle and lock edges), the fabric
 // (message happens-before edges) and each kernel's VM, futex and
@@ -624,6 +642,13 @@ func (t *Thread) Migrate(kernelHint int) error {
 	if dst == t.k.Node {
 		return nil
 	}
+	// core.migrate is the operation root for a thread migration: it covers
+	// the syscall trap, releasing the source core, the full thread-group
+	// protocol (checkpoint → transfer → install → registration), and
+	// re-acquiring a core at the destination. Every protocol span below
+	// nests under it.
+	migScope := t.pr.os.Tracer().Begin(t.p, "core.migrate", int(t.k.Node))
+	defer migScope.End()
 	t.p.Sleep(t.k.Machine.Cost.SyscallTrap)
 	t.k.Sched.Release(t.p)
 	moved, err := t.k.TG.Migrate(t.p, t.pr.gid, t.task.ID, dst)

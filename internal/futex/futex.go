@@ -161,10 +161,15 @@ func (s *Service) Wait(p *sim.Proc, gid vm.GID, addr mem.Addr, expect int64) err
 	s.metrics.Counter("futex.wait").Inc()
 	s.checker.SyncOp(p, int64(gid), mem.PageOf(addr))
 
+	// futex.wait spans the enqueue protocol only — the examine-and-queue
+	// round at the home kernel. The block itself (Suspend until a Wake) is
+	// application time, not protocol cost, so it stays outside the span.
+	waitScope := s.ep.Collector().Begin(p, "futex.wait", int(s.node))
 	var queued bool
 	if home == s.node {
 		reply := s.doWait(p, gid, addr, expect, s.node, token)
 		if reply.Err != "" {
+			waitScope.End()
 			return fmt.Errorf("futex: %s", reply.Err)
 		}
 		queued = reply.Queued
@@ -175,14 +180,17 @@ func (s *Service) Wait(p *sim.Proc, gid vm.GID, addr mem.Addr, expect int64) err
 			Payload: &futexOpReq{Op: opWait, GID: gid, Addr: addr, Expect: expect, Token: token},
 		})
 		if err != nil {
+			waitScope.End()
 			return err
 		}
 		r := reply.Payload.(*futexOpReply)
 		if r.Err != "" {
+			waitScope.End()
 			return fmt.Errorf("futex: %s", r.Err)
 		}
 		queued = r.Queued
 	}
+	waitScope.End()
 	if !queued {
 		return ErrWouldBlock
 	}
@@ -281,6 +289,10 @@ func (s *Service) Wake(p *sim.Proc, gid vm.GID, addr mem.Addr, count int) (int, 
 	}
 	s.metrics.Counter("futex.wake").Inc()
 	s.checker.SyncOp(p, int64(gid), mem.PageOf(addr))
+	// futex.wake spans the whole wake protocol: the home-side dequeue plus,
+	// for remote waiters, the FutexWakeup fan-out the home performs.
+	wakeScope := s.ep.Collector().Begin(p, "futex.wake", int(s.node))
+	defer wakeScope.End()
 	if home == s.node {
 		reply := s.doWake(p, gid, addr, count)
 		return reply.Woken, nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Endpoint is one kernel's attachment to the fabric: an inbound queue
@@ -96,6 +97,11 @@ func newEndpoint(f *Fabric, node NodeID) *Endpoint {
 // Node returns the kernel this endpoint belongs to.
 func (ep *Endpoint) Node() NodeID { return ep.node }
 
+// Collector returns the span collector attached to the endpoint's fabric
+// (nil when tracing is detached). Protocol services read it here so one
+// Fabric.SetCollector covers every layer.
+func (ep *Endpoint) Collector() *trace.Collector { return ep.f.collector }
+
 // Ordered reports whether the fabric still guarantees per-pair FIFO
 // delivery. A fault plan's delay, duplication and retransmission rules can
 // reorder messages on a link, so protocol layers that rely on FIFO to prune
@@ -139,10 +145,32 @@ func (ep *Endpoint) spawnTracked(name string, fn func(p *sim.Proc)) *sim.Proc {
 	return pr
 }
 
+// beginWireSpan opens the wire-transit span for m's first send and stamps
+// its causal parent from the sending process (unless the caller already set
+// one). The fabric closes the span at delivery, so its extent is the leg's
+// full time on the wire. No-op when detached, for heartbeats, and for
+// retransmitted or resent copies that already carry a span — those reuse the
+// original leg's identity, like the incarnation stamps.
+func (ep *Endpoint) beginWireSpan(p *sim.Proc, m *Message) {
+	col := ep.f.collector
+	if col == nil || m.Type == TypeHeartbeat || m.Span != 0 {
+		return
+	}
+	if m.SpanParent == 0 {
+		m.SpanParent = p.Span()
+	}
+	name := "wire." + m.Type.String()
+	if m.IsReply {
+		name += ".reply"
+	}
+	m.Span = uint64(col.StartAt(name, int(ep.node), trace.SpanID(m.SpanParent), p.Now()))
+}
+
 // Send transmits m asynchronously (fire-and-forget): the caller is charged
 // only the sender-side ring cost. m.From is set to this endpoint's node.
 func (ep *Endpoint) Send(p *sim.Proc, m *Message) {
 	ep.prepare(m)
+	ep.beginWireSpan(p, m)
 	ep.f.metrics.Counter("msg.sent").Inc()
 	ep.f.traceEvent("msg.send", m.From, "%v to k%d seq=%d size=%d reply=%v", m.Type, m.To, m.Seq, m.Size, m.IsReply)
 	if o := ep.f.observer; o != nil {
@@ -180,6 +208,16 @@ func (ep *Endpoint) Call(p *sim.Proc, m *Message) (*Message, error) {
 		return nil, &DeadPeerError{Peer: ep.node, Type: m.Type}
 	}
 	ep.prepare(m)
+	// The RPC round span covers everything between the caller issuing the
+	// request and resuming with the reply (or an error): both wire legs, the
+	// remote handler, queue waits, and any retransmission backoff. It ends
+	// via the deferred Scope on every exit path.
+	var rpcSpan trace.Scope
+	if col := ep.f.collector; col != nil {
+		rpcSpan = col.Begin(p, "rpc."+m.Type.String(), int(ep.node))
+	}
+	defer rpcSpan.End()
+	ep.beginWireSpan(p, m)
 	c := &call{waiter: p, to: m.To, dstInc: m.DstInc}
 	ep.pending[m.Seq] = c
 	defer delete(ep.pending, m.Seq)
@@ -318,6 +356,12 @@ func (f *Fabric) deliver(m *Message) {
 			return
 		}
 	}
+	if f.collector != nil && m.Span != 0 {
+		// Close the wire-transit span. Fenced and dropped copies never reach
+		// this point, so a message the fault plane ate leaves its span open —
+		// which is exactly how a trace shows a lost leg.
+		f.collector.EndAt(trace.SpanID(m.Span), f.e.Now())
+	}
 	f.traceEvent("msg.deliver", m.To, "%v from k%d seq=%d size=%d reply=%v", m.Type, m.From, m.Seq, m.Size, m.IsReply)
 	dst.queue = append(dst.queue, m)
 	depth := uint64(len(dst.queue))
@@ -354,6 +398,14 @@ func (ep *Endpoint) dispatch(p *sim.Proc) {
 		ep.spawnTracked(fmt.Sprintf("msg-handler-%d-%v", ep.node, m.Type), func(hp *sim.Proc) {
 			if o := ep.f.observer; o != nil {
 				o.MsgDelivered(hp, mm)
+			}
+			if col := ep.f.collector; col != nil {
+				// The handler span nests under the *sender's* operation span
+				// (carried in the message) — that link is what stitches the
+				// tree across the kernel boundary. It covers the handler body
+				// and, for RPCs, committing the reply to the wire.
+				hs := col.BeginUnder(hp, "handle."+mm.Type.String(), int(ep.node), trace.SpanID(mm.SpanParent))
+				defer hs.End()
 			}
 			reply := h(hp, mm)
 			var de *dedupEntry

@@ -18,15 +18,20 @@ var ErrDeadPeer = errors.New("msg: peer kernel is dead")
 // dead: either the failure detector declared it, or retransmission was
 // exhausted without a reply.
 type DeadPeerError struct {
-	Peer     NodeID
-	Type     Type
+	// Peer is the destination kernel the RPC could not reach.
+	Peer NodeID
+	// Type is the request's message type.
+	Type Type
+	// Attempts is how many transmissions were made before giving up.
 	Attempts int
 }
 
+// Error implements the error interface.
 func (e *DeadPeerError) Error() string {
 	return fmt.Sprintf("msg: RPC %v to dead kernel %d abandoned after %d attempts", e.Type, e.Peer, e.Attempts)
 }
 
+// Unwrap yields ErrDeadPeer so errors.Is(err, ErrDeadPeer) matches.
 func (e *DeadPeerError) Unwrap() error { return ErrDeadPeer }
 
 // IsDeadPeer reports whether err means the remote kernel died. Protocol
@@ -101,8 +106,12 @@ func (c FaultConfig) withDefaults() FaultConfig {
 // handshake runs: the OS must reset the kernel's services to boot state
 // (the crash destroyed everything they knew) without blocking.
 type FaultHooks struct {
-	NodeCrashed  func(n NodeID)
-	PeerDead     func(p *sim.Proc, observer, dead NodeID)
+	// NodeCrashed is invoked (engine context, must not block) when n dies.
+	NodeCrashed func(n NodeID)
+	// PeerDead is invoked on kernel observer when its detector declares
+	// dead; it runs in a proc and may block.
+	PeerDead func(p *sim.Proc, observer, dead NodeID)
+	// NodeRebooted is invoked (engine context, must not block) when n heals.
 	NodeRebooted func(n NodeID)
 }
 

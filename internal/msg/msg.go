@@ -120,6 +120,8 @@ var typeNames = map[Type]string{
 	TypeUser:           "user",
 }
 
+// String returns the type's wire name ("migrate", "page-fetch", ...), used
+// in trace events, span names, and metrics keys.
 func (t Type) String() string {
 	if s, ok := typeNames[t]; ok {
 		return s
@@ -131,12 +133,19 @@ func (t Type) String() string {
 // in bytes and drives the fragmentation cost; Payload carries the typed
 // protocol body (the simulation passes pointers rather than serialising).
 type Message struct {
-	Type    Type
-	From    NodeID
-	To      NodeID
-	Seq     uint64
+	// Type selects the handler on the destination kernel.
+	Type Type
+	// From is the sending kernel; the fabric stamps it on send.
+	From NodeID
+	// To is the destination kernel.
+	To NodeID
+	// Seq is the fabric-assigned sequence number matching replies to calls.
+	Seq uint64
+	// IsReply marks the response leg of an RPC.
 	IsReply bool
-	Size    int
+	// Size is the serialised payload size in bytes (drives fragmentation).
+	Size int
+	// Payload is the typed protocol body, passed by pointer.
 	Payload any
 
 	// SrcInc/DstInc are the sender's and destination's incarnation numbers
@@ -147,7 +156,23 @@ type Message struct {
 	// pre-crash heartbeat — is fenced at delivery instead of corrupting the
 	// new incarnation's state.
 	SrcInc uint64
+	// DstInc is the destination's incarnation as the sender knew it; see
+	// SrcInc.
 	DstInc uint64
+
+	// Span is the causal-tracing span for this message's wire transit (zero
+	// when no collector is attached). The sender opens it when the message
+	// first enters the ring and the fabric closes it at delivery, so its
+	// extent is exactly the leg's time on the wire — including fault-plane
+	// delays. Retransmissions and cached-reply resends keep the original
+	// span (the stamp is first-wins), mirroring how SrcInc/DstInc travel.
+	Span uint64
+	// SpanParent is the sender-side span this message's work belongs to:
+	// the RPC round for requests, the handler span for replies, or the
+	// sending process's current span for one-way traffic. The receiving
+	// kernel parents its handler span under it, which is the only piece of
+	// state that lets a span tree cross the kernel boundary.
+	SpanParent uint64
 
 	// attempts counts transport-level redeliveries of a dropped
 	// fire-and-forget message (the ring's link-layer retry); RPC requests
@@ -220,6 +245,10 @@ type Fabric struct {
 	wires map[wireKey]*wire
 	// tracer, when attached, records send/deliver events.
 	tracer *trace.Buffer
+	// collector, when attached, records causal spans for every non-heartbeat
+	// message (wire transit, RPC round, handler execution); nil means one
+	// pointer check per message and not a single allocation.
+	collector *trace.Collector
 	// observer, when attached, sees the happens-before edges messages carry.
 	observer Observer
 
@@ -245,6 +274,16 @@ type Fabric struct {
 
 // SetTrace attaches an event buffer; nil detaches it.
 func (f *Fabric) SetTrace(b *trace.Buffer) { f.tracer = b }
+
+// SetCollector attaches a causal span collector; nil detaches it. Attached
+// or not, the fabric's virtual-time behaviour is identical: the collector
+// only records timestamps the simulation already produced.
+func (f *Fabric) SetCollector(c *trace.Collector) { f.collector = c }
+
+// Collector returns the attached span collector (nil when detached). The
+// protocol services read it through their fabric so one attachment covers
+// every layer.
+func (f *Fabric) Collector() *trace.Collector { return f.collector }
 
 // Observer receives transport-level events for dynamic checkers: the
 // sanitizer's vector clocks ride on these edges. MsgSent fires in the

@@ -37,10 +37,14 @@ func (ep *Endpoint) CallEachErr(p *sim.Proc, targets []NodeID, build func(to Nod
 	}
 	wg := sim.NewWaitGroup()
 	wg.Add(len(targets))
+	// The worker processes inherit the caller's causal span, so the parallel
+	// RPC rounds stay children of the operation that fanned them out.
+	parentSpan := p.Span()
 	for i, to := range targets {
 		i, to := i, to
 		ep.spawnTracked(fmt.Sprintf("msg-calleach-%d-%d", ep.node, to), func(cp *sim.Proc) {
 			defer wg.Done()
+			cp.SetSpan(parentSpan)
 			replies[i], errs[i] = ep.Call(cp, build(to))
 		})
 	}

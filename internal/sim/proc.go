@@ -27,6 +27,11 @@ type Proc struct {
 	waitKind   string
 	waitRes    string
 	waitHolder *Proc
+	// span is the causal-tracing span this process currently executes
+	// under (an opaque span ID owned by internal/trace; zero = none). It
+	// is plain data the tracer threads through blocking protocol code —
+	// the engine never reads it, so it cannot perturb the schedule.
+	span uint64
 }
 
 // Spawn starts fn as a new simulated process. The process begins running at
@@ -126,6 +131,15 @@ func (p *Proc) ID() int64 { return p.id }
 
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.e.now }
+
+// Span returns the causal-tracing span ID this process currently runs
+// under (zero when none). The engine itself never consults it.
+func (p *Proc) Span() uint64 { return p.span }
+
+// SetSpan records the causal-tracing span ID this process now runs under.
+// Only the tracer (internal/trace) should call it; the value is carried,
+// never interpreted, by the simulation.
+func (p *Proc) SetSpan(id uint64) { p.span = id }
 
 // Sleep blocks the process for d of virtual time. Non-positive durations
 // still yield: the process re-enters the run queue behind same-instant

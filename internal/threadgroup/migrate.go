@@ -42,8 +42,11 @@ func (s *Service) Migrate(p *sim.Proc, gid vm.GID, id task.ID, dst msg.NodeID) (
 	}
 
 	// Phase 2 — checkpoint: save the register file, FPU state and TLS into
-	// the migration payload.
+	// the migration payload. The tg.checkpoint span covers phases 1+2 (the
+	// claim is instantaneous in virtual time), matching the histogram.
+	ckptScope := s.ep.Collector().Begin(p, "tg.checkpoint", int(s.node))
 	p.Sleep(s.machine.Cost.ContextSwitch)
+	ckptScope.End()
 	s.metrics.Histogram("tg.migrate.checkpoint").Observe(p.Now().Sub(totalStart))
 
 	hops := append(append([]int(nil), t.Hops...), int(s.node))
@@ -101,7 +104,10 @@ func (s *Service) Migrate(p *sim.Proc, gid vm.GID, id task.ID, dst msg.NodeID) (
 	// member then stays registered here, so the origin's recovery sweep
 	// restarts or reaps it instead of pointing joiners at an executor-less
 	// ghost on the destination.
-	if err := s.registerMove(p, g, r.Task, dst); err != nil {
+	regScope := s.ep.Collector().Begin(p, "tg.register", int(s.node))
+	err = s.registerMove(p, g, r.Task, dst)
+	regScope.End()
+	if err != nil {
 		// The origin refused the location: a checkpointed restart (or a
 		// newer registration) owns this thread's identity. The imported
 		// copy must never run — reap it and lose this execution.
@@ -142,6 +148,9 @@ func (s *Service) handleMigrate(p *sim.Proc, m *msg.Message) *msg.Message {
 		s.metrics.Counter("tg.migrate.revive").Inc()
 	} else {
 		setupStart := p.Now()
+		// tg.setup covers acquiring a destination task: the tasklist lock,
+		// then either a dummy-pool hit or a full thread setup.
+		setupScope := s.ep.Collector().Begin(p, "tg.setup", int(s.node))
 		s.tasklist.Lock(p)
 		p.Sleep(s.machine.LineBounce(s.capSharers(s.tasklist.Waiters()), false))
 		if s.dummies > 0 {
@@ -156,11 +165,13 @@ func (s *Service) handleMigrate(p *sim.Proc, m *msg.Message) *msg.Message {
 		}
 		s.tasklist.Unlock(p)
 		t = task.New(req.TaskID, task.ID(req.GID), int(s.node))
+		setupScope.End()
 		s.metrics.Histogram("tg.migrate.setup").Observe(p.Now().Sub(setupStart))
 	}
 
 	// Import the context into the (dummy) task and make it runnable.
 	importStart := p.Now()
+	importScope := s.ep.Collector().Begin(p, "tg.import", int(s.node))
 	t.Ctx = req.Ctx
 	t.Kernel = int(s.node)
 	t.State = task.StateRunnable
@@ -174,6 +185,7 @@ func (s *Service) handleMigrate(p *sim.Proc, m *msg.Message) *msg.Message {
 		sp.ThreadArrived()
 	}
 	s.adoptOrphanSignals(g, t)
+	importScope.End()
 	s.metrics.Histogram("tg.migrate.import").Observe(p.Now().Sub(importStart))
 
 	// Deliberately NO origin registration here: the source registers the

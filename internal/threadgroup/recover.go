@@ -57,6 +57,10 @@ func (s *Service) SetRecoverable(gid vm.GID, id task.ID) error {
 // the detection gap between the crash and this sweep cannot release a join
 // early. Returns false (with all local state undone) if the hook declines.
 func (s *Service) restartMember(p *sim.Proc, g *group, id task.ID) bool {
+	// tg.restart covers rebuilding the task from its checkpoint up to the
+	// hand-off to the OS restart hook.
+	restartScope := s.ep.Collector().Begin(p, "tg.restart", int(s.node))
+	defer restartScope.End()
 	s.tasklist.Lock(p)
 	p.Sleep(s.machine.LineBounce(s.capSharers(s.tasklist.Waiters()), false))
 	p.Sleep(s.machine.Cost.ThreadSetup)

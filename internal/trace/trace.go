@@ -25,6 +25,7 @@ type Event struct {
 	Detail string
 }
 
+// String renders the event as one timeline line: time, kernel, kind, detail.
 func (e Event) String() string {
 	return fmt.Sprintf("%12v  k%-2d %-12s %s", e.At, e.Node, e.Kind, e.Detail)
 }
@@ -75,15 +76,45 @@ func (b *Buffer) Events() []Event {
 	return out
 }
 
-// Filter returns the retained events whose Kind has the given prefix.
+// Filter returns the retained events whose Kind has the given prefix, in
+// chronological order. It walks the ring in place — counting matches first,
+// then filling an exactly-sized slice — so the only allocation is the
+// result itself, no matter how big the buffer is or how often the growth
+// pattern of an append loop would have reallocated.
 func (b *Buffer) Filter(kindPrefix string) []Event {
-	var out []Event
-	for _, ev := range b.Events() {
+	n := 0
+	b.scan(func(ev *Event) {
 		if strings.HasPrefix(ev.Kind, kindPrefix) {
-			out = append(out, ev)
+			n++
 		}
+	})
+	if n == 0 {
+		return nil
 	}
+	out := make([]Event, 0, n)
+	b.scan(func(ev *Event) {
+		if len(out) < n && strings.HasPrefix(ev.Kind, kindPrefix) {
+			out = append(out, *ev)
+		}
+	})
 	return out
+}
+
+// scan visits the retained events in chronological order without copying
+// the ring.
+func (b *Buffer) scan(fn func(*Event)) {
+	if b.wrapped {
+		for i := b.next; i < len(b.events); i++ {
+			fn(&b.events[i])
+		}
+		for i := 0; i < b.next; i++ {
+			fn(&b.events[i])
+		}
+		return
+	}
+	for i := range b.events {
+		fn(&b.events[i])
+	}
 }
 
 // Dump writes all retained events, one per line.

@@ -1,0 +1,77 @@
+package vetcheck
+
+import "testing"
+
+func TestDocCommentPositives(t *testing.T) {
+	got := findingsFor(t, map[string]string{
+		"internal/msg/bad.go": `package msg
+
+type Wire struct {
+	Seq  uint64
+	priv int
+}
+
+func Exported() {}
+
+func (w *Wire) Reset() {}
+`,
+	}, DocComment{})
+	wantRules(t, got,
+		"exported type Wire has no doc comment",
+		"exported field Wire.Seq has no comment",
+		"exported function Exported has no doc comment",
+		"exported method Reset has no doc comment",
+	)
+}
+
+func TestDocCommentNegatives(t *testing.T) {
+	got := findingsFor(t, map[string]string{
+		// Documented declarations, commented fields, unexported decls and
+		// methods on unexported receivers are all fine.
+		"internal/trace/good.go": `package trace
+
+// Wire is documented.
+type Wire struct {
+	// Seq is documented.
+	Seq uint64
+	Gen uint64 // trailing comment counts
+	priv int
+}
+
+// Exported is documented.
+func Exported() {}
+
+type helper struct{ n int }
+
+func (h *helper) String() string { return "" }
+
+func internalOnly() {}
+`,
+		// Packages outside the documented set are not checked.
+		"internal/kernel/other.go": `package kernel
+
+type Undocumented struct{ Field int }
+`,
+		// Test files are exempt.
+		"internal/msg/fixture_test.go": `package msg
+
+type Fixture struct{ N int }
+`,
+	}, DocComment{})
+	if len(got) != 0 {
+		t.Fatalf("want no findings, got:\n%s", renderFindings(got))
+	}
+}
+
+func TestDocCommentAllowDirective(t *testing.T) {
+	got := findingsFor(t, map[string]string{
+		"internal/vm/gen.go": `package vm
+
+//popcornvet:allow doccomment generated shim, documented at the generator
+func Shim() {}
+`,
+	}, DocComment{})
+	if len(got) != 0 {
+		t.Fatalf("directive did not suppress:\n%s", renderFindings(got))
+	}
+}

@@ -70,7 +70,7 @@ type Analyzer interface {
 
 // Analyzers returns every built-in analyzer.
 func Analyzers() []Analyzer {
-	return []Analyzer{SimTime{}, MsgProto{}, LockSend{}, LockOrder{}, DirVer{}}
+	return []Analyzer{SimTime{}, MsgProto{}, LockSend{}, LockOrder{}, DirVer{}, DocComment{}}
 }
 
 // managedPackages are the sim-managed package names: code in them executes

@@ -6,6 +6,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/msg"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // dirTransaction is the origin-side heart of the consistency protocol: it
@@ -15,6 +16,14 @@ import (
 //
 //popcornvet:allow locksend holding the directory-entry lock across the revocation RPCs is the protocol: it is what makes a page's ownership transition atomic. Invalidate handlers at remote kernels touch only their local page tables and never take origin directory locks, so no wait cycle can close.
 func (sp *Space) dirTransaction(p *sim.Proc, req msg.NodeID, vpn mem.VPN, write bool) (*pageGrant, error) {
+	// The vm.dir span covers the origin-side transaction: waiting for the
+	// page's directory-entry lock plus any revocation fan-out. It runs under
+	// vm.fault for local faults and under handle.page-fetch for remote ones.
+	var dirScope trace.Scope
+	if col := sp.svc.ep.Collector(); col != nil {
+		dirScope = col.Begin(p, "vm.dir", int(sp.svc.node))
+	}
+	defer dirScope.End()
 	vma, ok := sp.vmas.find(vpn)
 	if !ok {
 		return &pageGrant{Code: codeSegv, Err: fmt.Sprintf("page %#x unmapped", uint64(vpn.Base()))}, nil

@@ -7,6 +7,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/msg"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // accessOp describes one memory access: a plain load, a plain store, or an
@@ -128,7 +129,16 @@ func (sp *Space) access(p *sim.Proc, core int, addr mem.Addr, op accessOp) (int6
 		}
 		pend := &pendingFault{done: sim.NewCond()}
 		sp.pending[vpn] = pend
+		// The vm.fault span covers this kernel's fault resolution: the
+		// directory transaction (local) or the PageFetch round trip (remote)
+		// plus installing the grant. The trap cost and coalesced waits stay
+		// outside it — they are the *caller's* time, not the protocol's.
+		var faultScope trace.Scope
+		if col := sp.svc.ep.Collector(); col != nil {
+			faultScope = col.Begin(p, "vm.fault", int(sp.svc.node))
+		}
 		res, err := sp.resolveFault(p, vpn, op, pend)
+		faultScope.End()
 		delete(sp.pending, vpn)
 		pend.done.Broadcast()
 		if err != nil {
@@ -439,8 +449,10 @@ func (sp *Space) Prefetch(p *sim.Proc, core int, addr mem.Addr, pages int) (int,
 				continue
 			}
 			wg.Add(1)
+			parentSpan := p.Span()
 			sp.svc.e.Spawn("vm-prefetch", func(fp *sim.Proc) {
 				defer wg.Done()
+				fp.SetSpan(parentSpan)
 				if _, err := sp.access(fp, core, vpn.Base(), accessOp{}); err == nil {
 					n++
 				}
@@ -531,11 +543,13 @@ func (sp *Space) batchTransactions(p *sim.Proc, req msg.NodeID, first mem.VPN, c
 	//popcornvet:allow dirver the batch envelope carries no page itself; the requester installs entries under the asLock held across the whole prefetch, which orders them against every concurrent directory transaction
 	out := &pageGrant{Batch: make([]batchEntry, count)}
 	wg := sim.NewWaitGroup()
+	parentSpan := p.Span()
 	for i := 0; i < count; i++ {
 		i := i
 		wg.Add(1)
 		sp.svc.e.Spawn("vm-batch", func(bp *sim.Proc) {
 			defer wg.Done()
+			bp.SetSpan(parentSpan)
 			g, err := sp.dirTransaction(bp, req, first+mem.VPN(i), false)
 			if err != nil {
 				out.Batch[i] = batchEntry{Code: codeOther}

@@ -11,9 +11,9 @@ import (
 // VMA is one virtual memory area: a page-aligned, half-open range with
 // uniform protection.
 type VMA struct {
-	Lo   mem.VPN // first page
-	Hi   mem.VPN // one past the last page
-	Prot mem.Prot
+	Lo   mem.VPN  // first page
+	Hi   mem.VPN  // one past the last page
+	Prot mem.Prot // uniform protection for the whole range
 }
 
 // Pages returns the number of pages the VMA covers.
@@ -22,6 +22,7 @@ func (v VMA) Pages() int { return int(v.Hi - v.Lo) }
 // Contains reports whether the page lies inside the VMA.
 func (v VMA) Contains(p mem.VPN) bool { return p >= v.Lo && p < v.Hi }
 
+// String renders the VMA as "[lo,hi) prot" with byte addresses.
 func (v VMA) String() string {
 	return fmt.Sprintf("[%#x,%#x) %v", uint64(v.Lo.Base()), uint64(v.Hi.Base()), v.Prot)
 }
