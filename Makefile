@@ -3,19 +3,28 @@
 
 GO ?= go
 
-.PHONY: verify build vet popcornvet popcornmc soak test bench trace-demo
+.PHONY: verify build vet govet popcornvet vet-json popcornmc soak test bench trace-demo
 
-verify: build vet popcornvet test popcornmc soak trace-demo
+verify: build vet test popcornmc soak trace-demo
 
 build:
 	$(GO) build ./...
 
-vet:
+# vet is the full static gate: stock go vet plus the repo's own analyzers.
+vet: govet popcornvet
+
+govet:
 	$(GO) vet ./...
 
-# The repo's own determinism & protocol linter; see DESIGN.md §6.
+# The repo's own determinism, protocol and parallel-safety linter; see
+# DESIGN.md §6 (core analyzers) and §11 (kernel-locality contract).
 popcornvet:
 	$(GO) run ./cmd/popcornvet ./...
+
+# Machine-readable findings for CI artifact upload; written even when the
+# gate fails so the artifact always reflects the run.
+vet-json:
+	$(GO) run ./cmd/popcornvet -json ./... > popcornvet.json
 
 # Schedule exploration with the coherence sanitizer attached; see DESIGN.md §7.
 # The -faults sweeps layer the fault plan (drop/dup/delay everywhere, kernel

@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	benchtable [-scale quick|full] [-exp all|T1,F4,...] [-list] [-trace] [-traceout DIR]
+//	benchtable [-scale quick|full] [-exp all|T1,F4,...] [-list] [-trace] [-traceout DIR] [-json FILE]
+//
+// With -json FILE, a machine-readable snapshot of every selected experiment
+// — id, title, host generation nanoseconds, and the structured table/series
+// data — is written to FILE; checked in per PR as BENCH_<n>.json, it gives
+// the perf trajectory a diffable history.
 //
 // With -trace, experiments that support causal tracing (T1, T2, F2) run with
 // a span collector attached and print a critical-path attribution table per
@@ -16,6 +21,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +34,27 @@ import (
 	"repro/internal/trace"
 )
 
+// jsonExperiment is one experiment's machine-readable snapshot: identity,
+// host-side generation cost, and the structured table/series data (which
+// carries the per-experiment latency and fault/trace counters the text
+// output prints).
+type jsonExperiment struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	// GenNS is wall-clock nanoseconds spent generating the experiment on
+	// the host — the ns/op trajectory ROADMAP item 5 tracks per PR.
+	GenNS int64 `json:"gen_ns"`
+	// Data is the experiment's output: a stats.Table or stats.Series in its
+	// tagged JSON form, or a plain string for outputs without one.
+	Data any `json:"data"`
+}
+
+// jsonSnapshot is the -json output document.
+type jsonSnapshot struct {
+	Scale       string           `json:"scale"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
 func main() {
 	scaleFlag := flag.String("scale", "full", "experiment scale: quick or full")
 	expFlag := flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
@@ -35,6 +62,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each experiment as CSV into this directory")
 	traceFlag := flag.Bool("trace", false, "attach the causal tracer and print critical-path attribution tables")
 	traceDir := flag.String("traceout", "", "with -trace, write Chrome trace_event JSON per experiment into this directory")
+	jsonOut := flag.String("json", "", "also write a machine-readable snapshot of every selected experiment to this file")
 	flag.Parse()
 
 	if *listFlag {
@@ -71,6 +99,7 @@ func main() {
 	}
 
 	failed := 0
+	snapshot := jsonSnapshot{Scale: *scaleFlag, Experiments: []jsonExperiment{}}
 	for _, exp := range selected {
 		start := time.Now()
 		var (
@@ -88,7 +117,17 @@ func main() {
 			failed++
 			continue
 		}
-		fmt.Printf("### %s — %s (generated in %v)\n\n%s\n", exp.ID, exp.Title, time.Since(start).Round(time.Millisecond), out)
+		elapsed := time.Since(start)
+		if *jsonOut != "" {
+			je := jsonExperiment{ID: exp.ID, Title: exp.Title, GenNS: elapsed.Nanoseconds()}
+			if m, ok := out.(json.Marshaler); ok {
+				je.Data = m
+			} else {
+				je.Data = out.String()
+			}
+			snapshot.Experiments = append(snapshot.Experiments, je)
+		}
+		fmt.Printf("### %s — %s (generated in %v)\n\n%s\n", exp.ID, exp.Title, elapsed.Round(time.Millisecond), out)
 		if *traceFlag {
 			if col == nil {
 				fmt.Printf("(no traced variant for %s)\n\n", exp.ID)
@@ -104,9 +143,27 @@ func main() {
 			}
 		}
 	}
+	if *jsonOut != "" {
+		if err := writeSnapshot(*jsonOut, &snapshot); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtable: json: %v\n", err)
+			failed++
+		}
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeSnapshot writes the machine-readable run snapshot as indented JSON.
+func writeSnapshot(path string, snap *jsonSnapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
 }
 
 // printAttribution prints one critical-path table per root operation kind in

@@ -13,21 +13,33 @@
 //	doccomment exported declarations and exported struct fields without
 //	          doc comments in the documented-surface packages
 //	          (msg, vm, threadgroup, trace)
+//	kernlocal handler paths that touch another kernel's state (cluster
+//	          table, peer endpoints) or handler-reachable shared
+//	          infrastructure, instead of going through msg
+//	detorder  nondeterministic ordering on event-visible paths: map
+//	          ranges whose order escapes, non-total sort.Slice
+//	          comparators, wall-clock/global-rand outside the
+//	          sim-managed set
+//	sharedmut package-level mutable vars referenced from
+//	          handler-reachable code
 //
 // Usage:
 //
 //	go run ./cmd/popcornvet ./...
 //	go run ./cmd/popcornvet -only simtime,locksend ./internal/...
+//	go run ./cmd/popcornvet -json . > vet.json
 //
-// Findings print as file:line:col: [rule] message and the exit status is 1
-// when any exist. Suppress a deliberate violation with a justified
-// directive on (or just above) the offending line, or in the enclosing
-// function's doc comment:
+// Findings print as file:line:col: [rule] message (or, with -json, as a
+// JSON array of {file, line, col, analyzer, message} objects on stdout)
+// and the exit status is 1 when any exist. Suppress a deliberate violation
+// with a justified directive on (or just above) the offending line, or in
+// the enclosing declaration's doc comment:
 //
 //	//popcornvet:allow <rule> <reason>
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,10 +48,21 @@ import (
 	"repro/internal/vetcheck"
 )
 
+// jsonFinding is the machine-readable form of one finding, stable for CI
+// artifact consumers.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: popcornvet [-only rules] [path ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: popcornvet [-only rules] [-json] [path ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -84,8 +107,27 @@ func main() {
 		os.Exit(2)
 	}
 	findings := vetcheck.Run(tree, analyzers)
-	for _, f := range findings {
-		fmt.Println(f)
+	if *asJSON {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Analyzer: f.Rule,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "popcornvet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "popcornvet: %d finding(s)\n", len(findings))

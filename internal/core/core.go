@@ -62,9 +62,13 @@ type Config struct {
 
 // OS is a booted replicated-kernel operating system.
 type OS struct {
-	e         *sim.Engine
-	machine   *hw.Machine
-	cluster   *kernel.Cluster
+	e       *sim.Engine
+	machine *hw.Machine
+	cluster *kernel.Cluster
+	// metrics is the machine-wide registry; counters are commutative
+	// increments, so the parallel engine shards it per kernel and merges
+	// at pause points.
+	//popcornvet:allow kernlocal commutative counters; per-kernel shards merged at pause under the parallel engine
 	metrics   *stats.Registry
 	placement PlacementPolicy
 	// rr is the round-robin cursor for automatic thread placement.
@@ -152,6 +156,8 @@ func (o *OS) Kernels() int { return len(o.cluster.Kernels) }
 func (o *OS) Metrics() *stats.Registry { return o.metrics }
 
 // Kernel returns the k-th kernel instance (for white-box benchmarks).
+//
+//popcornvet:allow kernlocal white-box accessor for benchmarks and tests only; never on an event path
 func (o *OS) Kernel(k int) *kernel.Kernel { return o.cluster.Kernels[k] }
 
 // Trace attaches an event buffer to the inter-kernel fabric (nil detaches)
@@ -292,7 +298,12 @@ func (o *OS) LiveThreads() int { return len(o.live) }
 // Close shuts the simulation down, unwinding all service processes.
 func (o *OS) Close() { o.e.Close() }
 
-// pickKernel resolves a placement hint to a kernel index.
+// pickKernel resolves a placement hint to a kernel index. The least-loaded
+// scan reads every kernel's queue depth directly — a placement heuristic
+// that tolerates stale values, so the parallel engine can keep it as a
+// racy-read advisory or downgrade it to gossiped load reports.
+//
+//popcornvet:allow kernlocal load scan is an advisory heuristic; stale reads only skew placement, never correctness
 func (o *OS) pickKernel(hint int) (int, error) {
 	if hint == osi.AnyKernel {
 		if o.placement == PlaceLeastLoaded {
@@ -334,6 +345,12 @@ func (o *OS) StartProcess(p *sim.Proc) (osi.Process, error) {
 }
 
 // StartProcessOn creates the process with its origin on a specific kernel.
+// The syscall trap executes in the calling thread's context and enters the
+// chosen kernel's threadgroup service directly — the simulated equivalent
+// of trapping into the kernel you run on, which stays local once the
+// parallel engine pins each proc to its hosting kernel's shard.
+//
+//popcornvet:allow kernlocal syscall trap into the origin kernel the calling thread runs on; local by construction
 func (o *OS) StartProcessOn(p *sim.Proc, k int) (*Process, error) {
 	if k < 0 || k >= len(o.cluster.Kernels) {
 		return nil, fmt.Errorf("core: kernel %d out of range", k)
@@ -368,6 +385,14 @@ func (pr *Process) SpawnRecoverable(p *sim.Proc, kernelHint int, fn osi.ThreadFu
 	return pr.spawnThread(p, kernelHint, fn, true)
 }
 
+// spawnThread issues the clone from the origin kernel's services; remote
+// placement runs the distributed creation protocol over msg from there. The
+// direct Kernels[...] dereferences resolve the origin (the caller's own
+// kernel) and mirror the recoverable flag onto the hosting kernel's task
+// struct — the latter is a teleport the parallel engine replaces with a
+// field in the creation RPC.
+//
+//popcornvet:allow kernlocal origin-side syscall trap; the hosting-kernel flag mirror becomes part of the creation RPC
 func (pr *Process) spawnThread(p *sim.Proc, kernelHint int, fn osi.ThreadFunc, recoverable bool) error {
 	k, err := pr.os.pickKernel(kernelHint)
 	if err != nil {
@@ -396,7 +421,11 @@ func (pr *Process) spawnThread(p *sim.Proc, kernelHint int, fn osi.ThreadFunc, r
 	return nil
 }
 
-// runThread starts the simulation proc that executes fn as thread tk.
+// runThread starts the simulation proc that executes fn as thread tk. The
+// cluster-table lookup binds the new Thread to the kernel hosting it — the
+// thread's own kernel, not a foreign one.
+//
+//popcornvet:allow kernlocal resolves the thread's own hosting kernel; the binding Migrate later rebinds
 func (pr *Process) runThread(tk *task.Task, fn osi.ThreadFunc) {
 	pr.wg.Add(1)
 	pr.os.e.Spawn(fmt.Sprintf("thread-%d", tk.ID), func(tp *sim.Proc) {
@@ -426,12 +455,17 @@ func (pr *Process) Wait(p *sim.Proc) { pr.wg.Wait(p) }
 // simulation procs and so returns as soon as a crashed thread's proc
 // unwinds, Join tracks the origin's member table and waits out pending
 // restarts of lost threads.
+//
+//popcornvet:allow kernlocal joins on the process's own origin kernel, where the caller's group state lives
 func (pr *Process) Join(p *sim.Proc) error {
 	return pr.os.cluster.Kernels[pr.origin].TG.WaitMembers(p, pr.gid, 1)
 }
 
 // Close implements osi.Process: the main thread exits, tearing down the
-// distributed group on every kernel.
+// distributed group on every kernel. The exit enters the origin kernel's
+// threadgroup service; the cross-kernel teardown itself travels over msg.
+//
+//popcornvet:allow kernlocal exits through the process's own origin kernel; remote teardown goes over msg
 func (pr *Process) Close(p *sim.Proc) error {
 	if pr.closed {
 		return nil
@@ -487,6 +521,11 @@ func (t *Thread) Compute(d time.Duration) {
 // Moving to a kernel the detector does not suspect re-registers the
 // thread's location with the origin through a healthy path. Best-effort: a
 // failed migration just resumes here and the crash path cleans up as usual.
+// The endpoint fetched is the hosting kernel's own (t.k.Node — local, not a
+// peer's), and the candidate scan reads only failure-detector verdicts,
+// which are advisory: a stale read costs one wasted migration attempt.
+//
+//popcornvet:allow kernlocal reads own kernel's endpoint and advisory suspicion verdicts; staleness is benign
 func (t *Thread) maybeEvacuate() {
 	if t.k.Node == t.pr.origin {
 		return
@@ -630,7 +669,11 @@ func (t *Thread) Spawn(kernelHint int, fn osi.ThreadFunc) error {
 
 // Migrate implements osi.Thread: the paper's thread context migration. The
 // thread leaves its current core, ships its context to the destination
-// kernel, and resumes there inside a dummy (or revived shadow) task.
+// kernel (over msg, inside TG.Migrate), and resumes there inside a dummy
+// (or revived shadow) task. The cluster-table lookup afterwards rebinds
+// t.k to the kernel the thread now runs on — its new local kernel.
+//
+//popcornvet:allow kernlocal rebinds the thread to its new hosting kernel after the msg-based migration protocol
 func (t *Thread) Migrate(kernelHint int) error {
 	if kernelHint == osi.AnyKernel {
 		return fmt.Errorf("core: Migrate needs an explicit destination kernel")

@@ -71,8 +71,10 @@ type Service struct {
 	node     msg.NodeID
 	ep       *msg.Endpoint
 	resolver Resolver
-	metrics  *stats.Registry
-	checker  *sanitize.Checker
+	//popcornvet:allow kernlocal commutative counters; per-kernel shards merged at pause under the parallel engine
+	metrics *stats.Registry
+	//popcornvet:allow kernlocal the cross-kernel invariant observer by design; moves to the serialised merge step
+	checker *sanitize.Checker
 	// homeCore is the representative core used to charge value-check
 	// accesses performed by the home-side handler.
 	homeCore int

@@ -331,7 +331,11 @@ func (ep *Endpoint) prepare(m *Message) {
 // incarnations are fenced first — before the last-heard refresh, so a
 // zombie heartbeat cannot feed the failure detector — then every surviving
 // delivery refreshes the detector's clock, and heartbeats are consumed here
-// without ever touching the queue, tracer, or observer.
+// without ever touching the queue, tracer, or observer. This IS the
+// fabric's serialised delivery step — the one place allowed to touch a
+// peer's queue, and the parallel engine's merge point.
+//
+//popcornvet:allow kernlocal the serialised delivery step itself; runs in the parallel engine's merge phase
 func (f *Fabric) deliver(m *Message) {
 	dst := f.endpoints[m.To]
 	if f.plan != nil {

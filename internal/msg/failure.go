@@ -288,7 +288,10 @@ func (f *Fabric) route(m *Message) {
 // the caller's timeout loop owns their recovery. Everything else (replies,
 // fire-and-forget notifications) gets bounded link-layer redelivery, the
 // ring's ack/retry, so a single drop cannot wedge a protocol that has no
-// caller-side retry.
+// caller-side retry. Runs inside the fabric's serialised fault plane, the
+// same engine-context step as delivery.
+//
+//popcornvet:allow kernlocal link-layer fault handling inside the fabric's serialised delivery step
 func (f *Fabric) dropMsg(m *Message) {
 	f.traceEvent("msg.drop", m.From, "%v to k%d seq=%d attempt=%d", m.Type, m.To, m.Seq, m.attempts)
 	if m.Type == TypeHeartbeat {
@@ -315,7 +318,10 @@ func (f *Fabric) dropMsg(m *Message) {
 
 // crashNode kills kernel n: its endpoint goes dark, queued and in-flight
 // messages vanish, and every process it hosts (dispatcher, handlers,
-// heartbeats, multicast workers) halts. Runs in engine context.
+// heartbeats, multicast workers) halts. Runs in engine context — fabric
+// fault-plane code, serialised with delivery.
+//
+//popcornvet:allow kernlocal fault-plane kill switch; engine-context, serialised with delivery
 func (f *Fabric) crashNode(n NodeID) {
 	ep := f.endpoints[int(n)]
 	if ep.dead {
@@ -376,7 +382,9 @@ func (f *Fabric) crashNode(n NodeID) {
 // healNode reboots crashed kernel n: the kernel returns empty — every
 // pre-crash structure is gone — under a bumped incarnation, reattaches to
 // the fabric, and runs the rejoin handshake with the survivors. Runs in
-// engine context.
+// engine context — fabric fault-plane code, serialised with delivery.
+//
+//popcornvet:allow kernlocal fault-plane reboot; engine-context, serialised with delivery
 func (f *Fabric) healNode(n NodeID) {
 	ep := f.endpoints[int(n)]
 	if !ep.dead {
@@ -465,7 +473,11 @@ type rejoinReq struct {
 // itself. The survivor cuts loose any RPC still waiting on the previous
 // incarnation, settles the reclamation it owes that incarnation's state
 // (running it now if its own detector never reached a verdict), and then
-// forgets the death verdict so traffic with the rejoiner resumes.
+// forgets the death verdict so traffic with the rejoiner resumes. The
+// endpoint it touches is m.To — the surviving kernel the handler runs on,
+// its own local state.
+//
+//popcornvet:allow kernlocal resolves the handler's own kernel endpoint (m.To), not a peer's
 func (f *Fabric) handleRejoin(p *sim.Proc, m *Message) *Message {
 	req := m.Payload.(*rejoinReq)
 	ep := f.endpoints[m.To]
@@ -537,6 +549,11 @@ func (f *Fabric) partitionClosed(a, b NodeID) {
 	f.resetSilence(b, a, now)
 }
 
+// resetSilence refreshes one kernel's failure detector after a partition
+// closes. Fault-plane code: runs in engine context, serialised with
+// delivery.
+//
+//popcornvet:allow kernlocal fault-plane detector reset; engine-context, serialised with delivery
 func (f *Fabric) resetSilence(at, peer NodeID, now sim.Time) {
 	ep := f.endpoints[at]
 	if ep.dead || ep.declaredDead[peer] {
@@ -665,6 +682,9 @@ func (f *Fabric) settled() bool {
 		if ep.dead {
 			continue
 		}
+		// A pure ∀-quantifier: the answer is the same whichever crashed
+		// kernel is examined first, and nothing but the boolean escapes.
+		//popcornvet:allow detorder order-insensitive membership test; only the conjunction escapes the loop
 		for n := range f.crashed {
 			if !ep.declaredDead[n] {
 				return false

@@ -99,6 +99,9 @@ func AllTypes() []Type {
 	return ts
 }
 
+// typeNames is populated once by this literal and only ever read.
+//
+//popcornvet:allow sharedmut immutable after package init; concurrent reads are safe
 var typeNames = map[Type]string{
 	TypePing:           "ping",
 	TypeThreadCreate:   "thread-create",
@@ -236,18 +239,21 @@ type Fabric struct {
 	// nodeCore maps each kernel to a representative core, used for
 	// NUMA-aware IPI and transfer costs.
 	nodeCore []int
-	metrics  *stats.Registry
-	nextSeq  uint64
+	//popcornvet:allow kernlocal commutative counters; per-kernel shards merged at pause under the parallel engine
+	metrics *stats.Registry
+	nextSeq uint64
 	// wires holds the per-directed-pair rings. Slot order is reserved when
 	// a send begins and deliveries respect it, so messages between one
 	// kernel pair can never overtake each other (a large in-progress send
 	// head-of-line blocks later small ones, as on a real ring).
 	wires map[wireKey]*wire
 	// tracer, when attached, records send/deliver events.
+	//popcornvet:allow kernlocal trace records are written at the serialised delivery step the engine orders
 	tracer *trace.Buffer
 	// collector, when attached, records causal spans for every non-heartbeat
 	// message (wire transit, RPC round, handler execution); nil means one
 	// pointer check per message and not a single allocation.
+	//popcornvet:allow kernlocal spans are recorded at the serialised delivery step the engine orders
 	collector *trace.Collector
 	// observer, when attached, sees the happens-before edges messages carry.
 	observer Observer
@@ -399,7 +405,11 @@ func NewFabric(e *sim.Engine, machine *hw.Machine, nodes int, nodeCore []int, cf
 // Nodes returns the number of kernels on the fabric.
 func (f *Fabric) Nodes() int { return len(f.endpoints) }
 
-// Endpoint returns kernel n's endpoint.
+// Endpoint returns kernel n's endpoint. Setup code wires each service its
+// own kernel's endpoint through this; it is also the fabric-internal
+// resolver behind delivery.
+//
+//popcornvet:allow kernlocal the endpoint resolver itself; callers are policed at their own call sites
 func (f *Fabric) Endpoint(n NodeID) *Endpoint {
 	if int(n) < 0 || int(n) >= len(f.endpoints) {
 		panic(fmt.Sprintf("msg: endpoint %d out of range [0,%d)", n, len(f.endpoints)))

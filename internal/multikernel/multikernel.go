@@ -37,8 +37,10 @@ type Config struct {
 type OS struct {
 	e       *sim.Engine
 	machine *hw.Machine
+	//popcornvet:allow kernlocal commutative counters; per-kernel shards merged at pause under the parallel engine
 	metrics *stats.Registry
-	fabric  *msg.Fabric
+	//popcornvet:allow kernlocal the inter-kernel medium itself; domains only Send/Call through their own endpoint
+	fabric *msg.Fabric
 	nodes   []*node
 	nextDom int64
 }
@@ -313,6 +315,9 @@ func (d *Domain) Send(dst *Domain, size int, payload any) {
 		dst.hasMail.Signal()
 		return
 	}
+	// d.node.id is the sending domain's own kernel: a local-endpoint
+	// resolve, not a grab at a peer's queue.
+	//popcornvet:allow kernlocal resolves the sender's own kernel endpoint, not a peer's
 	d.os.fabric.Endpoint(d.node.id).Send(d.p, &msg.Message{
 		Type: msg.TypeUser, To: dst.node.id, Size: size, Payload: pkt,
 	})

@@ -63,6 +63,7 @@ type msgKey struct {
 type Config struct {
 	// Trace, when set, receives san.* protocol events and is mined for the
 	// page history attached to violations.
+	//popcornvet:allow kernlocal the checker is the cross-kernel observer by design; its trace moves to the merge step with it
 	Trace *trace.Buffer
 	// FailFast makes coherence violations panic in the offending proc
 	// (unwound by the engine into a run failure) instead of only being
@@ -559,8 +560,15 @@ func (c *Checker) checkWriteRights(node msg.NodeID, gid int64, vpn mem.VPN, sh *
 		c.violate("single-writer", node, gid, vpn,
 			"k%d wrote %s without an exclusive grant", node, pageToken(gid, vpn))
 	}
-	for n, r := range sh.holders {
-		if n != node && r&rWrite != 0 {
+	// Sorted so a multi-holder violation reports the same kernel first on
+	// every run.
+	holders := make([]msg.NodeID, 0, len(sh.holders))
+	for n := range sh.holders {
+		holders = append(holders, n)
+	}
+	sort.Slice(holders, func(i, j int) bool { return holders[i] < holders[j] })
+	for _, n := range holders {
+		if n != node && sh.holders[n]&rWrite != 0 {
 			c.violate("single-writer", node, gid, vpn,
 				"k%d wrote %s while k%d also holds it writable", node, pageToken(gid, vpn), n)
 		}
@@ -615,8 +623,15 @@ func (c *Checker) raceWrite(p *sim.Proc, node msg.NodeID, k pageKey, sh *pageSha
 		c.candidate(k, node, "unsynchronized write of %s by %q on k%d conflicts with write by %q",
 			pageToken(k.gid, k.vpn), p.Name(), node, sh.lastWriteName)
 	}
-	for pid, r := range sh.readers {
-		if pid != p.ID() && !pv.covers(r) {
+	// Sorted so a write conflicting with several readers reports them in
+	// the same order on every run.
+	pids := make([]int64, 0, len(sh.readers))
+	for pid := range sh.readers {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	for _, pid := range pids {
+		if pid != p.ID() && !pv.covers(sh.readers[pid]) {
 			c.candidate(k, node, "unsynchronized write of %s by %q on k%d conflicts with read by %q",
 				pageToken(k.gid, k.vpn), p.Name(), node, sh.readerNames[pid])
 		}

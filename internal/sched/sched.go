@@ -28,6 +28,7 @@ type Scheduler struct {
 	machine *hw.Machine
 	coreIDs []int
 	quantum time.Duration
+	//popcornvet:allow kernlocal commutative counters; per-kernel shards merged at pause under the parallel engine
 	metrics *stats.Registry
 
 	free    []int // free global core IDs, LIFO for cache warmth

@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"time"
 )
@@ -101,7 +100,8 @@ func (e *DeadlockError) Error() string {
 // (a daemon parked on its service condition variable is idle, not stuck).
 func (e *Engine) buildDeadlockError() *DeadlockError {
 	de := &DeadlockError{At: e.now}
-	for _, p := range e.procs {
+	// procsByID already yields ascending PIDs, so Waits needs no re-sort.
+	for _, p := range e.procsByID() {
 		if p.finished {
 			continue
 		}
@@ -115,7 +115,6 @@ func (e *Engine) buildDeadlockError() *DeadlockError {
 		}
 		de.Waits = append(de.Waits, w)
 	}
-	sort.Slice(de.Waits, func(i, j int) bool { return de.Waits[i].PID < de.Waits[j].PID })
 	de.Cycle = findWaitCycle(de.Waits)
 	return de
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -247,11 +248,25 @@ func (e *Engine) blockedCount() int {
 	return n
 }
 
+// procsByID returns the live process table in ascending PID order. Every
+// loop whose side effects are order-visible (collecting names, building
+// error reports, tearing goroutines down) iterates through this instead of
+// ranging the map directly, so runs stay bit-identical.
+func (e *Engine) procsByID() []*Proc {
+	out := make([]*Proc, 0, len(e.procs))
+	for _, p := range e.procs {
+		out = append(out, p)
+	}
+	//popcornvet:allow detorder PIDs are allocated uniquely, so the single key is total
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
 // BlockedProcs returns the names of non-daemon processes that are alive but
-// blocked.
+// blocked, in PID order.
 func (e *Engine) BlockedProcs() []string {
 	var names []string
-	for _, p := range e.procs {
+	for _, p := range e.procsByID() {
 		if !p.finished && !p.daemon {
 			names = append(names, p.name)
 		}
@@ -266,7 +281,7 @@ func (e *Engine) Close() {
 		return
 	}
 	e.closed = true
-	for _, p := range e.procs {
+	for _, p := range e.procsByID() {
 		if p.finished {
 			continue
 		}

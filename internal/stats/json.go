@@ -1,0 +1,47 @@
+package stats
+
+import "encoding/json"
+
+// jsonTable is Table's wire form: a tagged object so consumers can
+// distinguish tables from series without guessing at fields.
+type jsonTable struct {
+	Kind    string     `json:"kind"`
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// MarshalJSON renders the table as {kind:"table", title, headers, rows}.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(jsonTable{Kind: "table", Title: t.Title, Headers: t.Headers, Rows: rows})
+}
+
+type jsonSeriesLine struct {
+	Name string    `json:"name"`
+	Ys   []float64 `json:"ys"`
+}
+
+type jsonSeries struct {
+	Kind   string           `json:"kind"`
+	Title  string           `json:"title"`
+	XLabel string           `json:"xlabel"`
+	YLabel string           `json:"ylabel"`
+	X      []float64        `json:"x"`
+	Lines  []jsonSeriesLine `json:"lines"`
+}
+
+// MarshalJSON renders the series as {kind:"series", title, axes, x, lines}.
+func (s *Series) MarshalJSON() ([]byte, error) {
+	lines := make([]jsonSeriesLine, 0, len(s.lines))
+	for _, l := range s.lines {
+		lines = append(lines, jsonSeriesLine{Name: l.name, Ys: l.ys})
+	}
+	return json.Marshal(jsonSeries{
+		Kind: "series", Title: s.Title, XLabel: s.XLabel, YLabel: s.YLabel,
+		X: s.X, Lines: lines,
+	})
+}

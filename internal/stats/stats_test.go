@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -246,5 +247,31 @@ func TestSeriesCSV(t *testing.T) {
 	want := "threads,a,b\n1,10,1.5\n2,20,2.5\n"
 	if sb.String() != want {
 		t.Fatalf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tb := NewTable("tbl", "name", "value")
+	tb.AddRow("a", "1")
+	b, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"kind":"table","title":"tbl","headers":["name","value"],"rows":[["a","1"]]}`
+	if string(b) != want {
+		t.Fatalf("JSON = %s, want %s", b, want)
+	}
+}
+
+func TestSeriesJSON(t *testing.T) {
+	s := NewSeries("fig", "threads", "ops", 1, 2)
+	_ = s.AddLine("a", []float64{10, 20})
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"kind":"series","title":"fig","xlabel":"threads","ylabel":"ops","x":[1,2],"lines":[{"name":"a","ys":[10,20]}]}`
+	if string(b) != want {
+		t.Fatalf("JSON = %s, want %s", b, want)
 	}
 }

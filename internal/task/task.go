@@ -43,6 +43,9 @@ const (
 	StateRecovered
 )
 
+// stateNames is populated once by this literal and only ever read.
+//
+//popcornvet:allow sharedmut immutable after package init; concurrent reads are safe
 var stateNames = map[State]string{
 	StateNew:       "new",
 	StateRunnable:  "runnable",
@@ -75,6 +78,9 @@ const (
 	RoleDummy
 )
 
+// roleNames is populated once by this literal and only ever read.
+//
+//popcornvet:allow sharedmut immutable after package init; concurrent reads are safe
 var roleNames = map[Role]string{
 	RoleNormal: "normal",
 	RoleShadow: "shadow",

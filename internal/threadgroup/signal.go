@@ -2,6 +2,7 @@ package threadgroup
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/msg"
 	"repro/internal/sim"
@@ -98,11 +99,7 @@ func membersSorted(g *group) []task.ID {
 	for id := range g.members {
 		ids = append(ids, id)
 	}
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 

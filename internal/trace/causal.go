@@ -42,6 +42,9 @@ func BuildOps(spans []Span) []*OpNode {
 			roots = append(roots, n)
 		}
 	}
+	// Each iteration sorts only its own node's child list; no ordering
+	// crosses iterations, so map order cannot reach the output.
+	//popcornvet:allow detorder per-node child sort is independent of visit order
 	for _, n := range nodes {
 		sort.Slice(n.Children, func(i, j int) bool {
 			if n.Children[i].Begin != n.Children[j].Begin {

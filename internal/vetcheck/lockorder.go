@@ -32,7 +32,7 @@ func (LockOrder) Name() string { return "lockorder" }
 
 // Check implements Analyzer.
 func (LockOrder) Check(t *Tree) []Finding {
-	r := newAcquireResolver(t)
+	r := newAcquireResolver(t.calls())
 	var edges []orderEdge
 	for _, pkg := range t.Pkgs {
 		for _, file := range pkg.Files {
@@ -63,47 +63,33 @@ type orderEdge struct {
 }
 
 // acquireResolver computes, per package-local function name, the set of
-// lock classes its body may (transitively) acquire.
+// lock classes its body may (transitively) acquire. Function declarations
+// come from the Tree's shared call index (reach.go).
 type acquireResolver struct {
-	decls    map[string]map[string][]*ast.BlockStmt // pkg -> func -> bodies
-	acquires map[string]map[string]map[string]bool  // pkg -> func -> classes
+	ci       *callIndex
+	acquires map[string]map[string]map[string]bool // pkg -> func -> classes
 }
 
-func newAcquireResolver(t *Tree) *acquireResolver {
+func newAcquireResolver(ci *callIndex) *acquireResolver {
 	r := &acquireResolver{
-		decls:    make(map[string]map[string][]*ast.BlockStmt),
+		ci:       ci,
 		acquires: make(map[string]map[string]map[string]bool),
 	}
-	for _, pkg := range t.Pkgs {
-		for _, file := range pkg.Files {
-			if file.Test {
-				continue
-			}
-			for _, decl := range file.AST.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				if r.decls[pkg.Name] == nil {
-					r.decls[pkg.Name] = make(map[string][]*ast.BlockStmt)
-					r.acquires[pkg.Name] = make(map[string]map[string]bool)
-				}
-				r.decls[pkg.Name][fd.Name.Name] = append(r.decls[pkg.Name][fd.Name.Name], fd.Body)
-			}
-		}
+	for pkgName := range ci.decls {
+		r.acquires[pkgName] = make(map[string]map[string]bool)
 	}
 	for changed := true; changed; {
 		changed = false
-		for pkgName, byName := range r.decls {
-			for name, bodies := range byName {
+		for pkgName, byName := range ci.decls {
+			for name, decls := range byName {
 				set := r.acquires[pkgName][name]
 				if set == nil {
 					set = make(map[string]bool)
 					r.acquires[pkgName][name] = set
 				}
 				before := len(set)
-				for _, body := range bodies {
-					r.collect(pkgName, body, set)
+				for _, fd := range decls {
+					r.collect(pkgName, fd.Body, set)
 				}
 				if len(set) != before {
 					changed = true

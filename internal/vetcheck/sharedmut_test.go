@@ -1,0 +1,139 @@
+package vetcheck
+
+import "testing"
+
+// Positive: a handler-bumped counter, a lookup table read on the dispatch
+// path, and a spawn-callback-written var are all package-level state shared
+// across kernels.
+func TestSharedMutPositives(t *testing.T) {
+	got := findingsFor(t, map[string]string{
+		"internal/futex/f.go": `package futex
+
+import (
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+var opCount int
+
+var opNames = map[int]string{0: "wait"}
+
+var lastWake int64
+
+type Service struct{ ep *msg.Endpoint }
+
+func (s *Service) register(e *sim.Engine) {
+	s.ep.Handle(msg.TypeFutexOp, s.handleOp)
+	e.Spawn("sweeper", func(p *sim.Proc) {
+		lastWake = 1
+	})
+}
+
+func (s *Service) handleOp(p *sim.Proc, m *msg.Message) *msg.Message {
+	opCount++
+	_ = opNames[0]
+	return nil
+}
+`,
+	}, SharedMut{})
+	wantRules(t, got,
+		"package-level mutable var opCount",
+		"package-level mutable var opNames",
+		"package-level mutable var lastWake",
+	)
+}
+
+// Negative: error sentinels, blank interface assertions, and vars no
+// handler path touches need no annotation.
+func TestSharedMutExemptions(t *testing.T) {
+	got := findingsFor(t, map[string]string{
+		"internal/vm/v.go": `package vm
+
+import (
+	"errors"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+var ErrSegv = errors.New("vm: segfault")
+
+var sentinel = errors.New("vm: secondary sentinel")
+
+var _ interface{} = (*Service)(nil)
+
+var setupOnlyTable = map[int]string{}
+
+type Service struct{ ep *msg.Endpoint }
+
+func NewService() *Service {
+	_ = setupOnlyTable[0]
+	return nil
+}
+
+func (s *Service) register() {
+	s.ep.Handle(msg.TypePing, s.handlePing)
+}
+
+func (s *Service) handlePing(p *sim.Proc, m *msg.Message) *msg.Message {
+	return ErrReply(ErrSegv)
+}
+
+func ErrReply(err error) *msg.Message { return nil }
+`,
+	}, SharedMut{})
+	if len(got) != 0 {
+		t.Fatalf("sentinels/blank/untouched vars must pass, got:\n%s", renderFindings(got))
+	}
+}
+
+// Negative: packages outside the kernel-side set keep their globals.
+func TestSharedMutNonKernelSideExempt(t *testing.T) {
+	got := findingsFor(t, map[string]string{
+		"internal/stats/s.go": `package stats
+
+var registry = map[string]int{}
+
+type Registry struct{}
+
+func (r *Registry) Bump(k string) { registry[k]++ }
+`,
+	}, SharedMut{})
+	if len(got) != 0 {
+		t.Fatalf("non-kernel-side packages must be exempt, got:\n%s", renderFindings(got))
+	}
+}
+
+// An allow-directive on the declaration (its doc comment) suppresses the
+// finding for that var only.
+func TestSharedMutAllowOnDecl(t *testing.T) {
+	got := findingsFor(t, map[string]string{
+		"internal/vm/v.go": `package vm
+
+import (
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// opNames maps opcodes to names for error text.
+//
+//popcornvet:allow sharedmut written once at package init, read-only afterwards
+var opNames = map[int]string{0: "wait"}
+
+var opCount int
+
+type Service struct{ ep *msg.Endpoint }
+
+func (s *Service) register() {
+	s.ep.Handle(msg.TypePing, s.handlePing)
+}
+
+func (s *Service) handlePing(p *sim.Proc, m *msg.Message) *msg.Message {
+	opCount++
+	_ = opNames[0]
+	return nil
+}
+`,
+	}, SharedMut{})
+	wantRules(t, got, "package-level mutable var opCount")
+}

@@ -1,0 +1,234 @@
+package vetcheck
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// typeRes is a deliberately small package-local type resolver: enough to
+// decide "is this expression a map?" without go/types. It indexes named
+// types, struct fields and package-level vars, then layers function-local
+// inference (parameters, receivers, := assignments, var decls) on top.
+// Anything it cannot resolve resolves to nil, and callers treat nil as
+// not-a-map: the analyzers under-approximate rather than guess.
+type typeRes struct {
+	named  map[string]ast.Expr            // type name -> underlying type expr
+	fields map[string]map[string]ast.Expr // struct type -> field -> type expr
+	vars   map[string]ast.Expr            // package-level var -> type expr
+}
+
+func newTypeRes(pkg *Package) *typeRes {
+	r := &typeRes{
+		named:  make(map[string]ast.Expr),
+		fields: make(map[string]map[string]ast.Expr),
+		vars:   make(map[string]ast.Expr),
+	}
+	for _, file := range pkg.Files {
+		if file.Test {
+			continue
+		}
+		for _, decl := range file.AST.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					r.named[sp.Name.Name] = sp.Type
+					if st, ok := sp.Type.(*ast.StructType); ok {
+						fm := make(map[string]ast.Expr)
+						for _, f := range st.Fields.List {
+							for _, name := range f.Names {
+								fm[name.Name] = f.Type
+							}
+						}
+						r.fields[sp.Name.Name] = fm
+					}
+				case *ast.ValueSpec:
+					if gd.Tok != token.VAR {
+						continue
+					}
+					for i, name := range sp.Names {
+						if sp.Type != nil {
+							r.vars[name.Name] = sp.Type
+						} else if i < len(sp.Values) {
+							if ty := inferredType(sp.Values[i]); ty != nil {
+								r.vars[name.Name] = ty
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return r
+}
+
+// inferredType guesses a type expression from a value expression:
+// composite literals, make calls, and address-of literals.
+func inferredType(v ast.Expr) ast.Expr {
+	switch e := v.(type) {
+	case *ast.CompositeLit:
+		return e.Type
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if inner := inferredType(e.X); inner != nil {
+				return &ast.StarExpr{X: inner}
+			}
+		}
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" && len(e.Args) >= 1 {
+			return e.Args[0]
+		}
+	}
+	return nil
+}
+
+// localTypes walks one reachable body in source order collecting local
+// variable types: the receiver and parameters (for named functions), var
+// declarations, and := definitions whose right side it can type.
+func (r *typeRes) localTypes(rb reachableBody) map[string]ast.Expr {
+	locals := make(map[string]ast.Expr)
+	if rb.fn != nil {
+		if rb.fn.Recv != nil {
+			for _, f := range rb.fn.Recv.List {
+				for _, name := range f.Names {
+					locals[name.Name] = f.Type
+				}
+			}
+		}
+		if rb.fn.Type.Params != nil {
+			for _, f := range rb.fn.Type.Params.List {
+				for _, name := range f.Names {
+					locals[name.Name] = f.Type
+				}
+			}
+		}
+	}
+	ast.Inspect(rb.body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeclStmt:
+			if gd, ok := st.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for i, name := range vs.Names {
+							if vs.Type != nil {
+								locals[name.Name] = vs.Type
+							} else if i < len(vs.Values) {
+								if ty := r.typeOfValue(vs.Values[i], locals); ty != nil {
+									locals[name.Name] = ty
+								}
+							}
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if st.Tok != token.DEFINE || len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				if ty := r.typeOfValue(st.Rhs[i], locals); ty != nil {
+					locals[id.Name] = ty
+				}
+			}
+		}
+		return true
+	})
+	return locals
+}
+
+// typeOfValue types a value expression: literal inference first, then
+// expression resolution.
+func (r *typeRes) typeOfValue(v ast.Expr, locals map[string]ast.Expr) ast.Expr {
+	if ty := inferredType(v); ty != nil {
+		return ty
+	}
+	return r.typeOf(v, locals)
+}
+
+// typeOf resolves the type expression of e, or nil.
+func (r *typeRes) typeOf(e ast.Expr, locals map[string]ast.Expr) ast.Expr {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if ty, ok := locals[x.Name]; ok {
+			return ty
+		}
+		return r.vars[x.Name]
+	case *ast.ParenExpr:
+		return r.typeOf(x.X, locals)
+	case *ast.SelectorExpr:
+		base := r.typeOf(x.X, locals)
+		if base == nil {
+			return nil
+		}
+		if fm, ok := r.fields[r.typeName(base)]; ok {
+			return fm[x.Sel.Name]
+		}
+		return nil
+	case *ast.StarExpr: // *p value deref
+		base := r.typeOf(x.X, locals)
+		if st, ok := base.(*ast.StarExpr); ok {
+			return st.X
+		}
+		return nil
+	case *ast.IndexExpr:
+		base := r.underlying(r.typeOf(x.X, locals))
+		switch bt := base.(type) {
+		case *ast.MapType:
+			return bt.Value
+		case *ast.ArrayType:
+			return bt.Elt
+		}
+		return nil
+	}
+	return nil
+}
+
+// typeName returns the bare named-type name a type expression refers to
+// (dereferencing pointers), or "".
+func (r *typeRes) typeName(ty ast.Expr) string {
+	for {
+		if st, ok := ty.(*ast.StarExpr); ok {
+			ty = st.X
+			continue
+		}
+		break
+	}
+	if id, ok := ty.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// underlying chases named types and pointers to a structural type expr.
+func (r *typeRes) underlying(ty ast.Expr) ast.Expr {
+	for i := 0; i < 8 && ty != nil; i++ {
+		switch x := ty.(type) {
+		case *ast.StarExpr:
+			ty = x.X
+		case *ast.Ident:
+			next, ok := r.named[x.Name]
+			if !ok {
+				return ty
+			}
+			ty = next
+		case *ast.ParenExpr:
+			ty = x.X
+		default:
+			return ty
+		}
+	}
+	return ty
+}
+
+// isMap reports whether a resolved type expression is a map.
+func (r *typeRes) isMap(ty ast.Expr) bool {
+	_, ok := r.underlying(ty).(*ast.MapType)
+	return ok
+}

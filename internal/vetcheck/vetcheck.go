@@ -60,6 +60,10 @@ type Package struct {
 type Tree struct {
 	Fset *token.FileSet
 	Pkgs []*Package
+	// callIdx caches the package-local function index shared by the
+	// interprocedural analyzers (lockorder, kernlocal, detorder,
+	// sharedmut); built lazily by calls().
+	callIdx *callIndex
 }
 
 // Analyzer is one pluggable check.
@@ -70,7 +74,22 @@ type Analyzer interface {
 
 // Analyzers returns every built-in analyzer.
 func Analyzers() []Analyzer {
-	return []Analyzer{SimTime{}, MsgProto{}, LockSend{}, LockOrder{}, DirVer{}, DocComment{}}
+	return []Analyzer{
+		SimTime{}, MsgProto{}, LockSend{}, LockOrder{}, DirVer{}, DocComment{},
+		KernLocal{}, DetOrder{}, SharedMut{},
+	}
+}
+
+// knownRules are the rule names an allow-directive may legally name: every
+// analyzer plus the directive meta-rule itself. A directive naming anything
+// else suppresses nothing and is reported, so a typo cannot silently leave
+// a violation live.
+func knownRules() map[string]bool {
+	rules := map[string]bool{"directive": true}
+	for _, a := range Analyzers() {
+		rules[a.Name()] = true
+	}
+	return rules
 }
 
 // managedPackages are the sim-managed package names: code in them executes
@@ -255,18 +274,27 @@ func (ai allowIndex) allowed(rule string, pos token.Position) bool {
 // function's doc comment covers the whole function.
 func collectDirectives(t *Tree) (allowIndex, []Finding) {
 	ai := make(allowIndex)
+	known := knownRules()
 	var bad []Finding
 	for _, pkg := range t.Pkgs {
 		for _, file := range pkg.Files {
 			// Map each doc-comment group to the declaration it documents,
-			// so a directive there can cover the full body.
+			// so a directive there can cover the full body — functions and
+			// var/type/const blocks alike (but never more than one decl:
+			// suppression stays scoped to what the comment documents).
 			docSpan := make(map[*ast.CommentGroup][2]int)
 			for _, decl := range file.AST.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if ok && fd.Doc != nil {
-					docSpan[fd.Doc] = [2]int{
-						t.Fset.Position(fd.Pos()).Line,
-						t.Fset.Position(fd.End()).Line,
+				var doc *ast.CommentGroup
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					doc = d.Doc
+				case *ast.GenDecl:
+					doc = d.Doc
+				}
+				if doc != nil {
+					docSpan[doc] = [2]int{
+						t.Fset.Position(decl.Pos()).Line,
+						t.Fset.Position(decl.End()).Line,
 					}
 				}
 			}
@@ -290,6 +318,15 @@ func collectDirectives(t *Tree) (allowIndex, []Finding) {
 						continue
 					}
 					rule := fields[0]
+					if !known[rule] {
+						bad = append(bad, Finding{
+							Pos:  pos,
+							Rule: "directive",
+							Message: fmt.Sprintf("//popcornvet:allow names unknown analyzer %q; "+
+								"a misspelled rule suppresses nothing", rule),
+						})
+						continue
+					}
 					from := pos.Line
 					to := t.Fset.Position(c.End()).Line + 1
 					if span, ok := docSpan[cg]; ok {

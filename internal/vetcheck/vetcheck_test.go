@@ -94,6 +94,83 @@ func f() {
 	}
 }
 
+func TestUnknownAnalyzerNameInDirectiveIsAFinding(t *testing.T) {
+	// A typoed rule name would otherwise suppress nothing while looking like
+	// a justified exception; the directive itself must be reported and the
+	// real finding must survive.
+	got := findingsFor(t, map[string]string{
+		"internal/kernel/a.go": `package kernel
+
+import "time"
+
+func f() {
+	//popcornvet:allow simtmie transposed letters in the rule name
+	_ = time.Now()
+}
+`,
+	}, SimTime{})
+	if len(got) != 2 {
+		t.Fatalf("want the directive finding plus the live violation, got:\n%s", renderFindings(got))
+	}
+	if got[0].Rule != "directive" || !strings.Contains(got[0].Message, `"simtmie"`) {
+		t.Errorf("first finding = %v, want unknown-analyzer directive report", got[0])
+	}
+	if got[1].Rule != "simtime" {
+		t.Errorf("second finding = %v, want the undressed simtime violation", got[1])
+	}
+}
+
+func TestDirectiveKnowsEveryShippedAnalyzer(t *testing.T) {
+	// Every analyzer name must be accepted in a directive — a new analyzer
+	// whose name is missing from knownRules would make its own escape hatch
+	// unusable.
+	known := knownRules()
+	for _, a := range Analyzers() {
+		if !known[a.Name()] {
+			t.Errorf("knownRules() is missing analyzer %q", a.Name())
+		}
+	}
+	for _, name := range []string{"kernlocal", "detorder", "sharedmut"} {
+		if !known[name] {
+			t.Errorf("knownRules() is missing the parallel-safety analyzer %q", name)
+		}
+	}
+}
+
+func TestDirectiveInVarDocScopedToThatDeclOnly(t *testing.T) {
+	// A directive in one var's doc comment must not leak to the next
+	// declaration in the file: decl scoping, not file scoping.
+	got := findingsFor(t, map[string]string{
+		"internal/vm/a.go": `package vm
+
+import (
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// table is written once at init.
+//
+//popcornvet:allow sharedmut read-only after package init
+var table = map[int]string{}
+
+var counter int
+
+type Service struct{ ep *msg.Endpoint }
+
+func (s *Service) register() {
+	s.ep.Handle(msg.TypePing, s.handlePing)
+}
+
+func (s *Service) handlePing(p *sim.Proc, m *msg.Message) *msg.Message {
+	_ = table[0]
+	counter++
+	return nil
+}
+`,
+	}, SharedMut{})
+	wantRules(t, got, "package-level mutable var counter")
+}
+
 func TestManagedSet(t *testing.T) {
 	for _, name := range []string{"sim", "msg", "kernel", "vm", "threadgroup", "futex", "sched", "task", "workload", "smp", "multikernel", "osi"} {
 		if !Managed(name) {
@@ -107,15 +184,26 @@ func TestManagedSet(t *testing.T) {
 	}
 }
 
-// TestShippedTreeIsClean is the repo's own gate: the analyzers must pass
+// TestShippedTreeIsClean is the repo's own gate: the analyzers — including
+// the parallel-safety suite (kernlocal, detorder, sharedmut) — must pass
 // over the real source tree, so a regression fails `go test` even when
 // nobody runs the CLI.
 func TestShippedTreeIsClean(t *testing.T) {
+	analyzers := Analyzers()
+	names := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		names[a.Name()] = true
+	}
+	for _, want := range []string{"kernlocal", "detorder", "sharedmut"} {
+		if !names[want] {
+			t.Fatalf("Analyzers() is missing %q; the shipped-tree gate would silently weaken", want)
+		}
+	}
 	tree, err := Load([]string{"../..", "../../cmd", "../../examples"}[:1])
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}
-	if got := Run(tree, Analyzers()); len(got) != 0 {
+	if got := Run(tree, analyzers); len(got) != 0 {
 		t.Fatalf("popcornvet findings on the shipped tree:\n%s", renderFindings(got))
 	}
 }

@@ -1,6 +1,8 @@
 package vm
 
 import (
+	"sort"
+
 	"repro/internal/hw"
 	"repro/internal/mem"
 	"repro/internal/msg"
@@ -181,10 +183,6 @@ func nodeSet(m map[msg.NodeID]struct{}, skip msg.NodeID) []msg.NodeID {
 		}
 	}
 	// Deterministic order for reproducible schedules.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

@@ -148,7 +148,8 @@ type Service struct {
 	fabric  *msg.Fabric
 	node    msg.NodeID
 	ep      *msg.Endpoint
-	frames  FrameSource
+	frames FrameSource
+	//popcornvet:allow kernlocal commutative counters; per-kernel shards merged at pause under the parallel engine
 	metrics *stats.Registry
 	spaces  map[GID]*Space
 	// localCores is how many cores this kernel drives; TLB shootdowns on a
@@ -157,6 +158,7 @@ type Service struct {
 
 	// checker, when attached, shadows every grant, revoke and access this
 	// kernel performs; nil costs one comparison per hook.
+	//popcornvet:allow kernlocal the cross-kernel invariant observer by design; moves to the serialised merge step
 	checker *sanitize.Checker
 	// injectSkipRevoke deliberately breaks the protocol for sanitizer
 	// tests: invalidations destined for skipRevokeTarget are silently
