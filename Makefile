@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet govet popcornvet vet-json popcornmc soak test bench trace-demo
+.PHONY: verify build vet govet popcornvet vet-json allowlist escapes escapes-baseline bench-compare popcornmc soak test bench trace-demo
 
-verify: build vet test popcornmc soak trace-demo
+verify: build vet escapes test popcornmc soak trace-demo
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,30 @@ popcornvet:
 # gate fails so the artifact always reflects the run.
 vet-json:
 	$(GO) run ./cmd/popcornvet -json ./... > popcornvet.json
+
+# Inventory of every justified //popcornvet:allow waiver, uploaded next to
+# the findings artifact so the accepted-exception population is reviewable.
+allowlist:
+	$(GO) run ./cmd/popcornvet -allowlist . > popcornvet-allowlist.json
+
+# Escape-baseline gate (DESIGN.md §12): compare the compiler's hot-path heap
+# escapes (`go build -gcflags=-m` over internal/sim, internal/msg,
+# internal/trace) against the checked-in ESCAPES.json. Fails on any new or
+# grown escape; after a deliberate change, regenerate with escapes-baseline
+# and commit the diff.
+escapes:
+	$(GO) run ./cmd/popcornvet -escapes .
+
+escapes-baseline:
+	$(GO) run ./cmd/popcornvet -escapes -write .
+
+# Perf regression gate: regenerate a fresh full-scale snapshot and compare
+# per-experiment gen_ns against the last checked-in snapshot (>10% and
+# >10ms worse fails). Override BENCH_BASE when re-anchoring.
+BENCH_BASE ?= BENCH_6.json
+bench-compare:
+	$(GO) run ./cmd/benchtable -scale full -json /tmp/bench_current.json > /dev/null
+	$(GO) run ./cmd/benchtable -compare $(BENCH_BASE) /tmp/bench_current.json
 
 # Schedule exploration with the coherence sanitizer attached; see DESIGN.md §7.
 # The -faults sweeps layer the fault plan (drop/dup/delay everywhere, kernel

@@ -6,11 +6,18 @@
 // Usage:
 //
 //	benchtable [-scale quick|full] [-exp all|T1,F4,...] [-list] [-trace] [-traceout DIR] [-json FILE]
+//	benchtable -compare OLD.json NEW.json
 //
 // With -json FILE, a machine-readable snapshot of every selected experiment
 // — id, title, host generation nanoseconds, and the structured table/series
 // data — is written to FILE; checked in per PR as BENCH_<n>.json, it gives
 // the perf trajectory a diffable history.
+//
+// With -compare, two such snapshots are diffed as a regression gate: an
+// experiment whose gen_ns grew more than 10% over the old snapshot (and by
+// more than an absolute noise floor of 10ms, so sub-millisecond experiments
+// cannot trip on scheduler jitter) fails the run with exit 1. CI runs it as
+// `make bench-compare` against the previous PR's checked-in snapshot.
 //
 // With -trace, experiments that support causal tracing (T1, T2, F2) run with
 // a span collector attached and print a critical-path attribution table per
@@ -25,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -63,7 +71,16 @@ func main() {
 	traceFlag := flag.Bool("trace", false, "attach the causal tracer and print critical-path attribution tables")
 	traceDir := flag.String("traceout", "", "with -trace, write Chrome trace_event JSON per experiment into this directory")
 	jsonOut := flag.String("json", "", "also write a machine-readable snapshot of every selected experiment to this file")
+	compareFlag := flag.Bool("compare", false, "compare two -json snapshots (OLD NEW) and fail on gen_ns regressions")
 	flag.Parse()
+
+	if *compareFlag {
+		if flag.NArg() != 2 {
+			fmt.Fprintf(os.Stderr, "benchtable: -compare needs exactly two snapshot files (old new)\n")
+			os.Exit(2)
+		}
+		os.Exit(compareSnapshots(flag.Arg(0), flag.Arg(1)))
+	}
 
 	if *listFlag {
 		for _, e := range bench.Experiments() {
@@ -152,6 +169,85 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// Regression thresholds for -compare: both must be exceeded to fail, so a
+// real slowdown (relative) on a measurable experiment (absolute) is what
+// trips the gate, not wall-clock jitter on a 2ms run.
+const (
+	regressRatio = 1.10
+	regressFloor = 10 * time.Millisecond
+)
+
+// compareSnapshots diffs two -json snapshots by experiment ID and returns
+// the process exit code: 1 when any experiment regressed, else 0.
+func compareSnapshots(oldPath, newPath string) int {
+	oldSnap, err := readSnapshot(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtable: %v\n", err)
+		return 2
+	}
+	newSnap, err := readSnapshot(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtable: %v\n", err)
+		return 2
+	}
+	if oldSnap.Scale != newSnap.Scale {
+		fmt.Fprintf(os.Stderr, "benchtable: scale mismatch: %s is %q, %s is %q — not comparable\n",
+			oldPath, oldSnap.Scale, newPath, newSnap.Scale)
+		return 2
+	}
+	oldByID := make(map[string]jsonExperiment, len(oldSnap.Experiments))
+	for _, e := range oldSnap.Experiments {
+		oldByID[e.ID] = e
+	}
+	regressed := 0
+	seen := make(map[string]bool, len(newSnap.Experiments))
+	for _, e := range newSnap.Experiments {
+		seen[e.ID] = true
+		base, ok := oldByID[e.ID]
+		if !ok {
+			fmt.Printf("%-4s %12s -> %12v  (new experiment, no baseline)\n",
+				e.ID, "-", time.Duration(e.GenNS).Round(time.Millisecond))
+			continue
+		}
+		delta := float64(e.GenNS)/float64(base.GenNS) - 1
+		verdict := "ok"
+		if float64(e.GenNS) > float64(base.GenNS)*regressRatio && e.GenNS-base.GenNS > int64(regressFloor) {
+			verdict = "REGRESSED"
+			regressed++
+		}
+		fmt.Printf("%-4s %12v -> %12v  %+6.1f%%  %s\n",
+			e.ID,
+			time.Duration(base.GenNS).Round(time.Millisecond),
+			time.Duration(e.GenNS).Round(time.Millisecond),
+			delta*100, verdict)
+	}
+	for _, e := range oldSnap.Experiments {
+		if !seen[e.ID] {
+			fmt.Printf("%-4s dropped from the new snapshot\n", e.ID)
+		}
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchtable: %d experiment(s) regressed >%d%% (and >%v absolute) vs %s\n",
+			regressed, int(math.Round((regressRatio-1)*100)), regressFloor, oldPath)
+		return 1
+	}
+	fmt.Printf("benchtable: no experiment regressed >%d%% vs %s\n", int(math.Round((regressRatio-1)*100)), oldPath)
+	return 0
+}
+
+// readSnapshot loads one -json snapshot file.
+func readSnapshot(path string) (*jsonSnapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap jsonSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return &snap, nil
 }
 
 // writeSnapshot writes the machine-readable run snapshot as indented JSON.

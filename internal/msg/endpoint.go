@@ -14,11 +14,18 @@ type Endpoint struct {
 	f    *Fabric
 	node NodeID
 
-	queue      []*Message
-	hasWork    *sim.Cond
-	handlers   map[Type]Handler
-	pending    map[uint64]*call
-	dispatcher *sim.Proc
+	// queue[qhead:] is the inbound backlog; the dispatcher advances qhead
+	// instead of reslicing and resets both once drained, so the backing
+	// array is reused across bursts.
+	queue    []*Message
+	qhead    int
+	hasWork  *sim.Cond
+	handlers map[Type]Handler
+	// handlerNames holds the dispatcher's per-type handler process names,
+	// formatted once at registration instead of per message.
+	handlerNames map[Type]string
+	pending      map[uint64]*call
+	dispatcher   *sim.Proc
 
 	// procs tracks every process this endpoint spawned (handlers, multicast
 	// workers, failure detection) so a kernel crash can halt all of them.
@@ -83,12 +90,13 @@ type dedupEntry struct {
 
 func newEndpoint(f *Fabric, node NodeID) *Endpoint {
 	ep := &Endpoint{
-		f:        f,
-		node:     node,
-		hasWork:  sim.NewCond(),
-		handlers: make(map[Type]Handler),
-		pending:  make(map[uint64]*call),
-		procs:    make(map[int64]*sim.Proc),
+		f:            f,
+		node:         node,
+		hasWork:      sim.NewCond(),
+		handlers:     make(map[Type]Handler),
+		handlerNames: make(map[Type]string),
+		pending:      make(map[uint64]*call),
+		procs:        make(map[int64]*sim.Proc),
 	}
 	ep.dispatcher = f.e.SpawnDaemon(fmt.Sprintf("msg-dispatch-%d", node), ep.dispatch)
 	return ep
@@ -117,6 +125,7 @@ func (ep *Endpoint) Handle(t Type, h Handler) {
 		panic(fmt.Sprintf("msg: duplicate handler for %v on node %d", t, ep.node))
 	}
 	ep.handlers[t] = h
+	ep.handlerNames[t] = fmt.Sprintf("msg-handler-%d-%v", ep.node, t)
 }
 
 // Handles reports whether a handler is registered for t. Exhaustiveness
@@ -136,6 +145,8 @@ func (ep *Endpoint) Suspects(n NodeID) bool { return ep.suspects[n] }
 // spawnTracked spawns fn as an endpoint-owned process: it is registered
 // with the endpoint for its lifetime so crashNode can halt it. The registry
 // is plain map bookkeeping (no events, no RNG), so tracking is always on.
+//
+//popcornvet:allow hotalloc the tracking wrapper closure is part of the per-process spawn cost the alloc guards already budget
 func (ep *Endpoint) spawnTracked(name string, fn func(p *sim.Proc)) *sim.Proc {
 	pr := ep.f.e.Spawn(name, func(p *sim.Proc) {
 		defer delete(ep.procs, p.ID())
@@ -159,20 +170,27 @@ func (ep *Endpoint) beginWireSpan(p *sim.Proc, m *Message) {
 	if m.SpanParent == 0 {
 		m.SpanParent = p.Span()
 	}
-	name := "wire." + m.Type.String()
+	name := wireSpanNames[m.Type]
 	if m.IsReply {
-		name += ".reply"
+		name = wireReplySpanNames[m.Type]
 	}
 	m.Span = uint64(col.StartAt(name, int(ep.node), trace.SpanID(m.SpanParent), p.Now()))
 }
 
 // Send transmits m asynchronously (fire-and-forget): the caller is charged
 // only the sender-side ring cost. m.From is set to this endpoint's node.
+//
+//popcornvet:hotpath
 func (ep *Endpoint) Send(p *sim.Proc, m *Message) {
 	ep.prepare(m)
 	ep.beginWireSpan(p, m)
 	ep.f.metrics.Counter("msg.sent").Inc()
-	ep.f.traceEvent("msg.send", m.From, "%v to k%d seq=%d size=%d reply=%v", m.Type, m.To, m.Seq, m.Size, m.IsReply)
+	// The nil check lives at the call site, not just inside traceEvent: the
+	// variadic ...any arguments box before the callee can decline them, so
+	// a detached tracer must skip the call entirely to stay allocation-free.
+	if ep.f.tracer != nil {
+		ep.f.traceEvent("msg.send", m.From, "%v to k%d seq=%d size=%d reply=%v", m.Type, m.To, m.Seq, m.Size, m.IsReply)
+	}
 	if o := ep.f.observer; o != nil {
 		o.MsgSent(p, m)
 	}
@@ -214,7 +232,7 @@ func (ep *Endpoint) Call(p *sim.Proc, m *Message) (*Message, error) {
 	// via the deferred Scope on every exit path.
 	var rpcSpan trace.Scope
 	if col := ep.f.collector; col != nil {
-		rpcSpan = col.Begin(p, "rpc."+m.Type.String(), int(ep.node))
+		rpcSpan = col.Begin(p, rpcSpanNames[m.Type], int(ep.node))
 	}
 	defer rpcSpan.End()
 	ep.beginWireSpan(p, m)
@@ -311,6 +329,7 @@ func (ep *Endpoint) callHardened(p *sim.Proc, m *Message, c *call, start sim.Tim
 // stay fenceable, and at-most-once dedup holds across incarnations.
 func (ep *Endpoint) prepare(m *Message) {
 	if int(m.To) < 0 || int(m.To) >= len(ep.f.endpoints) {
+		//popcornvet:allow hotalloc fatal misuse path; the panic ends the run
 		panic(fmt.Sprintf("msg: send to unknown node %d", m.To))
 	}
 	if m.Type == TypeInvalid {
@@ -336,6 +355,7 @@ func (ep *Endpoint) prepare(m *Message) {
 // peer's queue, and the parallel engine's merge point.
 //
 //popcornvet:allow kernlocal the serialised delivery step itself; runs in the parallel engine's merge phase
+//popcornvet:hotpath
 func (f *Fabric) deliver(m *Message) {
 	dst := f.endpoints[m.To]
 	if f.plan != nil {
@@ -356,7 +376,11 @@ func (f *Fabric) deliver(m *Message) {
 		}
 		dst.lastHeard[m.From] = f.e.Now()
 		if m.Type == TypeHeartbeat {
+			// The consume point — and, because heartbeats are never queued,
+			// duplicated, or retried, the one safe place to release the
+			// fabric-owned object back to its pool.
 			f.metrics.Counter("msg.heartbeat.recv").Inc()
+			f.releaseMsg(m)
 			return
 		}
 	}
@@ -366,9 +390,14 @@ func (f *Fabric) deliver(m *Message) {
 		// which is exactly how a trace shows a lost leg.
 		f.collector.EndAt(trace.SpanID(m.Span), f.e.Now())
 	}
-	f.traceEvent("msg.deliver", m.To, "%v from k%d seq=%d size=%d reply=%v", m.Type, m.From, m.Seq, m.Size, m.IsReply)
+	// Call-site nil check: keeps the variadic boxing off the detached path
+	// (see Send).
+	if f.tracer != nil {
+		f.traceEvent("msg.deliver", m.To, "%v from k%d seq=%d size=%d reply=%v", m.Type, m.From, m.Seq, m.Size, m.IsReply)
+	}
+	//popcornvet:allow hotalloc queue growth is amortized; head compaction reuses capacity
 	dst.queue = append(dst.queue, m)
-	depth := uint64(len(dst.queue))
+	depth := uint64(len(dst.queue) - dst.qhead)
 	f.metrics.Counter("msg.delivered").Inc()
 	if g := f.metrics.Counter("msg.queue.maxdepth"); depth > g.Value() {
 		g.Add(depth - g.Value())
@@ -379,13 +408,20 @@ func (f *Fabric) deliver(m *Message) {
 // dispatch is the endpoint's message work queue: it drains the inbound
 // queue in FIFO order, charges receive cost, and runs each handler in its
 // own process so handlers may block without stalling delivery.
+//
+//popcornvet:hotpath
 func (ep *Endpoint) dispatch(p *sim.Proc) {
 	for {
-		for len(ep.queue) == 0 {
+		for ep.qhead >= len(ep.queue) {
 			ep.hasWork.Wait(p)
 		}
-		m := ep.queue[0]
-		ep.queue = ep.queue[1:]
+		m := ep.queue[ep.qhead]
+		ep.queue[ep.qhead] = nil
+		ep.qhead++
+		if ep.qhead == len(ep.queue) {
+			ep.queue = ep.queue[:0]
+			ep.qhead = 0
+		}
 		p.Sleep(ep.f.recvCost(m))
 		if m.IsReply {
 			ep.completeCall(m)
@@ -396,10 +432,12 @@ func (ep *Endpoint) dispatch(p *sim.Proc) {
 		}
 		h, ok := ep.handlers[m.Type]
 		if !ok {
+			//popcornvet:allow hotalloc fatal misuse path; the panic ends the run
 			panic(fmt.Sprintf("msg: node %d has no handler for %v", ep.node, m.Type))
 		}
 		mm := m
-		ep.spawnTracked(fmt.Sprintf("msg-handler-%d-%v", ep.node, m.Type), func(hp *sim.Proc) {
+		//popcornvet:allow hotalloc one handler process per message is the modeled work-queue semantics
+		ep.spawnTracked(ep.handlerNames[m.Type], func(hp *sim.Proc) {
 			if o := ep.f.observer; o != nil {
 				o.MsgDelivered(hp, mm)
 			}
@@ -408,7 +446,7 @@ func (ep *Endpoint) dispatch(p *sim.Proc) {
 				// (carried in the message) — that link is what stitches the
 				// tree across the kernel boundary. It covers the handler body
 				// and, for RPCs, committing the reply to the wire.
-				hs := col.BeginUnder(hp, "handle."+mm.Type.String(), int(ep.node), trace.SpanID(mm.SpanParent))
+				hs := col.BeginUnder(hp, handleSpanNames[mm.Type], int(ep.node), trace.SpanID(mm.SpanParent))
 				defer hs.End()
 			}
 			reply := h(hp, mm)
@@ -446,6 +484,7 @@ func (ep *Endpoint) dedup(p *sim.Proc, m *Message) bool {
 	k := dedupKey{from: m.From, seq: m.Seq}
 	de, dup := ep.seen[k]
 	if !dup {
+		//popcornvet:allow hotalloc one dedup entry per first-seen request is the at-most-once protocol state
 		ep.seen[k] = &dedupEntry{}
 		return false
 	}

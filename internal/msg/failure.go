@@ -207,8 +207,12 @@ func (f *Fabric) fenced(m *Message) bool {
 		return false
 	}
 	f.countLink("msg.fault.fenced", m.From, m.To)
-	f.traceEvent("msg.fenced", m.To, "%v from k%d seq=%d stamped (%d,%d), current (%d,%d)",
-		m.Type, m.From, m.Seq, m.SrcInc, m.DstInc, f.incarnation[m.From], f.incarnation[m.To])
+	// Call-site nil check: keeps the variadic boxing off the detached path
+	// (see Endpoint.Send).
+	if f.tracer != nil {
+		f.traceEvent("msg.fenced", m.To, "%v from k%d seq=%d stamped (%d,%d), current (%d,%d)",
+			m.Type, m.From, m.Seq, m.SrcInc, m.DstInc, f.incarnation[m.From], f.incarnation[m.To])
+	}
 	return true
 }
 
@@ -220,6 +224,8 @@ func (f *Fabric) Crashed(n NodeID) bool { return f.crashed[n] }
 
 // dispatchWire is the fault plane's interception point: every message that
 // leaves a wire in commit order passes through here exactly once.
+//
+//popcornvet:hotpath
 func (f *Fabric) dispatchWire(m *Message) {
 	if f.plan == nil {
 		f.deliver(m)
@@ -228,6 +234,7 @@ func (f *Fabric) dispatchWire(m *Message) {
 	for _, tc := range f.plan.RecordCommit(int(m.Type)) {
 		tc := tc
 		f.traceEvent("msg.crash-armed", NodeID(tc.Node), "kernel %d dies %v after %v commit #%d", tc.Node, tc.After, Type(tc.Type), tc.Nth)
+		//popcornvet:allow hotalloc arming a planned crash happens at most a handful of times per run
 		f.e.Schedule(tc.After, func() {
 			f.crashesDone++
 			f.crashNode(NodeID(tc.Node))
@@ -240,6 +247,11 @@ func (f *Fabric) dispatchWire(m *Message) {
 // delivers, delays, duplicates, or drops it. Delayed and duplicated copies
 // bypass the per-pair FIFO wire — that is the plan's reorder window.
 // Link-layer redeliveries of dropped messages re-enter here and re-roll.
+// The no-fault fast path (deliver) is allocation-free; injected faults may
+// allocate copies and delay closures, which is fine — a fault event is the
+// rare case by construction.
+//
+//popcornvet:allow hotalloc injected-fault branches (dup copy, delay/retry closures) are rare by construction; the deliver fast path is clean
 func (f *Fabric) route(m *Message) {
 	if f.crashed[m.From] || f.crashed[m.To] {
 		f.metrics.Counter("msg.fault.dead-link").Inc()
@@ -309,6 +321,7 @@ func (f *Fabric) dropMsg(m *Message) {
 	}
 	f.countLink("msg.fault.redeliver", m.From, m.To)
 	backoff := f.fcfg.SendRetryEvery * time.Duration(m.attempts)
+	//popcornvet:allow hotalloc retry closures exist only for injected drops, rare by construction
 	f.e.Schedule(backoff, func() {
 		if !f.crashed[m.From] && !f.crashed[m.To] {
 			f.route(m)
@@ -319,9 +332,11 @@ func (f *Fabric) dropMsg(m *Message) {
 // crashNode kills kernel n: its endpoint goes dark, queued and in-flight
 // messages vanish, and every process it hosts (dispatcher, handlers,
 // heartbeats, multicast workers) halts. Runs in engine context — fabric
-// fault-plane code, serialised with delivery.
+// fault-plane code, serialised with delivery. It fires once per injected
+// crash, so it may allocate freely.
 //
 //popcornvet:allow kernlocal fault-plane kill switch; engine-context, serialised with delivery
+//popcornvet:coldpath
 func (f *Fabric) crashNode(n NodeID) {
 	ep := f.endpoints[int(n)]
 	if ep.dead {
@@ -331,7 +346,7 @@ func (f *Fabric) crashNode(n NodeID) {
 	f.crashed[n] = true
 	f.metrics.Counter("msg.fault.crash").Inc()
 	f.traceEvent("msg.crash", n, "kernel %d crashed", n)
-	ep.queue = nil
+	ep.queue, ep.qhead = nil, 0
 	for k := range f.wires {
 		if k.from == n || k.to == n {
 			delete(f.wires, k)
@@ -400,7 +415,7 @@ func (f *Fabric) healNode(n NodeID) {
 	// replaced because the killed dispatcher may still sit in its waiter
 	// list, where it would silently consume a wakeup meant for its
 	// replacement.
-	ep.queue = nil
+	ep.queue, ep.qhead = nil, 0
 	ep.pending = make(map[uint64]*call)
 	ep.seen = make(map[dedupKey]*dedupEntry)
 	ep.hasWork = sim.NewCond()
@@ -570,7 +585,10 @@ func (f *Fabric) resetSilence(at, peer NodeID, now sim.Time) {
 // pending RPC aimed at it and run the OS degradation hook in a dedicated
 // process. Each surviving kernel reaches its own declaration from its own
 // detector — there is no global failure oracle, matching the paper's
-// share-nothing design.
+// share-nothing design. It fires once per (survivor, dead peer) pair, so it
+// may allocate freely.
+//
+//popcornvet:coldpath
 func (f *Fabric) declareDead(ep *Endpoint, dead NodeID) {
 	if ep.declaredDead[dead] {
 		return
@@ -606,7 +624,12 @@ func (f *Fabric) declareDead(ep *Endpoint, dead NodeID) {
 // startFailureDetection spawns kernel ep's heartbeat sender and failure
 // detector. Both are ordinary (non-daemon) processes that exit once the
 // plan's crashes have all happened and every survivor has declared them,
-// so a fault run still quiesces.
+// so a fault run still quiesces. It runs once per kernel lifetime (boot and
+// each reboot), so the spawn-time allocations are off the hot path; the
+// probe loop inside stays clean because the sends go through the pooled
+// allocMsg/reserve/commit hot functions.
+//
+//popcornvet:coldpath
 func (f *Fabric) startFailureDetection(ep *Endpoint) {
 	cfg := f.fcfg
 	ep.spawnTracked(fmt.Sprintf("msg-heartbeat-%d", ep.node), func(p *sim.Proc) {
@@ -620,7 +643,15 @@ func (f *Fabric) startFailureDetection(ep *Endpoint) {
 				if to == ep.node || ep.dead || ep.declaredDead[to] {
 					continue
 				}
-				hb := &Message{Type: TypeHeartbeat, To: to, Size: 16}
+				// Heartbeats are fabric-owned and pooled: deliver releases
+				// them at its consume point, so the steady probe traffic of a
+				// failure window recycles a handful of objects. Copies the
+				// fault plane eats (partition, dead link, fence) simply fall
+				// out of the pool.
+				hb := f.allocMsg()
+				hb.Type = TypeHeartbeat
+				hb.To = to
+				hb.Size = 16
 				ep.prepare(hb)
 				f.metrics.Counter("msg.heartbeat.sent").Inc()
 				entry := f.reserve(hb)
@@ -694,7 +725,27 @@ func (f *Fabric) settled() bool {
 	return true
 }
 
+// linkKey identifies one per-link metric: a counter family name qualified by
+// the directed kernel pair.
+type linkKey struct {
+	name     string
+	from, to NodeID
+}
+
+// countLink bumps a fault-plane counter both machine-wide and per directed
+// link. The per-link counter is derived (with Sprintf) only on its first
+// occurrence and cached after, so fault-heavy runs don't format a metric key
+// per event.
+//
+//popcornvet:hotpath
 func (f *Fabric) countLink(name string, from, to NodeID) {
 	f.metrics.Counter(name).Inc()
-	f.metrics.Counter(fmt.Sprintf("%s.k%d-k%d", name, from, to)).Inc()
+	k := linkKey{name: name, from: from, to: to}
+	c, ok := f.linkCounters[k]
+	if !ok {
+		//popcornvet:allow hotalloc first occurrence of a per-link metric; cached thereafter
+		c = f.metrics.Counter(fmt.Sprintf("%s.k%d-k%d", name, from, to))
+		f.linkCounters[k] = c
+	}
+	c.Inc()
 }

@@ -132,6 +132,28 @@ func (t Type) String() string {
 	return fmt.Sprintf("msg.Type(%d)", int(t))
 }
 
+// Span and trace names are derived from the type names once at package init,
+// so the per-message paths index an array instead of concatenating strings.
+// All four tables are written only by init below and read-only after.
+//
+//popcornvet:allow sharedmut immutable after package init; concurrent reads are safe
+var (
+	wireSpanNames      [numTypes]string
+	wireReplySpanNames [numTypes]string
+	rpcSpanNames       [numTypes]string
+	handleSpanNames    [numTypes]string
+)
+
+func init() {
+	for t := TypeInvalid + 1; t < numTypes; t++ {
+		n := t.String()
+		wireSpanNames[t] = "wire." + n
+		wireReplySpanNames[t] = "wire." + n + ".reply"
+		rpcSpanNames[t] = "rpc." + n
+		handleSpanNames[t] = "handle." + n
+	}
+}
+
 // Message is one inter-kernel message. Size is the serialised payload size
 // in bytes and drives the fragmentation cost; Payload carries the typed
 // protocol body (the simulation passes pointers rather than serialising).
@@ -182,6 +204,12 @@ type Message struct {
 	// instead rely on the caller's timeout/retransmit loop.
 	attempts int
 }
+
+// reset returns the message to its zero state before pooled reuse. It must
+// clear every field — a survivor would leak one message's identity or
+// payload into an unrelated later one; TestMessageResetZeroesEveryField
+// enforces this exhaustively by reflection.
+func (m *Message) reset() { *m = Message{} }
 
 // Handler processes one received message on the destination kernel. It runs
 // in its own simulated process and may block on simulator primitives. A
@@ -258,6 +286,15 @@ type Fabric struct {
 	// observer, when attached, sees the happens-before edges messages carry.
 	observer Observer
 
+	// entryFree recycles wireEntry objects between reserve and commit;
+	// msgFree recycles fabric-owned Messages (heartbeats). Both are plain
+	// LIFO slices, engine-ordered and deterministic — never sync.Pool.
+	entryFree []*wireEntry
+	msgFree   []*Message
+	// linkCounters caches the per-link metric counters countLink would
+	// otherwise re-derive with Sprintf on every fault-plane event.
+	linkCounters map[linkKey]*stats.Counter
+
 	// plan, when attached via EnableFaults, intercepts every wire commit;
 	// nil means a perfectly reliable fabric and costs one pointer check per
 	// message (the sanitizer's detached pattern). The remaining fields are
@@ -306,6 +343,11 @@ type Observer interface {
 // only a nil-check per message when detached.
 func (f *Fabric) SetObserver(o Observer) { f.observer = o }
 
+// traceEvent records one wire/fault-plane event into the attached ring.
+// Detached — the benchmark configuration — it costs one nil check; the
+// Sprintf runs only when a human asked for a timeline.
+//
+//popcornvet:allow hotalloc renders only with a tracer attached; tracing is explicitly outside the zero-alloc contract
 func (f *Fabric) traceEvent(kind string, node NodeID, format string, args ...any) {
 	if f.tracer == nil {
 		return
@@ -315,22 +357,83 @@ func (f *Fabric) traceEvent(kind string, node NodeID, format string, args ...any
 
 type wireKey struct{ from, to NodeID }
 
-type wire struct{ entries []*wireEntry }
+// wire is one directed pair's FIFO ring. entries[head:] are the live
+// reservations; drained prefixes are compacted by resetting head instead of
+// reslicing, so the backing array's capacity is reused forever.
+type wire struct {
+	entries []*wireEntry
+	head    int
+}
 
 type wireEntry struct {
 	m     *Message
 	ready bool
 }
 
+// allocWireEntry takes a reservation record off the free list, or allocates
+// one on a cold miss.
+//
+//popcornvet:hotpath
+func (f *Fabric) allocWireEntry(m *Message) *wireEntry {
+	if n := len(f.entryFree); n > 0 {
+		e := f.entryFree[n-1]
+		f.entryFree[n-1] = nil
+		f.entryFree = f.entryFree[:n-1]
+		e.m = m
+		return e
+	}
+	//popcornvet:allow hotalloc free-list cold miss; steady state recycles
+	return &wireEntry{m: m}
+}
+
+// releaseWireEntry returns a drained reservation to the free list.
+//
+//popcornvet:hotpath
+func (f *Fabric) releaseWireEntry(e *wireEntry) {
+	e.m = nil
+	e.ready = false
+	//popcornvet:allow hotalloc free-list growth is amortized; capacity is retained
+	f.entryFree = append(f.entryFree, e)
+}
+
+// allocMsg takes a fabric-owned Message (heartbeats) off the pool, or
+// allocates one on a cold miss. releaseMsg resets and recycles it; only the
+// fabric itself may release, at the single point it consumes the message.
+//
+//popcornvet:hotpath
+func (f *Fabric) allocMsg() *Message {
+	if n := len(f.msgFree); n > 0 {
+		m := f.msgFree[n-1]
+		f.msgFree[n-1] = nil
+		f.msgFree = f.msgFree[:n-1]
+		return m
+	}
+	//popcornvet:allow hotalloc pool cold miss; steady state recycles
+	return &Message{}
+}
+
+// releaseMsg resets a fabric-owned Message and returns it to the pool.
+//
+//popcornvet:hotpath
+func (f *Fabric) releaseMsg(m *Message) {
+	m.reset()
+	//popcornvet:allow hotalloc pool growth is amortized; capacity is retained
+	f.msgFree = append(f.msgFree, m)
+}
+
 // reserve claims the next ring slot sequence for m on its pair's wire.
+//
+//popcornvet:hotpath
 func (f *Fabric) reserve(m *Message) *wireEntry {
 	k := wireKey{from: m.From, to: m.To}
 	w, ok := f.wires[k]
 	if !ok {
+		//popcornvet:allow hotalloc first contact between a kernel pair; the wire persists
 		w = &wire{}
 		f.wires[k] = w
 	}
-	entry := &wireEntry{m: m}
+	entry := f.allocWireEntry(m)
+	//popcornvet:allow hotalloc ring growth is amortized; head compaction reuses capacity
 	w.entries = append(w.entries, entry)
 	return entry
 }
@@ -341,6 +444,8 @@ func (f *Fabric) reserve(m *Message) *wireEntry {
 // attached. A kernel crash clears its wires, so the entry may no longer be
 // queued; marking it ready is then a no-op and any surviving ready heads
 // still drain.
+//
+//popcornvet:hotpath
 func (f *Fabric) commit(entry *wireEntry) {
 	entry.ready = true
 	k := wireKey{from: entry.m.From, to: entry.m.To}
@@ -348,10 +453,17 @@ func (f *Fabric) commit(entry *wireEntry) {
 	if w == nil {
 		return
 	}
-	for len(w.entries) > 0 && w.entries[0].ready {
-		head := w.entries[0]
-		w.entries = w.entries[1:]
-		f.dispatchWire(head.m)
+	for w.head < len(w.entries) && w.entries[w.head].ready {
+		head := w.entries[w.head]
+		w.entries[w.head] = nil
+		w.head++
+		m := head.m
+		f.releaseWireEntry(head)
+		f.dispatchWire(m)
+	}
+	if w.head == len(w.entries) {
+		w.entries = w.entries[:0]
+		w.head = 0
 	}
 }
 
@@ -372,12 +484,13 @@ func NewFabric(e *sim.Engine, machine *hw.Machine, nodes int, nodeCore []int, cf
 		metrics = stats.NewRegistry()
 	}
 	f := &Fabric{
-		e:        e,
-		machine:  machine,
-		cfg:      cfg,
-		nodeCore: append([]int(nil), nodeCore...),
-		metrics:  metrics,
-		wires:    make(map[wireKey]*wire),
+		e:            e,
+		machine:      machine,
+		cfg:          cfg,
+		nodeCore:     append([]int(nil), nodeCore...),
+		metrics:      metrics,
+		wires:        make(map[wireKey]*wire),
+		linkCounters: make(map[linkKey]*stats.Counter),
 	}
 	f.endpoints = make([]*Endpoint, nodes)
 	for i := 0; i < nodes; i++ {

@@ -98,6 +98,8 @@ func (e *DeadlockError) Error() string {
 // buildDeadlockError assembles the wait-for graph at quiescence. Non-daemon
 // processes always appear; daemons appear only when they block on a lock
 // (a daemon parked on its service condition variable is idle, not stuck).
+//
+//popcornvet:coldpath
 func (e *Engine) buildDeadlockError() *DeadlockError {
 	de := &DeadlockError{At: e.now}
 	// procsByID already yields ascending PIDs, so Waits needs no re-sort.
@@ -188,10 +190,12 @@ func WithInvariantInterval(d time.Duration) Option {
 }
 
 // checkInvariants runs every registered invariant, recording the first
-// failure into the engine.
+// failure into the engine. It sits on the dispatch loop's periodic sweep,
+// but only the (terminal) failure path allocates.
 func (e *Engine) checkInvariants() {
 	for _, inv := range e.invariants {
 		if err := inv.fn(); err != nil {
+			//popcornvet:allow hotalloc invariant-failure path ends the run
 			e.fail(fmt.Errorf("sim: invariant %q violated at %v: %w", inv.name, e.now, err))
 			return
 		}

@@ -46,6 +46,11 @@ type event struct {
 	fn   func()
 	// canceled events stay in the heap but are skipped on pop.
 	canceled bool
+	// gen counts the event object's reincarnations through the engine's
+	// free list. An EventHandle captures the generation at Schedule time, so
+	// a stale handle kept past its event's firing can never cancel the
+	// object's next tenant.
+	gen uint64
 }
 
 // Engine is a deterministic discrete-event simulation engine. The zero value
@@ -69,6 +74,12 @@ type Engine struct {
 	failure   error
 	closed    bool
 	processed uint64
+
+	// free is the engine-owned event free list. Fired and canceled events
+	// are recycled through it (LIFO), so steady-state scheduling allocates
+	// nothing. A plain slice keeps recycling deterministic — sync.Pool
+	// would let wall-clock GC timing decide which objects survive.
+	free []*event
 
 	// invariants are the registered model checks; invInterval > 0 enables
 	// the periodic sweep, nextInvCheck is its high-water mark.
@@ -137,27 +148,66 @@ func (e *Engine) EventsProcessed() uint64 { return e.processed }
 // returns a handle that can cancel the callback before it fires. fn runs in
 // engine context: it must not block on simulator primitives, but it may
 // spawn processes, wake waiters, and schedule further events.
-func (e *Engine) Schedule(d time.Duration, fn func()) *EventHandle {
+//
+//popcornvet:hotpath
+func (e *Engine) Schedule(d time.Duration, fn func()) EventHandle {
 	if d < 0 {
 		d = 0
 	}
-	ev := &event{at: e.now.Add(d), seq: e.nextSeq(), fn: fn}
+	ev := e.allocEvent()
+	ev.at = e.now.Add(d)
+	ev.seq = e.nextSeq()
+	ev.fn = fn
 	if e.shuffle {
 		ev.prio = e.rng.Uint64()
 	} else {
 		ev.prio = ev.seq
 	}
 	e.heap.push(ev)
-	return &EventHandle{ev: ev}
+	return EventHandle{ev: ev, gen: ev.gen}
 }
 
-// EventHandle allows cancelling a scheduled callback.
-type EventHandle struct{ ev *event }
+// allocEvent takes an event object off the free list, or allocates one on a
+// cold miss. The returned event keeps only its gen counter; all scheduling
+// fields are set by the caller.
+//
+//popcornvet:hotpath
+func (e *Engine) allocEvent() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	//popcornvet:allow hotalloc free-list cold miss; steady state recycles
+	return &event{}
+}
+
+// recycle returns a fired or canceled event to the free list, bumping its
+// generation so outstanding handles go stale.
+//
+//popcornvet:hotpath
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.canceled = false
+	//popcornvet:allow hotalloc free-list growth is amortized; capacity is retained
+	e.free = append(e.free, ev)
+}
+
+// EventHandle allows cancelling a scheduled callback. It is a value: copies
+// are equivalent, and the zero handle cancels nothing. A handle goes stale
+// once its event fires or is canceled; Cancel on a stale handle is a safe
+// no-op even after the engine recycles the underlying event object.
+type EventHandle struct {
+	ev  *event
+	gen uint64
+}
 
 // Cancel prevents the callback from firing. It reports whether the callback
 // had not yet fired (and is now guaranteed not to).
-func (h *EventHandle) Cancel() bool {
-	if h == nil || h.ev == nil || h.ev.canceled || h.ev.fn == nil {
+func (h EventHandle) Cancel() bool {
+	if h.ev == nil || h.ev.gen != h.gen || h.ev.canceled || h.ev.fn == nil {
 		return false
 	}
 	h.ev.canceled = true
@@ -173,14 +223,14 @@ func (e *Engine) nextSeq() uint64 {
 // or a process panics. It returns ErrDeadlock if blocked processes remain
 // while the heap is empty, and the panic error if a process failed.
 func (e *Engine) Run() error {
-	return e.run(func() bool { return true })
+	return e.run(0, false)
 }
 
 // RunUntil processes events with timestamps <= t, then advances the clock to
 // t. Events after t remain queued. Unlike Run, processes left blocked at t
 // are not a deadlock: more work may be scheduled before the next RunUntil.
 func (e *Engine) RunUntil(t Time) error {
-	err := e.run(func() bool { return e.heap.peek().at <= t })
+	err := e.run(t, true)
 	if err != nil && !errors.Is(err, ErrDeadlock) {
 		return err
 	}
@@ -193,25 +243,33 @@ func (e *Engine) RunUntil(t Time) error {
 // RunFor processes events for d of virtual time from the current clock.
 func (e *Engine) RunFor(d time.Duration) error { return e.RunUntil(e.now.Add(d)) }
 
-func (e *Engine) run(cond func() bool) error {
+// run is the dispatch loop. With bounded set, it stops once the next event
+// lies beyond until; the bound is a plain value rather than a predicate
+// closure so repeated RunUntil calls stay allocation-free.
+//
+//popcornvet:hotpath
+func (e *Engine) run(until Time, bounded bool) error {
 	if e.closed {
+		//popcornvet:allow hotalloc closed-engine misuse path; runs at most once per call, never per event
 		return errors.New("sim: engine is closed")
 	}
-	for e.heap.len() > 0 && cond() {
+	for e.heap.len() > 0 && (!bounded || e.heap.peek().at <= until) {
 		if e.limit > 0 && e.processed >= e.limit {
 			return ErrEventLimit
 		}
 		ev := e.heap.pop()
 		if ev.canceled {
+			e.recycle(ev)
 			continue
 		}
 		if ev.at < e.now {
+			//popcornvet:allow hotalloc fatal-error path; the run is already lost
 			return fmt.Errorf("sim: event scheduled in the past (%v < %v)", ev.at, e.now)
 		}
 		e.now = ev.at
 		e.processed++
 		fn := ev.fn
-		ev.fn = nil
+		e.recycle(ev)
 		fn()
 		if e.failure != nil {
 			return e.failure

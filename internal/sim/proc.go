@@ -32,6 +32,10 @@ type Proc struct {
 	// is plain data the tracer threads through blocking protocol code —
 	// the engine never reads it, so it cannot perturb the schedule.
 	span uint64
+	// dispatchFn is the single pre-bound dispatch closure for this process,
+	// created once at spawn so Sleep/wake/Yield schedule it without
+	// allocating a fresh closure per call.
+	dispatchFn func()
 }
 
 // Spawn starts fn as a new simulated process. The process begins running at
@@ -57,6 +61,7 @@ func (e *Engine) spawn(name string, daemon bool, fn func(p *Proc)) *Proc {
 		resume: make(chan struct{}),
 		daemon: daemon,
 	}
+	p.dispatchFn = func() { e.dispatch(p) }
 	e.procs[p.id] = p
 	e.observeStarted(p)
 	//popcornvet:allow simtime cooperative procs are implemented as parked goroutines; the engine serialises all hand-offs
@@ -81,11 +86,13 @@ func (e *Engine) spawn(name string, daemon bool, fn func(p *Proc)) *Proc {
 		}
 		fn(p)
 	}()
-	e.Schedule(0, func() { e.dispatch(p) })
+	e.Schedule(0, p.dispatchFn)
 	return p
 }
 
 // dispatch hands the CPU to p until it parks or finishes.
+//
+//popcornvet:hotpath
 func (e *Engine) dispatch(p *Proc) {
 	if p.finished {
 		return
@@ -111,13 +118,15 @@ func (p *Proc) park() {
 
 // wake schedules p to resume at the current virtual time. It is idempotent
 // while a wake is pending.
+//
+//popcornvet:hotpath
 func (p *Proc) wake() {
 	if p.waking || p.finished {
 		return
 	}
 	p.waking = true
 	p.e.observeWoken(p)
-	p.e.Schedule(0, func() { p.e.dispatch(p) })
+	p.e.Schedule(0, p.dispatchFn)
 }
 
 // Engine returns the engine this process runs on.
@@ -144,12 +153,14 @@ func (p *Proc) SetSpan(id uint64) { p.span = id }
 // Sleep blocks the process for d of virtual time. Non-positive durations
 // still yield: the process re-enters the run queue behind same-instant
 // events.
+//
+//popcornvet:hotpath
 func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
 	p.waking = true
-	p.e.Schedule(d, func() { p.e.dispatch(p) })
+	p.e.Schedule(d, p.dispatchFn)
 	p.park()
 }
 

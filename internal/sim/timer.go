@@ -7,7 +7,7 @@ import "time"
 // form (NewTimer + Wait) both resolve against the engine's clock.
 type Timer struct {
 	e       *Engine
-	handle  *EventHandle
+	handle  EventHandle
 	fired   bool
 	stopped bool
 	waiter  *Proc

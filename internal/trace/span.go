@@ -72,8 +72,10 @@ type Collector struct {
 	spans []Span
 }
 
-// NewCollector returns an empty span collector.
-func NewCollector() *Collector { return &Collector{} }
+// NewCollector returns an empty span collector. The span store starts with
+// room for a batch of records so early tracing doesn't reallocate per span;
+// past that it grows by the usual amortized doubling.
+func NewCollector() *Collector { return &Collector{spans: make([]Span, 0, 1024)} }
 
 // Len returns how many spans have been recorded.
 func (c *Collector) Len() int {
@@ -93,11 +95,17 @@ func (c *Collector) Spans() []Span {
 
 // StartAt opens a span explicitly, for legs that no single process carries
 // (a message's wire transit). The caller later stamps the end with EndAt.
+// Span records live in one flat slice indexed by ID — opening a span writes
+// a struct in place; only slice growth (amortized, preallocated by
+// NewCollector) ever allocates.
+//
+//popcornvet:hotpath
 func (c *Collector) StartAt(name string, node int, parent SpanID, at sim.Time) SpanID {
 	if c == nil {
 		return 0
 	}
 	id := SpanID(len(c.spans) + 1)
+	//popcornvet:allow hotalloc span-store growth is amortized; NewCollector preallocates the common case
 	c.spans = append(c.spans, Span{ID: id, Parent: parent, Name: name, Node: node, Begin: at, End: openEnd})
 	return id
 }
@@ -105,6 +113,8 @@ func (c *Collector) StartAt(name string, node int, parent SpanID, at sim.Time) S
 // EndAt stamps the end of an explicitly opened span. First stamp wins:
 // duplicate deliveries of a retransmitted message end the original wire
 // span once, and later copies are no-ops. Unknown or zero IDs are ignored.
+//
+//popcornvet:hotpath
 func (c *Collector) EndAt(id SpanID, at sim.Time) {
 	if c == nil || id == 0 || int(id) > len(c.spans) {
 		return
@@ -141,6 +151,8 @@ func (s Scope) End() {
 // Begin opens a span named name on the given kernel as a child of p's
 // current span, and makes it p's current span until the returned Scope
 // ends. This is how protocol phases running inside one process nest.
+//
+//popcornvet:hotpath
 func (c *Collector) Begin(p *sim.Proc, name string, node int) Scope {
 	if c == nil {
 		return Scope{}
@@ -152,6 +164,8 @@ func (c *Collector) Begin(p *sim.Proc, name string, node int) Scope {
 // parent lives on another kernel: a message handler nests under the
 // *sender's* operation span (carried in the message), not under the
 // dispatcher that spawned it.
+//
+//popcornvet:hotpath
 func (c *Collector) BeginUnder(p *sim.Proc, name string, node int, parent SpanID) Scope {
 	if c == nil {
 		return Scope{}

@@ -76,7 +76,7 @@ type Analyzer interface {
 func Analyzers() []Analyzer {
 	return []Analyzer{
 		SimTime{}, MsgProto{}, LockSend{}, LockOrder{}, DirVer{}, DocComment{},
-		KernLocal{}, DetOrder{}, SharedMut{},
+		KernLocal{}, DetOrder{}, SharedMut{}, HotAlloc{},
 	}
 }
 
@@ -130,8 +130,15 @@ func Load(roots []string) (*Tree, error) {
 				return err
 			}
 			if d.IsDir() {
+				// Never skip the walk root itself: a root given as ".." (or
+				// any dot-prefixed relative path) must still be entered, or
+				// Load returns an empty tree and every gate built on it
+				// passes vacuously.
+				if path == root {
+					return nil
+				}
 				base := d.Name()
-				if base != "." && (strings.HasPrefix(base, ".") || base == "testdata" || base == "vendor") {
+				if strings.HasPrefix(base, ".") || base == "testdata" || base == "vendor" {
 					return filepath.SkipDir
 				}
 				return nil
