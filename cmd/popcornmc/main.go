@@ -69,12 +69,16 @@ func run() error {
 	faults := flag.Bool("faults", false, "layer a seed-derived fault plan (drop/dup/delay on all links, plus a kernel crash mid-migration) over the sweep")
 	fseed := flag.Int64("fseed", 0, "fault-plan seed (default: the schedule seed)")
 	soak := flag.Bool("soak", false, "run the chaos soak: crash→heal→crash cycles over recoverable workloads, asserting end-state recovery invariants")
+	overload := flag.Bool("overload", false, "with -soak: run the overload soak instead — 10x offered load, a slow-link window and a crash-heal cycle against the flow-control plane")
 	traceN := flag.Int("trace", 512, "trace buffer capacity behind violation reports")
 	noShrink := flag.Bool("noshrink", false, "report the failing seed without minimising it")
 	verbose := flag.Bool("v", false, "print a line per seed")
 	flag.Parse()
 
 	if *soak {
+		if *overload {
+			return runOverload(*seeds, *seed, *verbose)
+		}
 		return runSoak(*seeds, *seed, *verbose)
 	}
 	injectNode, err := parseInject(*inject)
@@ -238,18 +242,21 @@ func runOne(cfg runCfg) outcome {
 	return out
 }
 
-// isDegradation reports whether err is the tolerated dead-peer outcome of an
-// injected kernel crash. Workloads panic with the transport error embedded,
-// so the check accepts both the error chain and its rendered text.
+// isDegradation reports whether err is a tolerated consequence of the run's
+// adversity — a dead peer from an injected crash, or a backpressure
+// rejection from the overload plane. Workloads panic with the transport
+// error embedded, so the check accepts both the error chain and its
+// rendered text.
 func isDegradation(err error) bool {
-	if msg.IsDeadPeer(err) {
+	if msg.IsDeadPeer(err) || msg.IsBackpressure(err) {
 		return true
 	}
 	s := err.Error()
 	for _, marker := range []string{
-		"dead kernel",            // msg.DeadPeerError
-		"peer kernel is dead",    // msg.ErrDeadPeer sentinel
-		"died while task waited", // futex home-death error wake
+		"dead kernel",                // msg.DeadPeerError
+		"peer kernel is dead",        // msg.ErrDeadPeer sentinel
+		"died while task waited",     // futex home-death error wake
+		"refused under backpressure", // msg.BackpressureError
 	} {
 		if strings.Contains(s, marker) {
 			return true

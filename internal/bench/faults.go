@@ -115,13 +115,14 @@ func oneFaultRun(wl string, seed int64, agg *stats.Registry) error {
 }
 
 // faultDegradation reports whether err is an acceptable consequence of the
-// fault plan — the workload observed a dead kernel — rather than a bug.
+// run's adversity — a dead kernel from the fault plan, or a backpressure
+// rejection from the overload plane — rather than a bug.
 func faultDegradation(err error) bool {
-	if msg.IsDeadPeer(err) {
+	if msg.IsDeadPeer(err) || msg.IsBackpressure(err) {
 		return true
 	}
 	s := err.Error()
-	for _, marker := range []string{"dead kernel", "peer kernel is dead", "died while task waited"} {
+	for _, marker := range []string{"dead kernel", "peer kernel is dead", "died while task waited", "refused under backpressure"} {
 		if strings.Contains(s, marker) {
 			return true
 		}

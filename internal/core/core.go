@@ -160,6 +160,12 @@ func (o *OS) Metrics() *stats.Registry { return o.metrics }
 //popcornvet:allow kernlocal white-box accessor for benchmarks and tests only; never on an event path
 func (o *OS) Kernel(k int) *kernel.Kernel { return o.cluster.Kernels[k] }
 
+// Fabric returns the inter-kernel message fabric, so model checkers and
+// benchmarks can drive raw transport load alongside the OS workload.
+//
+//popcornvet:allow kernlocal white-box accessor for model checking and benchmarks only; never on an event path
+func (o *OS) Fabric() *msg.Fabric { return o.cluster.Fabric }
+
 // Trace attaches an event buffer to the inter-kernel fabric (nil detaches)
 // and returns it, for protocol debugging.
 func (o *OS) Trace(capacity int) *trace.Buffer {
@@ -201,6 +207,17 @@ func (o *OS) AttachSanitizer(cfg sanitize.Config) *sanitize.Checker {
 		kn.TG.AttachChecker(c)
 	}
 	return c
+}
+
+// EnableFlow attaches the fabric's overload plane — per-link sender
+// credits, the priority control lane, per-peer circuit breakers, retry
+// budgets, and the gray-failure detector (DESIGN.md §13). Call after boot,
+// before the workload runs. Overload then surfaces to syscalls as
+// msg.BackpressureError (or sender-side blocking for fire-and-forget
+// sends) instead of unbounded queue growth; a detached OS behaves exactly
+// as before.
+func (o *OS) EnableFlow(cfg msg.FlowConfig) {
+	o.cluster.Fabric.EnableFlow(cfg)
 }
 
 // EnableFaults attaches a fault plan to the inter-kernel fabric and wires
@@ -539,6 +556,13 @@ func (t *Thread) maybeEvacuate() {
 		if dst == t.k.Node || ep.Suspects(dst) || t.pr.os.cluster.Fabric.Crashed(dst) {
 			continue
 		}
+		if ep.PeerHealth(dst) == msg.PeerSlow {
+			// The gray detector marked the link to this candidate sick:
+			// shipping a thread context over it trades one suspect link for
+			// another. Prefer a peer the detector considers healthy.
+			t.pr.os.metrics.Counter("core.evacuate.slowskip").Inc()
+			continue
+		}
 		if err := t.Migrate(k); err == nil {
 			t.pr.os.metrics.Counter("core.threads.evacuated").Inc()
 		}
@@ -704,6 +728,13 @@ func (t *Thread) Migrate(kernelHint int) error {
 			t.task.State = task.StateLost
 			t.pr.os.metrics.Counter("core.threads.lost").Inc()
 			t.p.Kill()
+		}
+		if msg.IsBackpressure(err) {
+			// Overload, not failure: the fabric refused to ship the context
+			// while the destination link is saturated or its breaker is
+			// open. The thread stays put with its state intact; the caller
+			// may retry once the gray detector clears the link.
+			t.pr.os.metrics.Counter("core.migrate.backpressure").Inc()
 		}
 		// Failed migrations resume on the source kernel.
 		t.core = t.k.Sched.Acquire(t.p)

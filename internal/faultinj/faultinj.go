@@ -78,6 +78,30 @@ type Partition struct {
 	From, Until time.Duration
 }
 
+// SlowLink is the gray-failure injection: during [From, Until) every
+// delivery between kernels A and B (both directions; Wildcard matches any
+// kernel) is inflated by Extra plus a seed-driven draw in (0, Jitter] —
+// sustained latency without any loss, the signature a binary dead-vs-alive
+// detector cannot classify. Unlike probabilistic rules it applies to
+// heartbeats too: a sick link slows everything it carries.
+type SlowLink struct {
+	A, B        int
+	From, Until time.Duration
+	// Extra is the deterministic latency floor added to each delivery.
+	Extra time.Duration
+	// Jitter bounds the additional per-delivery random stutter (0 = none).
+	Jitter time.Duration
+}
+
+// covers reports whether the window applies to the directed (from, to)
+// delivery; windows are symmetric like Partitions.
+func (s SlowLink) covers(from, to int) bool {
+	match := func(a, b int) bool {
+		return (s.A == Wildcard || s.A == a) && (s.B == Wildcard || s.B == b)
+	}
+	return match(from, to) || match(to, from)
+}
+
 // Decision is the fault plane's verdict for one committed message.
 type Decision struct {
 	Drop     bool
@@ -100,6 +124,7 @@ type Plan struct {
 	TypeCrashes []TypeCrash
 	Heals       []NodeHeal
 	Partitions  []Partition
+	SlowLinks   []SlowLink
 
 	rng     *sim.RNG
 	commits map[int]int
@@ -174,6 +199,27 @@ func (pl *Plan) RecordCommit(typ int) []TypeCrash {
 		}
 	}
 	return armed
+}
+
+// SlowExtra returns the latency inflation for one delivery on the (from,
+// to) link at the given simulation time: the sum of every active window's
+// Extra plus its jitter draw. Jitter draws come from the plan's RNG in
+// commit order — the same discipline as Decide — so a replay stutters
+// identically. Windows with no Jitter draw nothing, keeping them invisible
+// to the decision stream of plans that combine both.
+func (pl *Plan) SlowExtra(now time.Duration, from, to int) time.Duration {
+	var total time.Duration
+	for _, s := range pl.SlowLinks {
+		if now < s.From || now >= s.Until || !s.covers(from, to) {
+			continue
+		}
+		total += s.Extra
+		if s.Jitter > 0 {
+			pl.ensure()
+			total += time.Duration(pl.rng.Int63n(int64(s.Jitter)) + 1)
+		}
+	}
+	return total
 }
 
 // Partitioned reports whether the a<->b link is inside a partition window

@@ -88,3 +88,77 @@ func TestPartitionWindow(t *testing.T) {
 		}
 	}
 }
+
+// TestSlowLinkWindowAndWildcard: windows apply symmetrically, respect their
+// time bounds, and honor Wildcard endpoints; outside links draw nothing.
+func TestSlowLinkWindowAndWildcard(t *testing.T) {
+	pl := &Plan{Seed: 1, SlowLinks: []SlowLink{
+		{A: 0, B: 1, From: 10 * time.Microsecond, Until: 20 * time.Microsecond, Extra: 5 * time.Microsecond},
+		{A: 2, B: Wildcard, From: 0, Until: time.Millisecond, Extra: time.Microsecond},
+	}}
+	if got := pl.SlowExtra(15*time.Microsecond, 0, 1); got != 5*time.Microsecond {
+		t.Errorf("inside window 0->1: %v, want 5µs", got)
+	}
+	if got := pl.SlowExtra(15*time.Microsecond, 1, 0); got != 5*time.Microsecond {
+		t.Errorf("inside window 1->0 (symmetric): %v, want 5µs", got)
+	}
+	if got := pl.SlowExtra(25*time.Microsecond, 0, 1); got != 0 {
+		t.Errorf("after window: %v, want 0", got)
+	}
+	if got := pl.SlowExtra(0, 3, 2); got != time.Microsecond {
+		t.Errorf("wildcard link toward 2: %v, want 1µs", got)
+	}
+	if got := pl.SlowExtra(0, 0, 3); got != 0 {
+		t.Errorf("uncovered link: %v, want 0", got)
+	}
+}
+
+// TestSlowLinkReplayDeterministic: jittered windows draw from the plan RNG
+// in query order, so equal seeds stutter identically and a different seed
+// diverges — the plan-replay contract gray-failure sweeps rely on.
+func TestSlowLinkReplayDeterministic(t *testing.T) {
+	mk := func(seed int64) *Plan {
+		return &Plan{Seed: seed, SlowLinks: []SlowLink{
+			{A: Wildcard, B: Wildcard, From: 0, Until: time.Second, Extra: 10 * time.Microsecond, Jitter: 50 * time.Microsecond},
+		}}
+	}
+	a, b, c := mk(7), mk(7), mk(8)
+	same, diverged := true, false
+	for i := 0; i < 256; i++ {
+		da, db, dc := a.SlowExtra(0, 0, 1), b.SlowExtra(0, 0, 1), c.SlowExtra(0, 0, 1)
+		if da != db {
+			same = false
+		}
+		if da != dc {
+			diverged = true
+		}
+		if da <= 10*time.Microsecond || da > 60*time.Microsecond {
+			t.Fatalf("draw %d: inflation %v outside (Extra, Extra+Jitter]", i, da)
+		}
+	}
+	if !same {
+		t.Error("identical seeds drew different stutter")
+	}
+	if !diverged {
+		t.Error("different seeds never diverged in 256 draws")
+	}
+}
+
+// TestSlowLinkWithoutJitterLeavesDecideStreamAlone: a jitter-free window
+// must not consume RNG draws, so adding it to a plan cannot perturb the
+// Decide sequence of the probabilistic rules it composes with.
+func TestSlowLinkWithoutJitterLeavesDecideStreamAlone(t *testing.T) {
+	rules := []Rule{{From: Wildcard, To: Wildcard, Type: Wildcard, DropP: 0.5, DupP: 0.25, DelayP: 0.25, DelayMax: 10 * time.Microsecond}}
+	plain := &Plan{Seed: 9, Rules: rules}
+	slow := &Plan{Seed: 9, Rules: rules, SlowLinks: []SlowLink{
+		{A: Wildcard, B: Wildcard, From: 0, Until: time.Second, Extra: 5 * time.Microsecond},
+	}}
+	for i := 0; i < 256; i++ {
+		if slow.SlowExtra(0, 0, 1) != 5*time.Microsecond {
+			t.Fatal("jitter-free window returned wrong inflation")
+		}
+		if da, db := plain.Decide(0, 1, 3), slow.Decide(0, 1, 3); da != db {
+			t.Fatalf("draw %d: Decide diverged once a jitter-free slow link was added", i)
+		}
+	}
+}

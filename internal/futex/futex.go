@@ -334,6 +334,7 @@ func (s *Service) doWait(p *sim.Proc, gid vm.GID, addr mem.Addr, expect int64, f
 		s.metrics.Counter("futex.eagain").Inc()
 		return &futexOpReply{Queued: false}
 	}
+	//popcornvet:bounded one entry per blocked thread; the workload's thread population is fixed and FUTEX_WAKE drains the bucket
 	b.waiters = append(b.waiters, waiterRef{node: from, token: token})
 	if d := uint64(len(b.waiters)); d > s.metrics.Counter("futex.queue.max").Value() {
 		c := s.metrics.Counter("futex.queue.max")

@@ -2,6 +2,7 @@ package msg
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -16,9 +17,16 @@ type Endpoint struct {
 
 	// queue[qhead:] is the inbound backlog; the dispatcher advances qhead
 	// instead of reslicing and resets both once drained, so the backing
-	// array is reused across bursts.
-	queue    []*Message
-	qhead    int
+	// array is reused across bursts. With the flow plane attached it holds
+	// only bulk traffic, whose depth the sender-side credits bound.
+	queue []*Message
+	qhead int
+	// ctrlq[chead:] is the priority control lane (flow plane only): replies,
+	// rejoin handshakes, and invalidations are dispatched ahead of the bulk
+	// queue so control traffic is never starved behind data. Same
+	// head-compaction discipline as queue.
+	ctrlq    []*Message
+	chead    int
 	hasWork  *sim.Cond
 	handlers map[Type]Handler
 	// handlerNames holds the dispatcher's per-type handler process names,
@@ -54,6 +62,11 @@ type Endpoint struct {
 	// incarnation.
 	sweeping  map[NodeID]bool
 	sweepDone *sim.Cond
+
+	// flowPeers is this kernel's flow-plane state per peer (gray-failure
+	// EWMA, circuit breaker, retry budget), allocated by EnableFlow and nil
+	// otherwise.
+	flowPeers map[NodeID]*flowPeer
 }
 
 type call struct {
@@ -180,8 +193,18 @@ func (ep *Endpoint) beginWireSpan(p *sim.Proc, m *Message) {
 // Send transmits m asynchronously (fire-and-forget): the caller is charged
 // only the sender-side ring cost. m.From is set to this endpoint's node.
 //
+// With the flow plane attached, bulk (non-control) sends must hold a link
+// credit and block — without bound — until one frees: fire-and-forget
+// protocol traffic must not be silently dropped, so overload surfaces as
+// sender-side blocking (visible in the flow.credit-wait span and, if the
+// system truly wedges, to the deadlock detector) rather than as unbounded
+// queue growth. Callers that prefer to shed use TrySend.
+//
 //popcornvet:hotpath
 func (ep *Endpoint) Send(p *sim.Proc, m *Message) {
+	// wait<0 blocks forever and shed=false never refuses, so the error
+	// return is structurally nil here.
+	_ = ep.flowAdmit(p, m, -1, false)
 	ep.prepare(m)
 	ep.beginWireSpan(p, m)
 	ep.f.metrics.Counter("msg.sent").Inc()
@@ -197,6 +220,20 @@ func (ep *Endpoint) Send(p *sim.Proc, m *Message) {
 	entry := ep.f.reserve(m)
 	p.Sleep(ep.f.sendCost(m))
 	ep.f.commit(entry)
+}
+
+// TrySend transmits m like Send but never blocks: if the link's credits are
+// exhausted — or the destination is gray-listed as slow and ShedSlowBulk is
+// on — it refuses immediately with a BackpressureError. This is the
+// load-shedding entry point for advisory traffic (prefetch, bulk user data)
+// whose loss costs only performance. Without the flow plane it is identical
+// to Send and always returns nil.
+func (ep *Endpoint) TrySend(p *sim.Proc, m *Message) error {
+	if err := ep.flowAdmit(p, m, 0, true); err != nil {
+		return err
+	}
+	ep.Send(p, m)
+	return nil
 }
 
 // Call transmits m and blocks p until the destination's handler returns a
@@ -225,6 +262,17 @@ func (ep *Endpoint) Call(p *sim.Proc, m *Message) (*Message, error) {
 		ep.f.metrics.Counter("msg.fault.fastfail").Inc()
 		return nil, &DeadPeerError{Peer: ep.node, Type: m.Type}
 	}
+	// Flow-plane gates: an open circuit breaker fails bulk RPCs fast, and a
+	// bulk request must hold a link credit — waiting at most MaxCreditWait
+	// before the caller gets a deterministic BackpressureError instead of an
+	// unbounded queue. Control-lane RPCs (invalidations, rejoin) bypass both.
+	if err := ep.breakerAllow(m); err != nil {
+		return nil, err
+	}
+	if err := ep.flowAdmit(p, m, ep.f.creditWait(), false); err != nil {
+		ep.breakerResult(m.To, true)
+		return nil, err
+	}
 	ep.prepare(m)
 	// The RPC round span covers everything between the caller issuing the
 	// request and resuming with the reply (or an error): both wire legs, the
@@ -250,7 +298,14 @@ func (ep *Endpoint) Call(p *sim.Proc, m *Message) (*Message, error) {
 	p.Sleep(ep.f.sendCost(m))
 	ep.f.commit(entry)
 	if ep.f.plan != nil {
-		return ep.callHardened(p, m, c, start)
+		reply, err := ep.callHardened(p, m, c, start)
+		if ep.f.flow != nil && !controlLane(m) {
+			ep.breakerResult(m.To, err != nil)
+		}
+		if err == nil {
+			ep.grayObserve(m.To, p.Now().Sub(start))
+		}
+		return reply, err
 	}
 	if !c.done {
 		p.SetWaitInfo("rpc-reply", fmt.Sprintf("%v from k%d seq=%d", m.Type, m.To, m.Seq), nil)
@@ -259,8 +314,19 @@ func (ep *Endpoint) Call(p *sim.Proc, m *Message) (*Message, error) {
 	if !c.done {
 		return nil, fmt.Errorf("msg: RPC %v to node %d woken without reply", m.Type, m.To)
 	}
-	ep.f.metrics.Histogram("msg.rpc.rtt").Observe(p.Now().Sub(start))
+	rtt := p.Now().Sub(start)
+	ep.f.metrics.Histogram("msg.rpc.rtt").Observe(rtt)
+	ep.grayObserve(m.To, rtt)
 	return c.reply, nil
+}
+
+// creditWait is the RPC credit-wait bound (zero when the flow plane is
+// detached — flowAdmit no-ops before reading it).
+func (f *Fabric) creditWait() time.Duration {
+	if f.flow == nil {
+		return 0
+	}
+	return f.flow.cfg.MaxCreditWait
 }
 
 // callHardened is the fault-mode wait half of Call: the request is already
@@ -297,12 +363,25 @@ func (ep *Endpoint) callHardened(p *sim.Proc, m *Message, c *call, start sim.Tim
 		}
 		c.timedOut = false
 		ep.f.countLink("msg.fault.timeout", ep.node, m.To)
+		// A timeout is also an RTT observation: the peer took at least this
+		// long, so silence feeds the gray detector just like a slow reply.
+		ep.grayObserve(m.To, timeout)
 		if attempts > cfg.RPCRetries {
 			ep.f.countLink("msg.fault.exhausted", ep.node, m.To)
 			return nil, &DeadPeerError{Peer: m.To, Type: m.Type, Attempts: attempts}
 		}
+		if ep.f.flow != nil && !controlLane(m) && !ep.budgetAllow(m.To) {
+			// The per-peer retry budget ran dry: stop contributing to the
+			// retransmit storm and surface overload to the caller instead.
+			return nil, &BackpressureError{Peer: m.To, Type: m.Type, Reason: "retry-budget"}
+		}
 		attempts++
+		// Exponential backoff with deterministic jitter: without the jitter
+		// term, callers that timed out together retransmit in lockstep
+		// forever (a synchronized retry storm); the seeded stream keeps the
+		// desynchronization replay-identical.
 		timeout *= 2
+		timeout += time.Duration(ep.f.jrng.Int63n(int64(cfg.RPCTimeout)))
 		// Retransmit the same Seq through the normal wire path. The
 		// observer sees another MsgSent for the same key — a harmless
 		// over-approximation that only adds the caller's own clock ticks to
@@ -360,9 +439,11 @@ func (f *Fabric) deliver(m *Message) {
 	dst := f.endpoints[m.To]
 	if f.plan != nil {
 		if dst.dead {
+			f.flowRelease(m)
 			return
 		}
 		if f.fenced(m) {
+			f.flowRelease(m)
 			return
 		}
 		if m.Type != TypeRejoin && m.SrcInc > dst.knownInc[m.From] {
@@ -372,6 +453,7 @@ func (f *Fabric) deliver(m *Message) {
 			// sweep wipe state granted to the fresh kernel, so drop; RPC
 			// retransmits cover the gap until the handshake lands.
 			f.countLink("msg.fault.unadmitted", m.From, m.To)
+			f.flowRelease(m)
 			return
 		}
 		dst.lastHeard[m.From] = f.e.Now()
@@ -395,10 +477,29 @@ func (f *Fabric) deliver(m *Message) {
 	if f.tracer != nil {
 		f.traceEvent("msg.deliver", m.To, "%v from k%d seq=%d size=%d reply=%v", m.Type, m.From, m.Seq, m.Size, m.IsReply)
 	}
+	f.metrics.Counter("msg.delivered").Inc()
+	if f.flow != nil {
+		m.enqAt = f.e.Now()
+		if controlLane(m) {
+			// The priority lane: uncredited (replies and revocations must
+			// never deadlock behind the credits their senders hold) but still
+			// bounded — replies by the outstanding credited RPCs, rejoin and
+			// invalidations by their protocols' own fan-out.
+			//popcornvet:bounded control lane admits only replies (bounded by outstanding RPCs) and protocol-bounded rejoin/invalidate traffic
+			//popcornvet:allow hotalloc queue growth is amortized; head compaction reuses capacity
+			dst.ctrlq = append(dst.ctrlq, m)
+			cdepth := uint64(len(dst.ctrlq) - dst.chead)
+			if g := f.metrics.Counter("msg.ctrlqueue.maxdepth"); cdepth > g.Value() {
+				g.Add(cdepth - g.Value())
+			}
+			dst.hasWork.Signal()
+			return
+		}
+	}
+	//popcornvet:bounded with the flow plane attached, bulk depth is capped by per-link sender credits; detached runs are backpressure-free by construction
 	//popcornvet:allow hotalloc queue growth is amortized; head compaction reuses capacity
 	dst.queue = append(dst.queue, m)
 	depth := uint64(len(dst.queue) - dst.qhead)
-	f.metrics.Counter("msg.delivered").Inc()
 	if g := f.metrics.Counter("msg.queue.maxdepth"); depth > g.Value() {
 		g.Add(depth - g.Value())
 	}
@@ -406,21 +507,41 @@ func (f *Fabric) deliver(m *Message) {
 }
 
 // dispatch is the endpoint's message work queue: it drains the inbound
-// queue in FIFO order, charges receive cost, and runs each handler in its
-// own process so handlers may block without stalling delivery.
+// queues in FIFO order — the control lane strictly ahead of bulk, so
+// replies, rejoin handshakes and invalidations are never starved behind
+// data — charges receive cost, and runs each handler in its own process so
+// handlers may block without stalling delivery. Dequeuing a bulk message is
+// the credit-return point: the credit tracks queue occupancy, so freeing it
+// here keeps the bulk backlog bounded by the senders' credit accounts.
 //
 //popcornvet:hotpath
 func (ep *Endpoint) dispatch(p *sim.Proc) {
 	for {
-		for ep.qhead >= len(ep.queue) {
+		for ep.qhead >= len(ep.queue) && ep.chead >= len(ep.ctrlq) {
 			ep.hasWork.Wait(p)
 		}
-		m := ep.queue[ep.qhead]
-		ep.queue[ep.qhead] = nil
-		ep.qhead++
-		if ep.qhead == len(ep.queue) {
-			ep.queue = ep.queue[:0]
-			ep.qhead = 0
+		var m *Message
+		if ep.chead < len(ep.ctrlq) {
+			m = ep.ctrlq[ep.chead]
+			ep.ctrlq[ep.chead] = nil
+			ep.chead++
+			if ep.chead == len(ep.ctrlq) {
+				ep.ctrlq = ep.ctrlq[:0]
+				ep.chead = 0
+			}
+			ep.f.metrics.Histogram("msg.flow.ctrlwait").Observe(p.Now().Sub(m.enqAt))
+		} else {
+			m = ep.queue[ep.qhead]
+			ep.queue[ep.qhead] = nil
+			ep.qhead++
+			if ep.qhead == len(ep.queue) {
+				ep.queue = ep.queue[:0]
+				ep.qhead = 0
+			}
+			if ep.f.flow != nil {
+				ep.f.metrics.Histogram("msg.flow.bulkwait").Observe(p.Now().Sub(m.enqAt))
+				ep.f.flowRelease(m)
+			}
 		}
 		p.Sleep(ep.f.recvCost(m))
 		if m.IsReply {

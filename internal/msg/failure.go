@@ -138,6 +138,10 @@ func (f *Fabric) EnableFaults(plan *faultinj.Plan, cfg FaultConfig, hooks FaultH
 	f.plan = plan
 	f.fcfg = cfg.withDefaults()
 	f.hooks = hooks
+	// The retransmit-jitter stream: splitmix64 like the engine's schedule
+	// RNG and derived from its seed, but a separate stream, so jitter draws
+	// are replayable per seed without perturbing the tie-shuffle sequence.
+	f.jrng = sim.NewRNG(f.e.Seed() ^ 0x6a177e5)
 	f.crashed = make(map[NodeID]bool)
 	f.plannedCrashes = len(plan.Crashes) + len(plan.TypeCrashes)
 	f.plannedHeals = len(plan.Heals)
@@ -255,6 +259,7 @@ func (f *Fabric) dispatchWire(m *Message) {
 func (f *Fabric) route(m *Message) {
 	if f.crashed[m.From] || f.crashed[m.To] {
 		f.metrics.Counter("msg.fault.dead-link").Inc()
+		f.flowRelease(m)
 		return
 	}
 	if f.plan.Partitioned(f.e.Now().Duration(), int(m.From), int(m.To)) {
@@ -262,17 +267,32 @@ func (f *Fabric) route(m *Message) {
 		f.dropMsg(m)
 		return
 	}
+	// Gray-failure injection: a slow-link window inflates this delivery's
+	// latency without losing anything. It applies to heartbeats too — a
+	// sick link slows everything, which is exactly the detector-ambiguous
+	// signature a gray failure presents — so plans must keep the inflation
+	// under the heartbeat DeadAfter budget unless a false death is the
+	// point of the experiment.
+	var extra time.Duration
+	if len(f.plan.SlowLinks) > 0 {
+		extra = f.plan.SlowExtra(f.e.Now().Duration(), int(m.From), int(m.To))
+		if extra > 0 {
+			f.countLink("msg.fault.slowlink", m.From, m.To)
+		}
+	}
 	if m.Type == TypeHeartbeat {
 		// Heartbeats are exempt from probabilistic rules: the detector
-		// measures crashes and partitions, not link noise.
-		f.deliver(m)
+		// measures crashes, partitions and gray latency, not link noise.
+		f.deliverAfter(m, extra)
 		return
 	}
 	d := f.plan.Decide(int(m.From), int(m.To), int(m.Type))
 	if d.Dup {
 		f.countLink("msg.fault.dup", m.From, m.To)
 		dup := *m
-		f.e.Schedule(d.DupDelay, func() {
+		// The copy never held a credit: a double release would mint one.
+		dup.flowCredit = false
+		f.e.Schedule(extra+d.DupDelay, func() {
 			if !f.crashed[dup.From] && !f.crashed[dup.To] {
 				f.deliver(&dup)
 			}
@@ -283,16 +303,28 @@ func (f *Fabric) route(m *Message) {
 		f.dropMsg(m)
 		return
 	}
+	f.deliverAfter(m, extra+d.Delay)
 	if d.Delay > 0 {
 		f.countLink("msg.fault.delay", m.From, m.To)
-		f.e.Schedule(d.Delay, func() {
-			if !f.crashed[m.From] && !f.crashed[m.To] {
-				f.deliver(m)
-			}
-		})
+	}
+}
+
+// deliverAfter delivers m after the fault plane's added latency (slow-link
+// inflation, reorder delay), or immediately when there is none. Delayed
+// deliveries bypass the per-pair FIFO — that is the reorder window.
+func (f *Fabric) deliverAfter(m *Message, d time.Duration) {
+	if d <= 0 {
+		f.deliver(m)
 		return
 	}
-	f.deliver(m)
+	//popcornvet:allow hotalloc delay closures exist only for injected latency faults, rare by construction
+	f.e.Schedule(d, func() {
+		if !f.crashed[m.From] && !f.crashed[m.To] {
+			f.deliver(m)
+			return
+		}
+		f.flowRelease(m)
+	})
 }
 
 // dropMsg handles a message the plan (or a partition) dropped. Heartbeats
@@ -311,12 +343,17 @@ func (f *Fabric) dropMsg(m *Message) {
 	}
 	if !m.IsReply {
 		if _, rpc := f.endpoints[m.From].pending[m.Seq]; rpc {
+			// The caller's retransmit loop reuses this Message without
+			// re-acquiring, so free its credit now: the wire occupancy it
+			// was tracking is gone.
+			f.flowRelease(m)
 			return
 		}
 	}
 	m.attempts++
 	if m.attempts > f.fcfg.SendRetries {
 		f.countLink("msg.fault.lost", m.From, m.To)
+		f.flowRelease(m)
 		return
 	}
 	f.countLink("msg.fault.redeliver", m.From, m.To)
@@ -347,6 +384,10 @@ func (f *Fabric) crashNode(n NodeID) {
 	f.metrics.Counter("msg.fault.crash").Inc()
 	f.traceEvent("msg.crash", n, "kernel %d crashed", n)
 	ep.queue, ep.qhead = nil, 0
+	ep.ctrlq, ep.chead = nil, 0
+	// The wipes above destroyed the occupancy the credits tracked; refill
+	// every account touching the dead kernel and unblock its waiters.
+	f.resetFlowLinks(n)
 	for k := range f.wires {
 		if k.from == n || k.to == n {
 			delete(f.wires, k)
@@ -416,10 +457,18 @@ func (f *Fabric) healNode(n NodeID) {
 	// list, where it would silently consume a wakeup meant for its
 	// replacement.
 	ep.queue, ep.qhead = nil, 0
+	ep.ctrlq, ep.chead = nil, 0
 	ep.pending = make(map[uint64]*call)
 	ep.seen = make(map[dedupKey]*dedupEntry)
 	ep.hasWork = sim.NewCond()
 	ep.suspects = make(map[NodeID]bool)
+	if f.flow != nil {
+		// The reboot forgets the dead incarnation's flow verdicts: breaker
+		// trips, gray suspicions and spent retry budgets all described a
+		// kernel that no longer exists. Peers keep their own view of this
+		// kernel — their breakers reopen via half-open probes.
+		ep.flowPeers = make(map[NodeID]*flowPeer, len(f.endpoints))
+	}
 	// The fresh incarnation owes no peer a reclamation sweep (it has no
 	// pre-crash state to reconcile), so it admits every peer at its
 	// current incarnation immediately.

@@ -1,0 +1,630 @@
+package msg
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ErrBackpressure is the sentinel wrapped by every BackpressureError, so
+// callers can branch on errors.Is without depending on the concrete type.
+// It means the fabric deliberately refused (or timed out) a send because the
+// destination cannot absorb more load right now — shed, retry later, or
+// degrade, but do not treat the peer as dead.
+var ErrBackpressure = errors.New("msg: fabric backpressure")
+
+// BackpressureError reports a send or RPC the flow-control layer refused:
+// credits exhausted past the configured wait, the peer's circuit breaker is
+// open, the retry budget ran dry, or bulk traffic was shed toward a slow
+// peer.
+type BackpressureError struct {
+	// Peer is the destination kernel the traffic was aimed at.
+	Peer NodeID
+	// Type is the message type that was refused.
+	Type Type
+	// Reason is a short machine-stable cause ("credits", "circuit-open",
+	// "retry-budget", "slow-shed").
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *BackpressureError) Error() string {
+	return fmt.Sprintf("msg: %v to kernel %d refused under backpressure (%s)", e.Type, e.Peer, e.Reason)
+}
+
+// Unwrap yields ErrBackpressure so errors.Is(err, ErrBackpressure) matches.
+func (e *BackpressureError) Unwrap() error { return ErrBackpressure }
+
+// IsBackpressure reports whether err means the fabric refused load under
+// overload. Protocol layers treat this as "slow down or shed" — the peer is
+// alive and its state intact, unlike IsDeadPeer.
+func IsBackpressure(err error) bool { return errors.Is(err, ErrBackpressure) }
+
+// PeerHealth is one kernel's local classification of a peer, combining the
+// binary failure detector (dead) with the gray-failure detector (slow).
+type PeerHealth int
+
+const (
+	// PeerHealthy means the peer answers within its usual RTT envelope.
+	PeerHealthy PeerHealth = iota
+	// PeerSlow means the gray-failure detector's RTT EWMA crossed SlowAfter:
+	// the peer is alive but degraded, so bulk traffic toward it is shed while
+	// control traffic proceeds.
+	PeerSlow
+	// PeerDead means this kernel's failure detector declared the peer dead.
+	PeerDead
+)
+
+// String returns the health state's name for traces and tables.
+func (h PeerHealth) String() string {
+	switch h {
+	case PeerHealthy:
+		return "healthy"
+	case PeerSlow:
+		return "slow"
+	case PeerDead:
+		return "dead"
+	}
+	return fmt.Sprintf("msg.PeerHealth(%d)", int(h))
+}
+
+// FlowConfig tunes the credit-based flow control, circuit breaker, retry
+// budget, and gray-failure detector that EnableFlow switches on.
+type FlowConfig struct {
+	// CreditsPerLink bounds how many bulk (non-control) messages one kernel
+	// may have queued toward one peer: a sender must hold a credit per
+	// message, returned when the receiver's dispatcher dequeues it. The
+	// receive queue's bulk depth is therefore bounded by CreditsPerLink times
+	// the number of inbound links.
+	CreditsPerLink int
+	// MaxCreditWait bounds how long an RPC (Call) blocks waiting for a
+	// credit before failing with a BackpressureError. Send blocks without
+	// bound — fire-and-forget protocol traffic must not be silently lost —
+	// and TrySend never waits at all.
+	MaxCreditWait time.Duration
+	// SlowAfter is the RTT-EWMA threshold above which the gray-failure
+	// detector classifies a peer as slow; HealthyBelow is the hysteresis
+	// floor it must fall back under to be healthy again. SlowAfter must
+	// exceed HealthyBelow or every EWMA wobble would flap the state.
+	SlowAfter time.Duration
+	// HealthyBelow is the recovery threshold; see SlowAfter.
+	HealthyBelow time.Duration
+	// MinRTTSamples is how many RTT observations a peer needs before the
+	// gray detector will classify it at all — a single cold-start outlier
+	// must not mark a link slow.
+	MinRTTSamples int
+	// ShedSlowBulk makes TrySend fail fast toward peers the gray detector
+	// marked slow, so advisory bulk traffic sheds instead of piling onto a
+	// degraded link. Control traffic and blocking Sends are never shed.
+	ShedSlowBulk bool
+	// BreakerFailures is how many consecutive RPC failures toward one peer
+	// trip its circuit breaker open.
+	BreakerFailures int
+	// BreakerCooldown is how long an open breaker waits before letting a
+	// single half-open probe through.
+	BreakerCooldown time.Duration
+	// RetryBudget caps RPC retransmissions toward one peer inside each
+	// RetryBudgetWindow: a token bucket refilled at Budget/Window, so a
+	// retry storm degrades into a paced trickle instead of a synchronized
+	// thundering herd.
+	RetryBudget int
+	// RetryBudgetWindow is the refill period; see RetryBudget.
+	RetryBudgetWindow time.Duration
+}
+
+// DefaultFlowConfig returns the tuning the overload sweeps use.
+func DefaultFlowConfig() FlowConfig {
+	return FlowConfig{
+		CreditsPerLink:    16,
+		MaxCreditWait:     2 * time.Millisecond,
+		SlowAfter:         time.Millisecond,
+		HealthyBelow:      500 * time.Microsecond,
+		MinRTTSamples:     8,
+		ShedSlowBulk:      true,
+		BreakerFailures:   3,
+		BreakerCooldown:   4 * time.Millisecond,
+		RetryBudget:       8,
+		RetryBudgetWindow: time.Millisecond,
+	}
+}
+
+func (c FlowConfig) withDefaults() FlowConfig {
+	d := DefaultFlowConfig()
+	if c.CreditsPerLink <= 0 {
+		c.CreditsPerLink = d.CreditsPerLink
+	}
+	if c.MaxCreditWait <= 0 {
+		c.MaxCreditWait = d.MaxCreditWait
+	}
+	if c.SlowAfter <= 0 {
+		c.SlowAfter = d.SlowAfter
+	}
+	if c.HealthyBelow <= 0 || c.HealthyBelow > c.SlowAfter {
+		c.HealthyBelow = c.SlowAfter / 2
+	}
+	if c.MinRTTSamples <= 0 {
+		c.MinRTTSamples = d.MinRTTSamples
+	}
+	if c.BreakerFailures <= 0 {
+		c.BreakerFailures = d.BreakerFailures
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = d.BreakerCooldown
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = d.RetryBudget
+	}
+	if c.RetryBudgetWindow <= 0 {
+		c.RetryBudgetWindow = d.RetryBudgetWindow
+	}
+	return c
+}
+
+// flowState is the fabric-wide flow-control plane, allocated by EnableFlow
+// and nil otherwise; a detached fabric pays one pointer check per message.
+type flowState struct {
+	cfg FlowConfig
+	// links holds per-directed-pair credit accounts, created on first use
+	// like the wires they mirror.
+	links map[wireKey]*flowLink
+}
+
+// flowLink is one directed pair's credit account. waiters[whead:] is the
+// FIFO of processes blocked on an exhausted account; like the dispatch
+// queue, the drained prefix is compacted by advancing whead so the backing
+// array is reused.
+type flowLink struct {
+	credits int
+	waiters []*creditWaiter
+	whead   int
+}
+
+// creditWaiter is one process blocked in acquireCredit. granted marks a
+// handoff from a release; timedOut marks waiters that gave up (or whose
+// process was killed mid-wait) so a later release skips them.
+type creditWaiter struct {
+	p        *sim.Proc
+	granted  bool
+	timedOut bool
+}
+
+// breaker states for one endpoint's view of one peer.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// flowPeer is one endpoint's flow-plane state for one peer: the gray
+// detector's RTT EWMA, the circuit breaker, and the retry-budget bucket.
+type flowPeer struct {
+	// ewma is the integer RTT estimate (alpha = 1/8, the classic SRTT
+	// weighting); samples counts observations toward MinRTTSamples.
+	ewma    time.Duration
+	samples int
+	slow    bool
+
+	breaker  int
+	fails    int
+	openedAt sim.Time
+	probing  bool
+
+	tokens     int
+	lastRefill sim.Time
+}
+
+// EnableFlow attaches credit-based flow control, the priority control lane,
+// per-peer circuit breakers, retry budgets, and the gray-failure detector to
+// the fabric. Call it after boot, before the workload runs. With no flow
+// plane attached none of this machinery exists and the fabric's behavior is
+// byte-identical to the unbounded transport.
+func (f *Fabric) EnableFlow(cfg FlowConfig) {
+	f.flow = &flowState{
+		cfg:   cfg.withDefaults(),
+		links: make(map[wireKey]*flowLink),
+	}
+	for _, ep := range f.endpoints {
+		ep.flowPeers = make(map[NodeID]*flowPeer, len(f.endpoints))
+	}
+}
+
+// FlowEnabled reports whether the flow-control plane is attached.
+func (f *Fabric) FlowEnabled() bool { return f.flow != nil }
+
+// FlowConfig returns the active flow tuning (zero value when detached).
+func (f *Fabric) FlowConfig() FlowConfig {
+	if f.flow == nil {
+		return FlowConfig{}
+	}
+	return f.flow.cfg
+}
+
+// RetryBackoff is the pacing a protocol retry loop must apply after a
+// backpressure fast-fail before asking again. An open breaker rejects in
+// zero virtual time, so an unpaced `continue` would spin forever at one
+// instant; sleeping the breaker cooldown lets the half-open probe run
+// before the next attempt. Zero when the flow plane is detached (the only
+// retriable errors then — timeouts — already consume virtual time).
+func (ep *Endpoint) RetryBackoff() time.Duration {
+	if ep.f.flow == nil {
+		return 0
+	}
+	return ep.f.flow.cfg.BreakerCooldown
+}
+
+// controlLane reports whether m travels the priority control lane: RPC
+// replies (an unanswered reply wedges a caller holding resources),
+// heartbeats and rejoin handshakes (the failure plane must outrun the very
+// overload it is diagnosing), and page invalidations (coherence revocation
+// stalls writers machine-wide). Control traffic bypasses credits and is
+// dispatched ahead of bulk.
+func controlLane(m *Message) bool {
+	return m.IsReply || m.Type == TypeHeartbeat || m.Type == TypeRejoin || m.Type == TypePageInvalidate
+}
+
+// link resolves (or creates) the credit account for one directed pair.
+//
+//popcornvet:hotpath
+func (fl *flowState) link(from, to NodeID) *flowLink {
+	k := wireKey{from: from, to: to}
+	lk, ok := fl.links[k]
+	if !ok {
+		//popcornvet:allow hotalloc first contact between a kernel pair; the account persists
+		lk = &flowLink{credits: fl.cfg.CreditsPerLink}
+		fl.links[k] = lk
+	}
+	return lk
+}
+
+// tryTakeCredit claims a credit immediately if the account has one free and
+// no earlier sender is queued ahead (FIFO fairness: a late TrySend must not
+// overtake blocked waiters).
+func (lk *flowLink) tryTakeCredit() bool {
+	if lk.credits <= 0 || lk.whead < len(lk.waiters) {
+		return false
+	}
+	lk.credits--
+	return true
+}
+
+// grantCredit hands one freed credit to the first live waiter, or banks it
+// (clamped at the configured limit, so fault-plane resets that refill an
+// account cannot overflow it). Runs at the serialised release points.
+func (fl *flowState) grantCredit(lk *flowLink) {
+	for lk.whead < len(lk.waiters) {
+		w := lk.waiters[lk.whead]
+		lk.waiters[lk.whead] = nil
+		lk.whead++
+		if lk.whead == len(lk.waiters) {
+			lk.waiters = lk.waiters[:0]
+			lk.whead = 0
+		}
+		if w.timedOut {
+			continue
+		}
+		w.granted = true
+		w.p.Resume()
+		return
+	}
+	if lk.credits < fl.cfg.CreditsPerLink {
+		lk.credits++
+	}
+}
+
+// acquireCredit blocks p until the (ep.node -> to) account yields a credit,
+// up to wait (0 = fail immediately, <0 = wait forever). On success the
+// credit is held by the caller's message until flowRelease. The time spent
+// blocked is recorded in the msg.flow.creditwait histogram and under a
+// flow.credit-wait span, so overload shows up in traces as queueing, not
+// mystery latency.
+//
+//popcornvet:hotpath
+func (ep *Endpoint) acquireCredit(p *sim.Proc, m *Message, wait time.Duration) error {
+	fl := ep.f.flow
+	lk := fl.link(ep.node, m.To)
+	if lk.tryTakeCredit() {
+		return nil
+	}
+	return ep.acquireCreditSlow(p, m, lk, wait)
+}
+
+// acquireCreditSlow is the exhausted-account half of acquireCredit: refuse
+// immediately (wait 0) or park the caller in the link's FIFO until a
+// release hands it a credit or the wait expires. It only runs under
+// overload, where blocking or refusing IS the product — its allocations
+// (waiter record, timer closure, error) are the price of an overload event,
+// not a per-message cost.
+//
+//popcornvet:coldpath
+func (ep *Endpoint) acquireCreditSlow(p *sim.Proc, m *Message, lk *flowLink, wait time.Duration) error {
+	if wait == 0 {
+		ep.f.countLink("msg.flow.backpressure", ep.node, m.To)
+		return &BackpressureError{Peer: m.To, Type: m.Type, Reason: "credits"}
+	}
+	ep.f.countLink("msg.flow.creditblock", ep.node, m.To)
+	var ws trace.Scope
+	if col := ep.f.collector; col != nil {
+		ws = col.Begin(p, "flow.credit-wait", int(ep.node))
+	}
+	start := p.Now()
+	w := &creditWaiter{p: p}
+	//popcornvet:bounded one waiter per blocked sender process; the process population bounds the queue
+	lk.waiters = append(lk.waiters, w)
+	// Kill-unwind safety: a waiter whose process dies mid-wait (kernel
+	// crash) marks itself timed out so grantCredit skips the corpse; if the
+	// grant already happened, the credit is re-granted so it is not lost.
+	finished := false
+	defer func() {
+		if finished {
+			return
+		}
+		if w.granted {
+			ep.f.flow.grantCredit(lk)
+		} else {
+			w.timedOut = true
+		}
+	}()
+	var h sim.EventHandle
+	if wait > 0 {
+		h = ep.f.e.Schedule(wait, func() {
+			if w.granted || w.timedOut {
+				return
+			}
+			w.timedOut = true
+			p.Resume()
+		})
+	}
+	p.SetWaitInfo("flow-credit", fmt.Sprintf("%v to k%d", m.Type, m.To), nil)
+	p.Suspend()
+	if wait > 0 {
+		h.Cancel()
+	}
+	finished = true
+	blocked := p.Now().Sub(start)
+	ep.f.metrics.Histogram("msg.flow.creditwait").Observe(blocked)
+	ws.End()
+	if !w.granted {
+		ep.f.countLink("msg.flow.backpressure", ep.node, m.To)
+		return &BackpressureError{Peer: m.To, Type: m.Type, Reason: "credits"}
+	}
+	return nil
+}
+
+// flowAdmit is the send-side gate for one outbound message: control-lane
+// traffic passes untouched; bulk traffic toward a shed-marked slow peer
+// fails fast when the caller opted in (shed true); otherwise a credit is
+// acquired under the caller's wait policy and the message marked as holding
+// it. No-op when the flow plane is detached.
+//
+//popcornvet:hotpath
+func (ep *Endpoint) flowAdmit(p *sim.Proc, m *Message, wait time.Duration, shed bool) error {
+	fl := ep.f.flow
+	if fl == nil || m.flowCredit || controlLane(m) {
+		return nil
+	}
+	if shed && fl.cfg.ShedSlowBulk {
+		if st := ep.flowPeers[m.To]; st != nil && st.slow {
+			ep.f.countLink("msg.flow.shed", ep.node, m.To)
+			//popcornvet:allow hotalloc shedding error path; refusal is the overload slow path
+			return &BackpressureError{Peer: m.To, Type: m.Type, Reason: "slow-shed"}
+		}
+	}
+	if err := ep.acquireCredit(p, m, wait); err != nil {
+		return err
+	}
+	m.flowCredit = true
+	return nil
+}
+
+// flowRelease returns the credit m holds (if any) to its account, waking the
+// first blocked sender. It is called at every point a queued or in-flight
+// message reaches the end of its life: dispatcher dequeue, fault-plane
+// drops, fencing, and crash wipes. Clearing the flag makes release
+// idempotent — retransmitted copies share the Message and must not
+// double-release.
+//
+//popcornvet:hotpath
+func (f *Fabric) flowRelease(m *Message) {
+	fl := f.flow
+	if fl == nil || !m.flowCredit {
+		return
+	}
+	m.flowCredit = false
+	fl.grantCredit(fl.link(m.From, m.To))
+}
+
+// resetFlowLinks refills every credit account touching crashed kernel n and
+// releases its blocked senders: the wipe that destroyed the queued messages
+// destroyed the occupancy the credits were tracking. Waiters are granted —
+// their sends will be eaten at the dead-link check, which releases the
+// credit again — so no process stays wedged on a dead peer's account.
+// Fault-plane code: runs in engine context, serialised with delivery.
+func (f *Fabric) resetFlowLinks(n NodeID) {
+	fl := f.flow
+	if fl == nil {
+		return
+	}
+	// Iterate links in node order, not map order: the resumes below are
+	// event-visible, so their sequence must be a pure function of the
+	// schedule.
+	for peer := range f.endpoints {
+		pn := NodeID(peer)
+		f.resetFlowLink(wireKey{from: n, to: pn})
+		f.resetFlowLink(wireKey{from: pn, to: n})
+	}
+}
+
+// resetFlowLink refills one account and unblocks its waiters; see
+// resetFlowLinks.
+func (f *Fabric) resetFlowLink(k wireKey) {
+	lk, ok := f.flow.links[k]
+	if !ok {
+		return
+	}
+	lk.credits = f.flow.cfg.CreditsPerLink
+	for lk.whead < len(lk.waiters) {
+		w := lk.waiters[lk.whead]
+		lk.waiters[lk.whead] = nil
+		lk.whead++
+		if w.timedOut {
+			continue
+		}
+		w.granted = true
+		w.p.Resume()
+	}
+	lk.waiters = lk.waiters[:0]
+	lk.whead = 0
+}
+
+// flowPeer resolves (or creates) this endpoint's flow state for one peer.
+func (ep *Endpoint) flowPeer(n NodeID) *flowPeer {
+	st, ok := ep.flowPeers[n]
+	if !ok {
+		//popcornvet:allow hotalloc first flow-plane contact with a peer; the record persists
+		st = &flowPeer{
+			tokens:     ep.f.flow.cfg.RetryBudget,
+			lastRefill: ep.f.e.Now(),
+		}
+		ep.flowPeers[n] = st
+	}
+	return st
+}
+
+// PeerHealth returns this kernel's current classification of peer n:
+// dead per the failure detector, slow per the gray detector, else healthy.
+// Like Suspects, this is physically-local knowledge — each kernel reads only
+// its own detectors.
+func (ep *Endpoint) PeerHealth(n NodeID) PeerHealth {
+	if ep.declaredDead[n] {
+		return PeerDead
+	}
+	if st := ep.flowPeers[n]; st != nil && st.slow {
+		return PeerSlow
+	}
+	return PeerHealthy
+}
+
+// grayObserve feeds one RTT sample (a completed RPC round, or a timeout's
+// elapsed patience — silence is also evidence of slowness) into the gray
+// detector's EWMA and applies the suspicion hysteresis: above SlowAfter the
+// peer turns slow, and it must fall back below HealthyBelow to recover, so
+// a link hovering at the threshold cannot flap.
+//
+//popcornvet:hotpath
+func (ep *Endpoint) grayObserve(peer NodeID, rtt time.Duration) {
+	fl := ep.f.flow
+	if fl == nil {
+		return
+	}
+	st := ep.flowPeer(peer)
+	if st.samples == 0 {
+		st.ewma = rtt
+	} else {
+		st.ewma += (rtt - st.ewma) / 8
+	}
+	st.samples++
+	if st.samples < fl.cfg.MinRTTSamples {
+		return
+	}
+	switch {
+	case !st.slow && st.ewma > fl.cfg.SlowAfter:
+		st.slow = true
+		ep.f.countLink("msg.gray.slow", ep.node, peer)
+	case st.slow && st.ewma < fl.cfg.HealthyBelow:
+		st.slow = false
+		ep.f.countLink("msg.gray.healthy", ep.node, peer)
+	}
+}
+
+// breakerAllow is the pre-flight check for one bulk RPC: closed passes,
+// open fails fast until the cooldown elapses, then exactly one caller is
+// let through as the half-open probe while the rest keep failing fast. The
+// probe's outcome (breakerResult) decides between re-opening and closing.
+func (ep *Endpoint) breakerAllow(m *Message) error {
+	fl := ep.f.flow
+	if fl == nil || controlLane(m) {
+		return nil
+	}
+	st := ep.flowPeer(m.To)
+	switch st.breaker {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if ep.f.e.Now().Sub(st.openedAt) >= fl.cfg.BreakerCooldown && !st.probing {
+			st.breaker = breakerHalfOpen
+			st.probing = true
+			ep.f.countLink("msg.flow.breaker_halfopen", ep.node, m.To)
+			return nil
+		}
+	case breakerHalfOpen:
+		if !st.probing {
+			// The previous probe's verdict landed between this caller's
+			// check and its send; treat the lane as open until the state
+			// machine settles.
+			st.probing = true
+			return nil
+		}
+	}
+	ep.f.countLink("msg.flow.breaker_fastfail", ep.node, m.To)
+	return &BackpressureError{Peer: m.To, Type: m.Type, Reason: "circuit-open"}
+}
+
+// breakerResult records one bulk RPC's outcome: failures accumulate toward
+// tripping the breaker open (or re-open a half-open probe); success resets
+// the count and closes a half-open breaker.
+func (ep *Endpoint) breakerResult(peer NodeID, failed bool) {
+	fl := ep.f.flow
+	if fl == nil {
+		return
+	}
+	st := ep.flowPeer(peer)
+	if failed {
+		st.fails++
+		if st.breaker == breakerHalfOpen || (st.breaker == breakerClosed && st.fails >= fl.cfg.BreakerFailures) {
+			st.breaker = breakerOpen
+			st.openedAt = ep.f.e.Now()
+			st.probing = false
+			ep.f.countLink("msg.flow.breaker_open", ep.node, peer)
+		}
+		return
+	}
+	st.fails = 0
+	if st.breaker != breakerClosed {
+		st.breaker = breakerClosed
+		st.probing = false
+		ep.f.countLink("msg.flow.breaker_close", ep.node, peer)
+	}
+}
+
+// budgetAllow spends one retransmission token toward peer n, refilling the
+// bucket at RetryBudget per RetryBudgetWindow of sim time. An empty bucket
+// means the caller must stop retransmitting — under a retry storm this is
+// what converts N synchronized retransmit schedules into a paced trickle.
+func (ep *Endpoint) budgetAllow(n NodeID) bool {
+	fl := ep.f.flow
+	if fl == nil {
+		return true
+	}
+	st := ep.flowPeer(n)
+	interval := fl.cfg.RetryBudgetWindow / time.Duration(fl.cfg.RetryBudget)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	if elapsed := ep.f.e.Now().Sub(st.lastRefill); elapsed >= interval {
+		refill := int(elapsed / interval)
+		st.tokens += refill
+		if st.tokens > fl.cfg.RetryBudget {
+			st.tokens = fl.cfg.RetryBudget
+		}
+		st.lastRefill = st.lastRefill.Add(time.Duration(refill) * interval)
+	}
+	if st.tokens <= 0 {
+		ep.f.countLink("msg.flow.budget_exhausted", ep.node, n)
+		return false
+	}
+	st.tokens--
+	return true
+}

@@ -203,6 +203,17 @@ type Message struct {
 	// fire-and-forget message (the ring's link-layer retry); RPC requests
 	// instead rely on the caller's timeout/retransmit loop.
 	attempts int
+
+	// flowCredit marks a message holding one of its link's flow-control
+	// credits (flow plane only; always false when detached). The credit is
+	// returned — and the flag cleared, making release idempotent across
+	// retransmitted copies — at the message's end of life: dispatcher
+	// dequeue, fault-plane drop, fence, or crash wipe.
+	flowCredit bool
+	// enqAt is when the message entered its destination's dispatch queue
+	// (flow plane only), feeding the per-lane queue-wait histograms that the
+	// control-lane starvation assertions read.
+	enqAt sim.Time
 }
 
 // reset returns the message to its zero state before pooled reuse. It must
@@ -294,6 +305,15 @@ type Fabric struct {
 	// linkCounters caches the per-link metric counters countLink would
 	// otherwise re-derive with Sprintf on every fault-plane event.
 	linkCounters map[linkKey]*stats.Counter
+
+	// flow, when attached via EnableFlow, is the credit/breaker/gray-failure
+	// plane; nil means the unbounded transport and costs one pointer check
+	// per message (the same detached pattern as plan and collector).
+	flow *flowState
+	// jrng drives the retransmit-backoff jitter, a dedicated splitmix64
+	// stream derived from the engine seed in EnableFaults so jitter draws
+	// never perturb the engine's own tie-shuffle sequence.
+	jrng *sim.RNG
 
 	// plan, when attached via EnableFaults, intercepts every wire commit;
 	// nil means a perfectly reliable fabric and costs one pointer check per
@@ -392,6 +412,7 @@ func (f *Fabric) allocWireEntry(m *Message) *wireEntry {
 func (f *Fabric) releaseWireEntry(e *wireEntry) {
 	e.m = nil
 	e.ready = false
+	//popcornvet:bounded free list: grows only when an entry retires, so peak in-flight entries cap it
 	//popcornvet:allow hotalloc free-list growth is amortized; capacity is retained
 	f.entryFree = append(f.entryFree, e)
 }
@@ -417,6 +438,7 @@ func (f *Fabric) allocMsg() *Message {
 //popcornvet:hotpath
 func (f *Fabric) releaseMsg(m *Message) {
 	m.reset()
+	//popcornvet:bounded pool: grows only when a message retires, so peak in-flight messages cap it
 	//popcornvet:allow hotalloc pool growth is amortized; capacity is retained
 	f.msgFree = append(f.msgFree, m)
 }
@@ -433,6 +455,7 @@ func (f *Fabric) reserve(m *Message) *wireEntry {
 		f.wires[k] = w
 	}
 	entry := f.allocWireEntry(m)
+	//popcornvet:bounded per-pair wire ring with head compaction; with the flow plane attached, sender credits bound occupancy
 	//popcornvet:allow hotalloc ring growth is amortized; head compaction reuses capacity
 	w.entries = append(w.entries, entry)
 	return entry

@@ -40,7 +40,7 @@ type OS struct {
 	//popcornvet:allow kernlocal commutative counters; per-kernel shards merged at pause under the parallel engine
 	metrics *stats.Registry
 	//popcornvet:allow kernlocal the inter-kernel medium itself; domains only Send/Call through their own endpoint
-	fabric *msg.Fabric
+	fabric  *msg.Fabric
 	nodes   []*node
 	nextDom int64
 }
@@ -130,6 +130,7 @@ func BootOn(e *sim.Engine, machine *hw.Machine, kernels, framesPerKernel int) (*
 				os.metrics.Counter("mk.drop").Inc()
 				return nil
 			}
+			//popcornvet:bounded the model's domain population is fixed and each Send round-trips before the next, bounding occupancy
 			d.inbox = append(d.inbox, pkt)
 			d.hasMail.Signal()
 			return nil
@@ -311,6 +312,7 @@ func (d *Domain) Send(dst *Domain, size int, payload any) {
 	pkt := &packet{Dst: dst.id, Size: size, Payload: payload}
 	if dst.node == d.node {
 		d.p.Sleep(d.os.machine.Cost.MemAccessLocal)
+		//popcornvet:bounded local delivery to a fixed domain set; the receiver drains via hasMail
 		dst.inbox = append(dst.inbox, pkt)
 		dst.hasMail.Signal()
 		return

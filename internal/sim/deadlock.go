@@ -115,6 +115,7 @@ func (e *Engine) buildDeadlockError() *DeadlockError {
 			w.HolderPID = h.id
 			w.HolderName = h.name
 		}
+		//popcornvet:bounded one report entry per waiting process in a run that is already dead
 		de.Waits = append(de.Waits, w)
 	}
 	de.Cycle = findWaitCycle(de.Waits)
@@ -178,6 +179,7 @@ type invariant struct {
 // periodic checking, every interval of virtual time. A non-nil return fails
 // the run, pinpointing the first virtual instant the model went wrong.
 func (e *Engine) Invariant(name string, fn func() error) {
+	//popcornvet:bounded setup-time registration; the invariant set is fixed before the run
 	e.invariants = append(e.invariants, invariant{name: name, fn: fn})
 }
 

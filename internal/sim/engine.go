@@ -191,6 +191,7 @@ func (e *Engine) recycle(ev *event) {
 	ev.gen++
 	ev.fn = nil
 	ev.canceled = false
+	//popcornvet:bounded free list: grows only when an event retires, so peak live events cap it
 	//popcornvet:allow hotalloc free-list growth is amortized; capacity is retained
 	e.free = append(e.free, ev)
 }

@@ -66,6 +66,7 @@ func (m *Mutex) Lock(p *Proc) {
 		panic("sim: recursive Mutex.Lock by owner " + p.name)
 	}
 	w := &mutexWaiter{p: p, since: m.e.now}
+	//popcornvet:bounded one waiter per blocked process
 	m.q = append(m.q, w)
 	if len(m.q) > m.stats.MaxQueue {
 		m.stats.MaxQueue = len(m.q)
@@ -164,6 +165,7 @@ func (l *RWMutex) RLock(p *Proc) {
 		return
 	}
 	w := &mutexWaiter{p: p, since: l.e.now}
+	//popcornvet:bounded one waiter per blocked process
 	l.readQ = append(l.readQ, w)
 	l.noteQueue()
 	p.SetWaitInfo("rwmutex", l.label, l.writer)
@@ -202,6 +204,7 @@ func (l *RWMutex) Lock(p *Proc) {
 		panic("sim: recursive RWMutex.Lock by owner " + p.name)
 	}
 	w := &mutexWaiter{p: p, since: l.e.now}
+	//popcornvet:bounded one waiter per blocked process
 	l.writeQ = append(l.writeQ, w)
 	l.noteQueue()
 	p.SetWaitInfo("rwmutex", l.label, l.writer)

@@ -33,6 +33,7 @@ func (wg *WaitGroup) Wait(p *Proc) {
 	if wg.n == 0 {
 		return
 	}
+	//popcornvet:bounded one waiter per blocked process
 	wg.waiters = append(wg.waiters, p)
 	p.SetWaitInfo("waitgroup", "", nil)
 	p.park()
@@ -62,6 +63,7 @@ func (c *Cond) SetLabel(s string) *Cond {
 // Wait parks p until Signal or Broadcast wakes it. Callers must re-check
 // their predicate after waking, as with any condition variable.
 func (c *Cond) Wait(p *Proc) {
+	//popcornvet:bounded one waiter per blocked process
 	c.waiters = append(c.waiters, p)
 	p.SetWaitInfo("cond", c.label, nil)
 	p.park()

@@ -179,6 +179,7 @@ func (s *Service) handleMigrate(p *sim.Proc, m *msg.Message) *msg.Message {
 	t.Recoverable = req.Recoverable
 	t.Hops = hopsWithout(req.Hops, int(s.node))
 	p.Sleep(s.machine.Cost.ContextSwitch / 2)
+	//popcornvet:bounded the pending set travels with the migrating thread; WaitSignal drains it
 	t.PendingSignals = append(t.PendingSignals, req.Pending...)
 	g.local[req.TaskID] = t
 	if sp, ok := s.vmsvc.Space(req.GID); ok {
@@ -226,10 +227,16 @@ func (s *Service) claimRollback(p *sim.Proc, g *group, t *task.Task, id task.ID)
 				g.originDead = true
 				return true
 			}
-			// Transient (timeout, partition): guessing either way risks a
-			// fork or an unnecessary kill, so keep asking until the origin
-			// answers or is declared dead.
+			// Transient (timeout, partition, overload): guessing either way
+			// risks a fork or an unnecessary kill, so keep asking until the
+			// origin answers or is declared dead. Backpressure fast-fails
+			// consume no virtual time, so pace those retries or the loop
+			// spins at one instant.
 			s.metrics.Counter("tg.claim.retry").Inc()
+			if msg.IsBackpressure(err) {
+				s.metrics.Counter("tg.claim.backpressure").Inc()
+				p.Sleep(s.ep.RetryBackoff())
+			}
 			continue
 		}
 		r := reply.Payload.(*groupSetupReply)
@@ -405,6 +412,11 @@ func (s *Service) registerMove(p *sim.Proc, g *group, moved *task.Task, dst msg.
 				return nil
 			}
 			s.metrics.Counter("tg.move.retry").Inc()
+			// Pace zero-time backpressure rejections (see claim loop above).
+			if msg.IsBackpressure(err) {
+				s.metrics.Counter("tg.move.backpressure").Inc()
+				p.Sleep(s.ep.RetryBackoff())
+			}
 			continue
 		}
 		r := reply.Payload.(*groupSetupReply)

@@ -101,7 +101,7 @@ type Service struct {
 	machine *hw.Machine
 	node    msg.NodeID
 	ep      *msg.Endpoint
-	vmsvc *vm.Service
+	vmsvc   *vm.Service
 	//popcornvet:allow kernlocal commutative counters; per-kernel shards merged at pause under the parallel engine
 	metrics *stats.Registry
 	//popcornvet:allow kernlocal the cross-kernel invariant observer by design; moves to the serialised merge step

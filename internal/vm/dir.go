@@ -15,7 +15,7 @@ import (
 // address-space lock shared.
 //
 //popcornvet:allow locksend holding the directory-entry lock across the revocation RPCs is the protocol: it is what makes a page's ownership transition atomic. Invalidate handlers at remote kernels touch only their local page tables and never take origin directory locks, so no wait cycle can close.
-func (sp *Space) dirTransaction(p *sim.Proc, req msg.NodeID, vpn mem.VPN, write bool) (*pageGrant, error) {
+func (sp *Space) dirTransaction(p *sim.Proc, req msg.NodeID, vpn mem.VPN, write, noCopy bool) (*pageGrant, error) {
 	// The vm.dir span covers the origin-side transaction: waiting for the
 	// page's directory-entry lock plus any revocation fan-out. It runs under
 	// vm.fault for local faults and under handle.page-fetch for remote ones.
@@ -41,6 +41,17 @@ func (sp *Space) dirTransaction(p *sim.Proc, req msg.NodeID, vpn mem.VPN, write 
 	}
 	de.mu.Lock(p)
 	defer de.mu.Unlock(p)
+	if noCopy && de.state == pageShared {
+		// The requester disclaims the read copy the directory has on record
+		// (an abandoned prefetch or failed install left the directory ahead
+		// of its page table). Believe the page table: drop the stale sharer
+		// entry so the grant below transfers the data again instead of
+		// assuming a copy that does not exist.
+		if _, stale := de.sharers[req]; stale {
+			delete(de.sharers, req)
+			sp.svc.metrics.Counter("vm.dir.desync_repaired").Inc()
+		}
+	}
 	de.version++
 	ver := de.version
 

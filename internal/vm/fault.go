@@ -94,6 +94,7 @@ func (sp *Space) access(p *sim.Proc, core int, addr mem.Addr, op accessOp) (int6
 	if write && sp.svc.writeForwarding && !sp.isOrigin {
 		return sp.forwardWrite(p, addr, op)
 	}
+	noCopy := false
 	for attempt := 0; attempt < maxFaultRetries; attempt++ {
 		vma, err := sp.lookupVMA(p, vpn)
 		if err != nil {
@@ -137,7 +138,7 @@ func (sp *Space) access(p *sim.Proc, core int, addr mem.Addr, op accessOp) (int6
 		if col := sp.svc.ep.Collector(); col != nil {
 			faultScope = col.Begin(p, "vm.fault", int(sp.svc.node))
 		}
-		res, err := sp.resolveFault(p, vpn, op, pend)
+		res, err := sp.resolveFault(p, vpn, op, pend, noCopy)
 		faultScope.End()
 		delete(sp.pending, vpn)
 		pend.done.Broadcast()
@@ -156,6 +157,10 @@ func (sp *Space) access(p *sim.Proc, core int, addr mem.Addr, op accessOp) (int6
 			// guaranteed even under heavy write contention.
 			return res.value, nil
 		}
+		if res.lostCopy {
+			sp.svc.metrics.Counter("vm.fault.desync").Inc()
+			noCopy = true
+		}
 		sp.svc.metrics.Counter("vm.fault.retried").Inc()
 		// A racing invalidation or layout change voided the grant; redo
 		// the walk from the top.
@@ -164,10 +169,13 @@ func (sp *Space) access(p *sim.Proc, core int, addr mem.Addr, op accessOp) (int6
 }
 
 // accessResult is the outcome of a fault resolution: completed means the
-// faulting access itself was performed during installation.
+// faulting access itself was performed during installation; lostCopy means
+// the grant assumed this kernel still held a copy that its page table does
+// not have, so the retry must disclaim it to the directory.
 type accessResult struct {
 	value     int64
 	completed bool
+	lostCopy  bool
 }
 
 // lookupVMA finds the VMA covering the page, consulting the origin on a
@@ -199,14 +207,14 @@ func (sp *Space) lookupVMA(p *sim.Proc, vpn mem.VPN) (VMA, error) {
 // the origin, over a PageFetch RPC elsewhere) and installs the result,
 // performing the faulting access atomically with the installation unless a
 // racing invalidation voided the grant.
-func (sp *Space) resolveFault(p *sim.Proc, vpn mem.VPN, op accessOp, pend *pendingFault) (accessResult, error) {
+func (sp *Space) resolveFault(p *sim.Proc, vpn mem.VPN, op accessOp, pend *pendingFault, noCopy bool) (accessResult, error) {
 	write := op.needsWrite()
 	var grant *pageGrant
 	if sp.isOrigin {
 		sp.svc.metrics.Counter("vm.fault.local").Inc()
 		sp.asLock.RLock(p)
 		//popcornvet:allow locksend the shared asLock orders this fault against concurrent VMA updates; the revocation handlers it can trigger touch only remote page tables and never take the origin asLock
-		g, err := sp.dirTransaction(p, sp.svc.node, vpn, write)
+		g, err := sp.dirTransaction(p, sp.svc.node, vpn, write, noCopy)
 		sp.asLock.RUnlock(p)
 		if err != nil {
 			return accessResult{}, err
@@ -216,7 +224,7 @@ func (sp *Space) resolveFault(p *sim.Proc, vpn mem.VPN, op accessOp, pend *pendi
 		sp.svc.metrics.Counter("vm.fault.remote").Inc()
 		reply, err := sp.svc.ep.Call(p, &msg.Message{
 			Type: msg.TypePageFetch, To: sp.origin, Size: sizeSmallReq,
-			Payload: &pageFetchReq{GID: sp.gid, VPN: vpn, Write: write},
+			Payload: &pageFetchReq{GID: sp.gid, VPN: vpn, Write: write, NoCopy: noCopy},
 		})
 		if err != nil {
 			return accessResult{}, err
@@ -264,9 +272,14 @@ func (sp *Space) install(p *sim.Proc, vpn mem.VPN, g *pageGrant, pend *pendingFa
 		}
 		pte, ok := sp.pt.Lookup(vpn)
 		if !ok {
-			// The copy was reclaimed while the upgrade was in flight; the
-			// caller's access loop retries from the top.
-			return accessResult{}, nil
+			// The directory believes this kernel holds a copy, but the page
+			// table disagrees: either a racing reclaim (the retry resolves
+			// it) or the directory is genuinely ahead — an abandoned
+			// prefetch or a failed install recorded a sharer that never
+			// materialised. The retry disclaims the copy so the origin
+			// repairs its entry and transfers the data; without that the
+			// access loop would redraw this same grant forever.
+			return accessResult{lostCopy: true}, nil
 		}
 		pte.Prot = g.Prot
 		sp.pt.Set(vpn, pte)
@@ -461,6 +474,14 @@ func (sp *Space) Prefetch(p *sim.Proc, core int, addr mem.Addr, pages int) (int,
 		wg.Wait(p)
 		return n, nil
 	}
+	if sp.svc.ep.PeerHealth(sp.origin) == msg.PeerSlow {
+		// The gray detector marked the origin link sick: speculative batch
+		// fetches are exactly the load a degraded link cannot absorb, and
+		// demand faults will still get through on their own. Advisory call,
+		// advisory shed — the caller just runs without the warm cache.
+		sp.svc.metrics.Counter("vm.prefetch.shed").Inc()
+		return 0, nil
+	}
 	// Register pendings for the pages we will request so concurrent
 	// faults coalesce and racing invalidations void individual entries.
 	type slot struct {
@@ -470,10 +491,17 @@ func (sp *Space) Prefetch(p *sim.Proc, core int, addr mem.Addr, pages int) (int,
 	var want []slot
 	for i := 0; i < pages; i++ {
 		vpn := first + mem.VPN(i)
-		if _, ok := sp.pt.Lookup(vpn); ok {
-			continue
-		}
-		if _, busy := sp.pending[vpn]; busy {
+		_, resident := sp.pt.Lookup(vpn)
+		_, busy := sp.pending[vpn]
+		if resident || busy {
+			// The batch request is a contiguous (VPN, Count) range and the
+			// origin records a sharer for every page it grants, so a hole —
+			// a page this kernel will not install — would leave the
+			// directory ahead of the page table. End the batch at the first
+			// hole instead of spanning it; later pages stay demand-faulted.
+			if len(want) > 0 {
+				break
+			}
 			continue
 		}
 		pend := &pendingFault{done: sim.NewCond()}
@@ -497,6 +525,12 @@ func (sp *Space) Prefetch(p *sim.Proc, core int, addr mem.Addr, pages int) (int,
 	})
 	if err != nil {
 		finish()
+		if msg.IsBackpressure(err) {
+			// Prefetch is advisory: under overload it is the first load to
+			// shed, not an error the caller should see.
+			sp.svc.metrics.Counter("vm.prefetch.shed").Inc()
+			return 0, nil
+		}
 		return 0, err
 	}
 	grant := reply.Payload.(*pageGrant)
@@ -550,7 +584,7 @@ func (sp *Space) batchTransactions(p *sim.Proc, req msg.NodeID, first mem.VPN, c
 		sp.svc.e.Spawn("vm-batch", func(bp *sim.Proc) {
 			defer wg.Done()
 			bp.SetSpan(parentSpan)
-			g, err := sp.dirTransaction(bp, req, first+mem.VPN(i), false)
+			g, err := sp.dirTransaction(bp, req, first+mem.VPN(i), false, false)
 			if err != nil {
 				out.Batch[i] = batchEntry{Code: codeOther}
 				return

@@ -89,7 +89,11 @@ func (s *Service) handlePageFetch(p *sim.Proc, m *msg.Message) *msg.Message {
 	if !ok || !sp.isOrigin {
 		return &msg.Message{Size: sizeVMAReply, Payload: &pageGrant{Code: codeOther, Err: fmt.Sprintf("kernel %d is not origin of group %d", s.node, req.GID)}}
 	}
-	if req.Count > 1 {
+	// Count > 0 marks a prefetch (demand faults leave it zero). A
+	// single-page prefetch must still take the batch path: the requester
+	// installs from grant.Batch, and answering it with a scalar grant would
+	// record a sharer that never materialises.
+	if req.Count > 0 {
 		sp.asLock.RLock(p)
 		//popcornvet:allow locksend the shared asLock orders remote faults against concurrent VMA updates; the revocation handlers it can trigger touch only remote page tables and never take the origin asLock
 		grant := sp.batchTransactions(p, m.From, req.VPN, req.Count)
@@ -113,7 +117,7 @@ func (s *Service) handlePageFetch(p *sim.Proc, m *msg.Message) *msg.Message {
 	}
 	sp.asLock.RLock(p)
 	//popcornvet:allow locksend the shared asLock orders remote faults against concurrent VMA updates; the revocation handlers it can trigger touch only remote page tables and never take the origin asLock
-	grant, err := sp.dirTransaction(p, m.From, req.VPN, req.Write)
+	grant, err := sp.dirTransaction(p, m.From, req.VPN, req.Write, req.NoCopy)
 	sp.asLock.RUnlock(p)
 	if err != nil {
 		grant = &pageGrant{Code: codeOther, Err: err.Error()}

@@ -86,6 +86,12 @@ type pageFetchReq struct {
 	VPN   mem.VPN
 	Write bool
 	Count int
+	// NoCopy declares that the requester holds no copy of the page even if
+	// the directory lists it as a sharer. A faulting kernel sets it after a
+	// grant assumed a copy it does not have (an abandoned prefetch or a
+	// failed install left the directory ahead of the page table); the origin
+	// then drops the stale sharer entry so the regrant carries the data.
+	NoCopy bool
 	// Forward selects a remotely applied operation (fwd* codes); Addr, Val
 	// and Old are its operands.
 	Forward int

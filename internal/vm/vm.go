@@ -148,7 +148,7 @@ type Service struct {
 	fabric  *msg.Fabric
 	node    msg.NodeID
 	ep      *msg.Endpoint
-	frames FrameSource
+	frames  FrameSource
 	//popcornvet:allow kernlocal commutative counters; per-kernel shards merged at pause under the parallel engine
 	metrics *stats.Registry
 	spaces  map[GID]*Space
