@@ -23,7 +23,7 @@ func R2OverloadSweep(s Scale) (*stats.Table, error) {
 		mults = []int{1, 10}
 	}
 	t := stats.NewTable("R2: overload sweep - credit flow control off vs on (bulk 16 KiB, probe RPCs sharing the link)",
-		"offered load", "flow", "delivered", "shed", "probe p99 (us)", "max queue depth")
+		"offered load", "flow", "delivered", "shed", "probe p99 (us)", "probes ok", "probes refused", "max queue depth")
 	for _, mult := range mults {
 		for _, flow := range []bool{false, true} {
 			r, err := oneOverloadCell(mult, flow)
@@ -38,6 +38,8 @@ func R2OverloadSweep(s Scale) (*stats.Table, error) {
 				fmt.Sprintf("%d", r.delivered),
 				fmt.Sprintf("%d", r.shed),
 				fmt.Sprintf("%.1f", float64(r.p99.Nanoseconds())/1000),
+				fmt.Sprintf("%d", r.probeOK),
+				fmt.Sprintf("%d", r.probeRefused),
 				fmt.Sprintf("%d", r.maxDepth))
 		}
 	}
@@ -45,10 +47,12 @@ func R2OverloadSweep(s Scale) (*stats.Table, error) {
 }
 
 type overloadCell struct {
-	delivered uint64
-	shed      uint64
-	p99       time.Duration
-	maxDepth  uint64
+	delivered    uint64
+	shed         uint64
+	p99          time.Duration
+	probeOK      uint64
+	probeRefused uint64
+	maxDepth     uint64
 }
 
 // oneOverloadCell runs one generator/prober pair at the given offered-load
@@ -103,7 +107,12 @@ func oneOverloadCell(mult int, flow bool) (*overloadCell, error) {
 			}
 		})
 	}
+	// Every probe attempt lands in the histogram — successes with their RTT,
+	// refusals with the time burned before the refusal — so the flow-on p99
+	// compares the same population as flow-off rather than surviving
+	// successes only. The ok/refused split is reported alongside.
 	probe := reg.Histogram("bench.r2.probe")
+	var probeOK, probeRefused uint64
 	e.Spawn("r2-probe", func(p *sim.Proc) {
 		ep := fabric.Endpoint(0)
 		for p.Now().Duration() < probeEnd {
@@ -112,9 +121,11 @@ func oneOverloadCell(mult int, flow bool) (*overloadCell, error) {
 				if !msg.IsBackpressure(err) && !msg.IsDeadPeer(err) {
 					panic(err)
 				}
+				probeRefused++
 			} else {
-				probe.Observe(p.Now().Sub(start))
+				probeOK++
 			}
+			probe.Observe(p.Now().Sub(start))
 			p.Sleep(probeGap)
 		}
 	})
@@ -122,9 +133,11 @@ func oneOverloadCell(mult int, flow bool) (*overloadCell, error) {
 		return nil, err
 	}
 	return &overloadCell{
-		delivered: delivered,
-		shed:      reg.Counter("msg.flow.shed").Value() + reg.Counter("msg.flow.backpressure").Value(),
-		p99:       probe.Quantile(0.99),
-		maxDepth:  reg.Counter("msg.queue.maxdepth").Value(),
+		delivered:    delivered,
+		shed:         reg.Counter("msg.flow.shed").Value() + reg.Counter("msg.flow.backpressure").Value(),
+		p99:          probe.Quantile(0.99),
+		probeOK:      probeOK,
+		probeRefused: probeRefused,
+		maxDepth:     reg.Counter("msg.queue.maxdepth").Value(),
 	}, nil
 }

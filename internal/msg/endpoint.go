@@ -270,7 +270,10 @@ func (ep *Endpoint) Call(p *sim.Proc, m *Message) (*Message, error) {
 		return nil, err
 	}
 	if err := ep.flowAdmit(p, m, ep.f.creditWait(), false); err != nil {
-		ep.breakerResult(m.To, true)
+		// A credit refusal is local congestion — the receiver is busy, not
+		// broken — so it contributes no breaker failure; it only releases a
+		// half-open probe slot this caller may have claimed.
+		ep.breakerAbort(m.To)
 		return nil, err
 	}
 	ep.prepare(m)
@@ -300,7 +303,18 @@ func (ep *Endpoint) Call(p *sim.Proc, m *Message) (*Message, error) {
 	if ep.f.plan != nil {
 		reply, err := ep.callHardened(p, m, c, start)
 		if ep.f.flow != nil && !controlLane(m) {
-			ep.breakerResult(m.To, err != nil)
+			// Only genuine RPC outcomes feed the breaker: success and
+			// dead-peer/timeout-exhausted failures are evidence about the
+			// peer; a backpressure refusal (retry budget) is evidence about
+			// congestion and must not convert into a breaker outage.
+			switch {
+			case err == nil:
+				ep.breakerResult(m.To, false)
+			case IsDeadPeer(err):
+				ep.breakerResult(m.To, true)
+			default:
+				ep.breakerAbort(m.To)
+			}
 		}
 		if err == nil {
 			ep.grayObserve(m.To, p.Now().Sub(start))
@@ -313,6 +327,12 @@ func (ep *Endpoint) Call(p *sim.Proc, m *Message) (*Message, error) {
 	}
 	if !c.done {
 		return nil, fmt.Errorf("msg: RPC %v to node %d woken without reply", m.Type, m.To)
+	}
+	if ep.f.flow != nil && !controlLane(m) {
+		// Mirror the hardened path: the success must reach the breaker even
+		// on a reliable fabric, or a half-open probe that succeeds leaves the
+		// breaker wedged in probing and every later bulk RPC fast-fails.
+		ep.breakerResult(m.To, false)
 	}
 	rtt := p.Now().Sub(start)
 	ep.f.metrics.Histogram("msg.rpc.rtt").Observe(rtt)

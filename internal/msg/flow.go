@@ -599,6 +599,25 @@ func (ep *Endpoint) breakerResult(peer NodeID, failed bool) {
 	}
 }
 
+// breakerAbort resolves a bulk RPC attempt that ended in a congestion
+// refusal (credit wait expired, retry budget dry) instead of a genuine
+// outcome. Local backpressure says nothing about the peer's health, so no
+// failure is counted — but if the attempt held the half-open probe slot, the
+// breaker re-arms to open with a fresh cooldown rather than staying wedged
+// in probing, so a later caller gets to run the probe for real.
+func (ep *Endpoint) breakerAbort(peer NodeID) {
+	fl := ep.f.flow
+	if fl == nil {
+		return
+	}
+	st := ep.flowPeer(peer)
+	if st.breaker == breakerHalfOpen {
+		st.breaker = breakerOpen
+		st.openedAt = ep.f.e.Now()
+		st.probing = false
+	}
+}
+
 // budgetAllow spends one retransmission token toward peer n, refilling the
 // bucket at RetryBudget per RetryBudgetWindow of sim time. An empty bucket
 // means the caller must stop retransmitting — under a retry storm this is

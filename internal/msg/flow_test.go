@@ -187,6 +187,95 @@ func TestBreakerCycle(t *testing.T) {
 	}
 }
 
+// TestCreditRefusalDoesNotTripBreaker pins the breaker's evidence rule: a
+// credit-wait refusal is local congestion (the receiver is busy, not
+// broken), so a burst of backpressured RPCs must leave the breaker closed
+// and a later RPC — issued once the backlog drains — must succeed. Before
+// the rule, BreakerFailures refusals opened the breaker on this
+// flow-without-faults fabric and, with no path ever reporting success back
+// to it, a half-open probe could never close it again.
+func TestCreditRefusalDoesNotTripBreaker(t *testing.T) {
+	e := sim.NewEngine(sim.WithSeed(9))
+	defer e.Close()
+	f := flowFabric(t, e, FlowConfig{
+		CreditsPerLink:  1,
+		MaxCreditWait:   50 * time.Microsecond,
+		BreakerFailures: 2,
+	})
+	f.Endpoint(1).Handle(TypeUser, func(p *sim.Proc, m *Message) *Message { return nil })
+	f.Endpoint(1).Handle(TypePing, func(p *sim.Proc, m *Message) *Message {
+		return &Message{Size: 8}
+	})
+	refused := 0
+	var finalErr error
+	e.Spawn("caller", func(p *sim.Proc) {
+		ep := f.Endpoint(0)
+		// The huge message wedges the dispatcher; the small one then holds
+		// the link's only credit while queued behind it.
+		ep.Send(p, &Message{Type: TypeUser, To: 1, Size: 1 << 20})
+		ep.Send(p, &Message{Type: TypeUser, To: 1, Size: 64})
+		for i := 0; i < 3; i++ {
+			_, err := ep.Call(p, &Message{Type: TypePing, To: 1, Size: 8})
+			var bp *BackpressureError
+			if !errors.As(err, &bp) {
+				t.Errorf("Call %d under pressure: %v, want BackpressureError", i, err)
+				continue
+			}
+			if bp.Reason != "credits" {
+				t.Errorf("Call %d refused with %q, want \"credits\" — a breaker verdict means congestion was misread as peer failure", i, bp.Reason)
+			}
+			refused++
+		}
+		// Ride out the backlog; the same link must then serve RPCs again.
+		p.Sleep(3 * time.Millisecond)
+		_, finalErr = ep.Call(p, &Message{Type: TypePing, To: 1, Size: 8})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if refused != 3 {
+		t.Fatalf("%d calls refused under pressure, want 3", refused)
+	}
+	if finalErr != nil {
+		t.Fatalf("Call after the backlog drained: %v, want success", finalErr)
+	}
+	if n := f.metrics.Counter("msg.flow.breaker_open").Value(); n != 0 {
+		t.Errorf("msg.flow.breaker_open = %d, want 0 — credit refusals must not trip the breaker", n)
+	}
+	if n := f.metrics.Counter("msg.flow.breaker_fastfail").Value(); n != 0 {
+		t.Errorf("msg.flow.breaker_fastfail = %d, want 0", n)
+	}
+}
+
+// TestBreakerAbortRearmsProbe pins breakerAbort's contract: aborting a held
+// half-open probe re-arms the breaker open with a fresh cooldown — so a
+// later caller can run the probe for real — without touching the failure
+// count, and aborting with the breaker closed is a no-op.
+func TestBreakerAbortRearmsProbe(t *testing.T) {
+	e := sim.NewEngine(sim.WithSeed(10))
+	defer e.Close()
+	f := flowFabric(t, e, FlowConfig{CreditsPerLink: 4, BreakerCooldown: time.Millisecond})
+	ep := f.Endpoint(0)
+	ep.breakerAbort(1)
+	if st := ep.flowPeer(1); st.breaker != breakerClosed {
+		t.Fatalf("abort on a closed breaker moved it to state %d, want closed", st.breaker)
+	}
+	st := ep.flowPeer(1)
+	st.breaker = breakerHalfOpen
+	st.probing = true
+	st.fails = 1
+	ep.breakerAbort(1)
+	if st.breaker != breakerOpen || st.probing {
+		t.Fatalf("abort of a held probe left (state=%d, probing=%v), want re-armed open", st.breaker, st.probing)
+	}
+	if st.fails != 1 {
+		t.Fatalf("abort changed the failure count to %d, want it untouched at 1", st.fails)
+	}
+	if err := ep.breakerAllow(&Message{Type: TypePing, To: 1}); !IsBackpressure(err) {
+		t.Fatalf("breakerAllow inside the re-armed cooldown = %v, want a circuit-open fast-fail", err)
+	}
+}
+
 // TestRetryBudgetStopsStorm drops every request on one link and requires
 // the retry budget — not the full retransmit schedule — to end the call,
 // converting a would-be storm into a bounded, paced failure.
