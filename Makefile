@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet govet popcornvet vet-json allowlist escapes escapes-baseline bench-compare popcornmc soak soak-overload test bench trace-demo
+.PHONY: verify build vet govet popcornvet vet-json allowlist escapes escapes-baseline bench-compare popcornmc soak soak-overload soak-failover test bench trace-demo
 
 verify: build vet escapes test popcornmc soak trace-demo
 
@@ -45,7 +45,7 @@ escapes-baseline:
 # Perf regression gate: regenerate a fresh full-scale snapshot and compare
 # per-experiment gen_ns against the last checked-in snapshot (>10% and
 # >10ms worse fails). Override BENCH_BASE when re-anchoring.
-BENCH_BASE ?= BENCH_7.json
+BENCH_BASE ?= BENCH_8.json
 bench-compare:
 	$(GO) run ./cmd/benchtable -scale full -json /tmp/bench_current.json > /dev/null
 	$(GO) run ./cmd/benchtable -compare $(BENCH_BASE) /tmp/bench_current.json
@@ -64,13 +64,21 @@ popcornmc:
 # from its checkpoint; see DESIGN.md §9. The overload soak layers 10x
 # offered load, a gray link and a crash-heal cycle over the flow-control
 # plane and asserts the backlog stays credit-bounded while the breaker runs
-# a full open -> half-open -> close cycle; see DESIGN.md §13.
+# a full open -> half-open -> close cycle; see DESIGN.md §13. The failover
+# soak crashes the origin kernel on a protocol-relative trigger with the
+# origin-replication plane attached and asserts the ring successor promotes
+# with zero reclaimed pages, zero orphaned exits and the stale origin
+# fenced; see DESIGN.md §14.
 soak:
 	$(GO) run ./cmd/popcornmc -soak -seeds 16
 	$(GO) run ./cmd/popcornmc -soak -overload -seeds 16
+	$(GO) run ./cmd/popcornmc -soak -failover -seeds 16
 
 soak-overload:
 	$(GO) run ./cmd/popcornmc -soak -overload -seeds 16
+
+soak-failover:
+	$(GO) run ./cmd/popcornmc -soak -failover -seeds 16
 
 test:
 	$(GO) test -race ./...

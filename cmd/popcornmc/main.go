@@ -70,6 +70,7 @@ func run() error {
 	fseed := flag.Int64("fseed", 0, "fault-plan seed (default: the schedule seed)")
 	soak := flag.Bool("soak", false, "run the chaos soak: crash→heal→crash cycles over recoverable workloads, asserting end-state recovery invariants")
 	overload := flag.Bool("overload", false, "with -soak: run the overload soak instead — 10x offered load, a slow-link window and a crash-heal cycle against the flow-control plane")
+	failover := flag.Bool("failover", false, "with -soak: run the failover soak instead — the origin kernel dies mid-replication-stream with the failover plane on, asserting zero reclaimed pages and zero orphaned exits")
 	traceN := flag.Int("trace", 512, "trace buffer capacity behind violation reports")
 	noShrink := flag.Bool("noshrink", false, "report the failing seed without minimising it")
 	verbose := flag.Bool("v", false, "print a line per seed")
@@ -78,6 +79,9 @@ func run() error {
 	if *soak {
 		if *overload {
 			return runOverload(*seeds, *seed, *verbose)
+		}
+		if *failover {
+			return runFailoverSoak(*seeds, *seed, *verbose)
 		}
 		return runSoak(*seeds, *seed, *verbose)
 	}

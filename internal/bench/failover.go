@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinj"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/msg"
+	"repro/internal/osi"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// R3FailoverSweep measures what the origin-replication plane costs and what
+// it buys. Three configurations of the same 4-kernel directory-heavy
+// workload (process origin on kernel 0, workers on the survivors):
+//
+//   - replication off, no crash: the baseline;
+//   - replication on, no crash: every directory and group mutation pays a
+//     synchronous ship to the ring successor — the steady-state overhead;
+//   - replication on, origin crash: kernel 0 dies mid-run. Downtime is the
+//     gap between the crash and the successor's promotion (detection
+//     dominates it), and the max fault stall is the longest any worker
+//     operation waited — the ops that straddled the outage pay detection
+//     plus promotion plus their paced retries.
+//
+// The crash row must finish with zero reclaimed pages and zero orphaned
+// exits: the failover contract, measured rather than asserted.
+func R3FailoverSweep(s Scale) (*stats.Table, error) {
+	seeds := 8
+	if s == Quick {
+		seeds = 2
+	}
+	type config struct {
+		name            string
+		failover, crash bool
+	}
+	configs := []config{
+		{"off / no crash", false, false},
+		{"on / no crash", true, false},
+		{"on / origin crash", true, true},
+	}
+	t := stats.NewTable(fmt.Sprintf("R3: origin-failover sweep - replication overhead and crash downtime (%d seeds, 4 kernels)", seeds),
+		"replication / fault", "completion (ms)", "repl records", "downtime (us)", "max fault stall (us)", "promoted", "reclaimed", "orphaned")
+	for _, cfg := range configs {
+		var (
+			completion, downtime, stall               time.Duration
+			replicated, promoted, reclaimed, orphaned uint64
+		)
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			c, err := oneFailoverCell(seed, cfg.failover, cfg.crash)
+			if err != nil {
+				return nil, fmt.Errorf("%s seed %d: %w", cfg.name, seed, err)
+			}
+			completion += c.completion
+			downtime += c.downtime
+			if c.maxStall > stall {
+				stall = c.maxStall
+			}
+			replicated += c.replicated
+			promoted += c.promoted
+			reclaimed += c.reclaimed
+			orphaned += c.orphaned
+		}
+		n := time.Duration(seeds)
+		t.AddRow(cfg.name,
+			fmt.Sprintf("%.3f", float64((completion/n).Nanoseconds())/1e6),
+			fmt.Sprintf("%d", replicated),
+			fmt.Sprintf("%.1f", float64((downtime/n).Nanoseconds())/1000),
+			fmt.Sprintf("%.1f", float64(stall.Nanoseconds())/1000),
+			fmt.Sprintf("%d", promoted),
+			fmt.Sprintf("%d", reclaimed),
+			fmt.Sprintf("%d", orphaned))
+	}
+	return t, nil
+}
+
+// failoverCell is one seed's outcome for one R3 configuration.
+type failoverCell struct {
+	completion time.Duration
+	downtime   time.Duration
+	maxStall   time.Duration
+	replicated uint64
+	promoted   uint64
+	reclaimed  uint64
+	orphaned   uint64
+}
+
+// oneFailoverCell runs the R3 workload once. The crash is absolute-time
+// (not protocol-relative like the soak's): the downtime measurement needs a
+// known crash instant to subtract from the observed promotion instant.
+func oneFailoverCell(seed int64, failover, crash bool) (*failoverCell, error) {
+	const crashAt = 1500 * time.Microsecond
+	topo := hw.Topology{Cores: 16, NUMANodes: 2}
+	machine, err := hw.NewMachine(topo, hw.DefaultCostModel())
+	if err != nil {
+		return nil, err
+	}
+	cc := kernel.DefaultClusterConfig(machine)
+	cc.Kernels = 4
+	o, err := core.Boot(core.Config{Topology: topo, Cluster: &cc, Seed: seed, TieShuffle: true})
+	if err != nil {
+		return nil, err
+	}
+	defer o.Close()
+	e := o.Engine()
+	if failover {
+		o.EnableFailover()
+	}
+	if crash {
+		o.EnableFaults(&faultinj.Plan{
+			Seed:    seed,
+			Crashes: []faultinj.NodeCrash{{Node: 0, At: crashAt}},
+		}, msg.FaultConfig{})
+	}
+	cell := &failoverCell{}
+	var runErr error
+	e.Spawn("r3-driver", func(p *sim.Proc) {
+		pr, err := o.StartProcessOn(p, 0)
+		if err != nil {
+			runErr = err
+			return
+		}
+		var base mem.Addr
+		const (
+			shared  = 4
+			workers = 6
+		)
+		ready := sim.NewWaitGroup()
+		ready.Add(1)
+		if err := pr.Spawn(p, 0, func(th osi.Thread) {
+			a, err := th.Mmap((shared+workers+1)*hw.PageSize, mem.ProtRead|mem.ProtWrite)
+			if err != nil {
+				panic(err)
+			}
+			for i := 0; i < shared; i++ {
+				if err := th.Store(a+mem.Addr(i*hw.PageSize), int64(100+i)); err != nil {
+					panic(err)
+				}
+			}
+			base = a
+			ready.Done()
+		}); err != nil {
+			runErr = err
+			return
+		}
+		ready.Wait(p)
+		tally := base + mem.Addr((shared+workers)*hw.PageSize)
+		for i := 0; i < workers; i++ {
+			i := i
+			if err := pr.Spawn(p, 1+i%3, func(th osi.Thread) {
+				own := base + mem.Addr((shared+i)*hw.PageSize)
+				for n := 0; n < 60; n++ {
+					th.Compute(30 * time.Microsecond)
+					var err error
+					switch n % 3 {
+					case 0:
+						_, err = th.Load(base + mem.Addr((n%shared)*hw.PageSize))
+					case 1:
+						err = th.Store(own, int64(n))
+					default:
+						_, err = th.FetchAdd(tally, 1)
+					}
+					if err != nil {
+						panic(err)
+					}
+				}
+			}); err != nil {
+				runErr = err
+				return
+			}
+		}
+		if crash {
+			// Sample the handover: the promotion instant minus the known
+			// crash instant is the downtime (quantised by the poll period,
+			// which is well under the detection timeout it measures).
+			for o.Fabric().OriginHolder(0) == 0 {
+				p.Sleep(25 * time.Microsecond)
+			}
+			cell.downtime = p.Now().Duration() - crashAt
+		}
+		if err := pr.Join(p); err != nil {
+			runErr = err
+			return
+		}
+		if err := pr.Close(p); err != nil {
+			runErr = err
+			return
+		}
+		cell.completion = p.Now().Duration()
+	})
+	if err := e.Run(); err != nil {
+		return nil, err
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	m := o.Metrics()
+	cell.replicated = m.Counter("dir.failover.replicated").Value() + m.Counter("tg.failover.replicated").Value()
+	cell.promoted = m.Counter("msg.failover.promotions").Value()
+	cell.reclaimed = m.Counter("vm.pages.reclaimed").Value()
+	cell.orphaned = m.Counter("tg.exit.orphaned").Value()
+	for _, h := range []string{"vm.fault.latency.remote", "vm.fault.latency.local"} {
+		if max := m.Histogram(h).Max(); max > cell.maxStall {
+			cell.maxStall = max
+		}
+	}
+	if crash {
+		if cell.promoted == 0 {
+			return nil, fmt.Errorf("origin crash never produced a promotion")
+		}
+		if cell.reclaimed != 0 {
+			return nil, fmt.Errorf("%d pages reclaimed despite a live successor", cell.reclaimed)
+		}
+		if cell.orphaned != 0 {
+			return nil, fmt.Errorf("%d exits orphaned despite a promoted origin", cell.orphaned)
+		}
+	}
+	return cell, nil
+}

@@ -60,6 +60,7 @@ func Experiments() []Experiment {
 		{ID: "D5", Title: "Ablation: page ownership vs write forwarding", Run: wrapT(AblationPageOwnership)},
 		{ID: "R1", Title: "Fault-sweep transport & degradation counters", Run: wrapT(R1FaultCounters)},
 		{ID: "R2", Title: "Overload sweep: flow control off vs on", Run: wrapT(R2OverloadSweep)},
+		{ID: "R3", Title: "Origin-failover sweep: replication overhead & downtime", Run: wrapT(R3FailoverSweep)},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
 	return exps

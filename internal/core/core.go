@@ -220,6 +220,21 @@ func (o *OS) EnableFlow(cfg msg.FlowConfig) {
 	o.cluster.Fabric.EnableFlow(cfg)
 }
 
+// EnableFailover attaches the origin-failover plane (DESIGN.md §14): the
+// fabric's origin-epoch/holder tables and stale-origin fence, synchronous
+// replication of every kernel's page-directory and group-metadata mutations
+// to its ring successor, and promotion of the mirrored state when the
+// failure detector declares an origin dead. Call after boot, before the
+// workload runs; pair with EnableFaults for the detector that triggers
+// promotions. A detached OS behaves exactly as before.
+func (o *OS) EnableFailover() {
+	o.cluster.Fabric.EnableFailover()
+	for _, kn := range o.cluster.Kernels {
+		kn.VM.EnableFailover()
+		kn.TG.EnableFailover()
+	}
+}
+
 // EnableFaults attaches a fault plan to the inter-kernel fabric and wires
 // the OS-level degradation and recovery hooks: a crashing kernel halts every
 // thread it hosts (marked lost; their group accounting completes via the
@@ -429,7 +444,7 @@ func (pr *Process) spawnThread(p *sim.Proc, kernelHint int, fn osi.ThreadFunc, r
 		if ht, ok := pr.os.cluster.Kernels[tk.Kernel].TG.Task(pr.gid, tk.ID); ok {
 			ht.Recoverable = true
 		}
-		if err := pr.os.cluster.Kernels[pr.origin].TG.SetRecoverable(pr.gid, tk.ID); err != nil {
+		if err := pr.os.cluster.Kernels[pr.origin].TG.SetRecoverable(p, pr.gid, tk.ID); err != nil {
 			return err
 		}
 		pr.os.restartable[tk.ID] = restartEntry{pr: pr, fn: fn}
@@ -475,7 +490,16 @@ func (pr *Process) Wait(p *sim.Proc) { pr.wg.Wait(p) }
 //
 //popcornvet:allow kernlocal joins on the process's own origin kernel, where the caller's group state lives
 func (pr *Process) Join(p *sim.Proc) error {
-	return pr.os.cluster.Kernels[pr.origin].TG.WaitMembers(p, pr.gid, 1)
+	return pr.os.cluster.Kernels[pr.originKernel()].TG.WaitMembers(p, pr.gid, 1)
+}
+
+// originKernel resolves the kernel currently serving this process's origin
+// role: the boot-time origin until a failover promotes its successor. A
+// Join or Close issued after a promotion lands at the promoted holder; one
+// already blocked inside the dead kernel's service when the crash fired is
+// a documented limitation of the failover model (DESIGN.md §14).
+func (pr *Process) originKernel() msg.NodeID {
+	return pr.os.cluster.Fabric.OriginHolder(pr.origin)
 }
 
 // Close implements osi.Process: the main thread exits, tearing down the
@@ -488,7 +512,7 @@ func (pr *Process) Close(p *sim.Proc) error {
 		return nil
 	}
 	pr.closed = true
-	return pr.os.cluster.Kernels[pr.origin].TG.Exit(p, pr.gid, pr.main.ID)
+	return pr.os.cluster.Kernels[pr.originKernel()].TG.Exit(p, pr.gid, pr.main.ID)
 }
 
 // Thread is a running thread under the single-system image. Its syscall

@@ -61,6 +61,18 @@ type TypeCrash struct {
 	After time.Duration
 }
 
+// CrashOrigin kills a kernel relative to the directory protocol's own
+// progress: After elapses from the moment the kernel hosting the origin
+// commits its Nth directory transaction. Node names the origin kernel to
+// kill (the one whose page-directory/group state the crash orphans), so a
+// failover sweep can land the crash mid-replication-stream without knowing
+// the schedule's absolute timings.
+type CrashOrigin struct {
+	Node  int
+	Nth   int // 1-based directory-commit count at Node that arms the crash
+	After time.Duration
+}
+
 // NodeHeal reboots a crashed kernel at an absolute simulation time: the
 // kernel comes back empty (all pre-crash state is gone), bumps its
 // incarnation number, and runs the rejoin handshake with the survivors.
@@ -119,22 +131,25 @@ type Plan struct {
 	// plans compose with tie-shuffled schedules without perturbing them.
 	Seed int64
 
-	Rules       []Rule
-	Crashes     []NodeCrash
-	TypeCrashes []TypeCrash
-	Heals       []NodeHeal
-	Partitions  []Partition
-	SlowLinks   []SlowLink
+	Rules         []Rule
+	Crashes       []NodeCrash
+	TypeCrashes   []TypeCrash
+	OriginCrashes []CrashOrigin
+	Heals         []NodeHeal
+	Partitions    []Partition
+	SlowLinks     []SlowLink
 
-	rng     *sim.RNG
-	commits map[int]int
-	fired   []bool
+	rng         *sim.RNG
+	commits     map[int]int
+	fired       []bool
+	dirCommits  map[int]int
+	firedOrigin []bool
 }
 
 // HasCrashes reports whether the plan kills any kernel, which is what
 // decides whether the fabric needs heartbeats and failure detectors.
 func (pl *Plan) HasCrashes() bool {
-	return pl != nil && (len(pl.Crashes) > 0 || len(pl.TypeCrashes) > 0)
+	return pl != nil && (len(pl.Crashes) > 0 || len(pl.TypeCrashes) > 0 || len(pl.OriginCrashes) > 0)
 }
 
 // HasHeals reports whether the plan reboots any kernel.
@@ -151,6 +166,12 @@ func (pl *Plan) ensure() {
 	}
 	if pl.fired == nil {
 		pl.fired = make([]bool, len(pl.TypeCrashes))
+	}
+	if pl.dirCommits == nil {
+		pl.dirCommits = make(map[int]int)
+	}
+	if pl.firedOrigin == nil {
+		pl.firedOrigin = make([]bool, len(pl.OriginCrashes))
 	}
 }
 
@@ -196,6 +217,24 @@ func (pl *Plan) RecordCommit(typ int) []TypeCrash {
 		if !pl.fired[i] && tc.Type == typ && pl.commits[typ] == tc.Nth {
 			pl.fired[i] = true
 			armed = append(armed, tc)
+		}
+	}
+	return armed
+}
+
+// RecordDirCommit counts one directory-transaction commit at origin kernel
+// `node` and returns the OriginCrashes it arms (each fires at most once).
+// The count is per-kernel, a pure function of that kernel's own commit
+// order, which the deterministic engine fixes — so an origin-crash sweep
+// replays identically from its seed.
+func (pl *Plan) RecordDirCommit(node int) []CrashOrigin {
+	pl.ensure()
+	pl.dirCommits[node]++
+	var armed []CrashOrigin
+	for i, oc := range pl.OriginCrashes {
+		if !pl.firedOrigin[i] && oc.Node == node && pl.dirCommits[node] == oc.Nth {
+			pl.firedOrigin[i] = true
+			armed = append(armed, oc)
 		}
 	}
 	return armed

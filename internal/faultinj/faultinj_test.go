@@ -162,3 +162,52 @@ func TestSlowLinkWithoutJitterLeavesDecideStreamAlone(t *testing.T) {
 		}
 	}
 }
+
+// TestRecordDirCommitArmsNth: an origin crash arms exactly at the Nth
+// directory commit of its own kernel, at most once, and other kernels'
+// commit streams cannot advance it — the per-kernel counting that makes a
+// protocol-relative origin-crash sweep replay deterministically.
+func TestRecordDirCommitArmsNth(t *testing.T) {
+	pl := &Plan{Seed: 1, OriginCrashes: []CrashOrigin{
+		{Node: 0, Nth: 3, After: time.Microsecond},
+		{Node: 2, Nth: 2},
+	}}
+	// Interleave another kernel's commits: they must not advance node 0's
+	// count.
+	for i := 1; i <= 5; i++ {
+		if armed := pl.RecordDirCommit(1); len(armed) != 0 {
+			t.Fatalf("commit %d on uncovered kernel armed %d crashes", i, len(armed))
+		}
+		armed := pl.RecordDirCommit(0)
+		if i == 3 {
+			if len(armed) != 1 || armed[0].Node != 0 || armed[0].After != time.Microsecond {
+				t.Fatalf("commit %d armed %v, want the node-0 crash", i, armed)
+			}
+		} else if len(armed) != 0 {
+			t.Fatalf("commit %d on node 0 armed %d crashes, want 0", i, len(armed))
+		}
+	}
+	// The second entry still arms independently on its own kernel's stream.
+	pl.RecordDirCommit(2)
+	if armed := pl.RecordDirCommit(2); len(armed) != 1 || armed[0].Node != 2 {
+		t.Fatalf("node 2's second commit armed %v, want its crash", armed)
+	}
+	if armed := pl.RecordDirCommit(2); len(armed) != 0 {
+		t.Error("an already-fired origin crash re-armed")
+	}
+}
+
+// TestRecordDirCommitReplayDeterministic: two identical plans fed the same
+// interleaved commit stream arm at the same points.
+func TestRecordDirCommitReplayDeterministic(t *testing.T) {
+	mk := func() *Plan {
+		return &Plan{Seed: 5, OriginCrashes: []CrashOrigin{{Node: 0, Nth: 7}}}
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 32; i++ {
+		node := i % 3
+		if la, lb := len(a.RecordDirCommit(node)), len(b.RecordDirCommit(node)); la != lb {
+			t.Fatalf("step %d: plans diverged (%d vs %d armed)", i, la, lb)
+		}
+	}
+}

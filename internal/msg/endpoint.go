@@ -457,6 +457,15 @@ func (ep *Endpoint) prepare(m *Message) {
 //popcornvet:hotpath
 func (f *Fabric) deliver(m *Message) {
 	dst := f.endpoints[m.To]
+	if f.staleOrigin(m) {
+		// The message was prepared under an origin-epoch a promotion has
+		// since superseded — pre-failover traffic from (or addressed through)
+		// a stale origin. Dropped like dead-incarnation traffic: the promoted
+		// successor's state must never see it.
+		f.countLink("msg.fault.staleorigin", m.From, m.To)
+		f.flowRelease(m)
+		return
+	}
 	if f.plan != nil {
 		if dst.dead {
 			f.flowRelease(m)

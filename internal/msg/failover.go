@@ -1,0 +1,133 @@
+package msg
+
+// Origin failover plane (DESIGN.md §14). Each kernel's origin roles — the
+// page-directory entries and thread-group metadata it is authoritative
+// for — are mirrored to a deterministically chosen successor kernel over
+// TypeDirReplicate/TypeGroupReplicate. When the failure detector declares
+// the origin dead, the successor promotes itself under a new origin-epoch
+// and announces TypeOriginHandover; the fabric tracks (epoch, holder) per
+// original origin kernel so stale-epoch traffic — including anything a
+// rejoining old origin still has in flight from before its crash — is
+// fenced at delivery the way dead-incarnation traffic already is.
+
+// EnableFailover attaches the fabric's origin-failover plane: per-kernel
+// origin-epoch and holder tables, epoch stamping of origin-addressed
+// RPCs, and the stale-origin delivery fence. Call after boot, before the
+// workload runs. A detached fabric pays one nil check per delivery and
+// behaves exactly as before.
+func (f *Fabric) EnableFailover() {
+	if f.originEpoch != nil {
+		return
+	}
+	f.originEpoch = make([]uint64, len(f.endpoints))
+	f.originHolder = make([]NodeID, len(f.endpoints))
+	for i := range f.endpoints {
+		f.originEpoch[i] = 1
+		f.originHolder[i] = NodeID(i)
+	}
+}
+
+// FailoverEnabled reports whether EnableFailover has been called.
+func (f *Fabric) FailoverEnabled() bool { return f.originEpoch != nil }
+
+// Successor returns the deterministically chosen replication successor for
+// kernel n's origin roles: the next kernel in ring order. Every kernel
+// computes the same answer locally, so no agreement protocol is needed to
+// know where a given origin's log ships.
+func (f *Fabric) Successor(n NodeID) NodeID {
+	return NodeID((int(n) + 1) % len(f.endpoints))
+}
+
+// OriginHolder returns the kernel currently serving origin roles that
+// kernel `role` owned at boot: role itself until a failover, then the
+// promoted successor. With the failover plane detached it is the identity.
+func (f *Fabric) OriginHolder(role NodeID) NodeID {
+	if f.originEpoch == nil {
+		return role
+	}
+	return f.originHolder[role]
+}
+
+// OriginEpochOf returns the current origin-epoch for kernel `role`'s
+// roles (1 until the first promotion; 0 with the plane detached).
+func (f *Fabric) OriginEpochOf(role NodeID) uint64 {
+	if f.originEpoch == nil {
+		return 0
+	}
+	return f.originEpoch[role]
+}
+
+// StampOrigin stamps m as origin-role traffic for `role` under the current
+// epoch. First-wins, like the incarnation stamps: a retransmitted copy
+// keeps the epoch it was first prepared under, so copies that straddle a
+// promotion are fenced instead of mutating the successor's state.
+//
+//popcornvet:hotpath
+func (f *Fabric) StampOrigin(m *Message, role NodeID) {
+	if f.originEpoch == nil || m.OriginEpoch != 0 {
+		return
+	}
+	m.OriginNode = role
+	m.OriginEpoch = f.originEpoch[role]
+}
+
+// Promote records that `holder` now serves kernel `role`'s origin roles,
+// under a bumped origin-epoch, and returns the new epoch. Idempotent per
+// (role, holder) pair: promoting the current holder again does not bump
+// the epoch, so the cluster-wide handover announcement can be applied by
+// every receiver without coordinating who applies it first.
+func (f *Fabric) Promote(role, holder NodeID) uint64 {
+	if f.originEpoch == nil {
+		return 0
+	}
+	if f.originHolder[role] == holder {
+		return f.originEpoch[role]
+	}
+	f.originHolder[role] = holder
+	f.originEpoch[role]++
+	f.metrics.Counter("msg.failover.promotions").Inc()
+	return f.originEpoch[role]
+}
+
+// PromoteTo installs an externally announced (epoch, holder) pair for
+// `role`, taking it only if it is newer than the local view. Receivers of
+// TypeOriginHandover apply the announcement through this so a delayed or
+// reordered announcement can never roll the table backwards.
+func (f *Fabric) PromoteTo(role, holder NodeID, epoch uint64) {
+	if f.originEpoch == nil || epoch <= f.originEpoch[role] {
+		return
+	}
+	f.originHolder[role] = holder
+	f.originEpoch[role] = epoch
+}
+
+// staleOrigin reports whether m carries an origin-epoch stamp older than
+// the fabric's current view — traffic addressed to an origin role that has
+// since failed over. Such messages are dropped at delivery (deliver counts
+// them under msg.fault.staleorigin), exactly like dead-incarnation
+// traffic: the promoted successor's state must never see them.
+//
+//popcornvet:hotpath
+func (f *Fabric) staleOrigin(m *Message) bool {
+	return f.originEpoch != nil && m.OriginEpoch != 0 && m.OriginEpoch < f.originEpoch[m.OriginNode]
+}
+
+// RecordDirCommit counts one directory-transaction commit at kernel n
+// against the fault plan's protocol-relative origin-crash triggers and
+// schedules any it arms — the replication-plane mirror of dispatchWire's
+// TypeCrash arming. Services call it at each dirTransaction commit; a
+// fabric without a plan (or a plan without OriginCrashes) pays a nil
+// check.
+func (f *Fabric) RecordDirCommit(n NodeID) {
+	if f.plan == nil {
+		return
+	}
+	for _, oc := range f.plan.RecordDirCommit(int(n)) {
+		node := NodeID(oc.Node)
+		f.traceEvent("fault.origincrash", node, "armed by dir commit %d at kernel %d", oc.Nth, n)
+		f.e.Schedule(oc.After, func() {
+			f.crashesDone++
+			f.crashNode(node)
+		})
+	}
+}

@@ -143,7 +143,7 @@ func (f *Fabric) EnableFaults(plan *faultinj.Plan, cfg FaultConfig, hooks FaultH
 	// are replayable per seed without perturbing the tie-shuffle sequence.
 	f.jrng = sim.NewRNG(f.e.Seed() ^ 0x6a177e5)
 	f.crashed = make(map[NodeID]bool)
-	f.plannedCrashes = len(plan.Crashes) + len(plan.TypeCrashes)
+	f.plannedCrashes = len(plan.Crashes) + len(plan.TypeCrashes) + len(plan.OriginCrashes)
 	f.plannedHeals = len(plan.Heals)
 	f.incarnation = make([]uint64, len(f.endpoints))
 	now := f.e.Now()

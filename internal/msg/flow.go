@@ -258,11 +258,14 @@ func (ep *Endpoint) RetryBackoff() time.Duration {
 // controlLane reports whether m travels the priority control lane: RPC
 // replies (an unanswered reply wedges a caller holding resources),
 // heartbeats and rejoin handshakes (the failure plane must outrun the very
-// overload it is diagnosing), and page invalidations (coherence revocation
-// stalls writers machine-wide). Control traffic bypasses credits and is
-// dispatched ahead of bulk.
+// overload it is diagnosing), page invalidations (coherence revocation
+// stalls writers machine-wide), and the failover plane's replication and
+// handover traffic (a successor's mirror that lags behind bulk load is
+// stale exactly when a crash is most likely to need it). Control traffic
+// bypasses credits and is dispatched ahead of bulk.
 func controlLane(m *Message) bool {
-	return m.IsReply || m.Type == TypeHeartbeat || m.Type == TypeRejoin || m.Type == TypePageInvalidate
+	return m.IsReply || m.Type == TypeHeartbeat || m.Type == TypeRejoin || m.Type == TypePageInvalidate ||
+		m.Type == TypeDirReplicate || m.Type == TypeGroupReplicate || m.Type == TypeOriginHandover
 }
 
 // link resolves (or creates) the credit account for one directed pair.

@@ -78,6 +78,23 @@ const (
 	// verdict, and resumes traffic. EnableFaults registers its handler on
 	// every endpoint; without a fault plan it is never sent.
 	TypeRejoin
+	// TypeDirReplicate ships one page-directory mutation (or one
+	// address-space layout mutation) from a group's origin kernel to its
+	// designated successor, which mirrors the state so it can promote
+	// itself if the origin dies. Control-lane: replication must not starve
+	// behind bulk page traffic, or the successor's mirror goes stale
+	// exactly when load is highest.
+	TypeDirReplicate
+	// TypeGroupReplicate ships a thread group's metadata snapshot
+	// (membership, move epochs, checkpoints) from its origin kernel to the
+	// designated successor after each origin-side mutation. Control-lane,
+	// like TypeDirReplicate.
+	TypeGroupReplicate
+	// TypeOriginHandover announces cluster-wide that a successor kernel has
+	// promoted itself to origin for a dead kernel's groups, under a new
+	// origin-epoch. Receivers re-point their replicas at the new holder;
+	// traffic still stamped with the old epoch is fenced at delivery.
+	TypeOriginHandover
 	// TypeUser carries application-level traffic (the multikernel
 	// baseline's explicit inter-domain channels).
 	TypeUser
@@ -120,6 +137,9 @@ var typeNames = map[Type]string{
 	TypeSignal:         "signal",
 	TypeHeartbeat:      "heartbeat",
 	TypeRejoin:         "rejoin",
+	TypeDirReplicate:   "dir-replicate",
+	TypeGroupReplicate: "group-replicate",
+	TypeOriginHandover: "origin-handover",
 	TypeUser:           "user",
 }
 
@@ -184,6 +204,18 @@ type Message struct {
 	// DstInc is the destination's incarnation as the sender knew it; see
 	// SrcInc.
 	DstInc uint64
+
+	// OriginNode/OriginEpoch fence stale-origin traffic after a failover
+	// (failover plane only; zero otherwise). A message addressed to a
+	// group's origin role carries the role's original kernel and the
+	// origin-epoch the sender believed current; like SrcInc the stamp is
+	// first-wins, so retransmitted copies keep the epoch they were prepared
+	// under and are dropped at delivery once a successor has promoted under
+	// a newer one.
+	OriginNode NodeID
+	// OriginEpoch is the origin-epoch the sender believed current for
+	// OriginNode's roles; see OriginNode.
+	OriginEpoch uint64
 
 	// Span is the causal-tracing span for this message's wire transit (zero
 	// when no collector is attached). The sender opens it when the message
@@ -333,6 +365,14 @@ type Fabric struct {
 	incarnation  []uint64
 	plannedHeals int
 	healsDone    int
+
+	// originEpoch/originHolder are the failover plane's view of who serves
+	// each kernel's origin roles (nil until EnableFailover; see
+	// failover.go). originEpoch[k] starts at 1 and is bumped by every
+	// promotion of kernel k's roles; originHolder[k] is the kernel
+	// currently serving them (k itself until a failover).
+	originEpoch  []uint64
+	originHolder []NodeID
 }
 
 // SetTrace attaches an event buffer; nil detaches it.

@@ -16,10 +16,25 @@ import (
 func (s *Service) Exit(p *sim.Proc, gid vm.GID, id task.ID) error {
 	g, ok := s.groups[gid]
 	if !ok {
+		if s.failover {
+			// With failover on, a promoted origin reaps the members a crash
+			// took, and the last reap tears the group down before the
+			// process-level Close arrives here. Exiting an already-settled
+			// group is idempotent success.
+			s.metrics.Counter("tg.exit.settled").Inc()
+			return nil
+		}
 		return fmt.Errorf("%w: group %d on kernel %d", ErrNoGroup, gid, s.node)
 	}
 	t, ok := g.local[id]
 	if !ok {
+		if _, member := g.members[id]; s.failover && g.isOrigin && !member {
+			// Same settled case before the group's last member leaves: this
+			// member died with its crashed kernel and the promotion sweep
+			// already reaped it.
+			s.metrics.Counter("tg.exit.settled").Inc()
+			return nil
+		}
 		return fmt.Errorf("threadgroup: exit of task %d which is not live on kernel %d", id, s.node)
 	}
 	s.tasklist.Lock(p)
@@ -47,28 +62,7 @@ func (s *Service) Exit(p *sim.Proc, gid vm.GID, id task.ID) error {
 	if g.isOrigin {
 		return s.originMemberExited(p, g, id)
 	}
-	if g.originDead {
-		// The origin is gone; local cleanup is all the exit can do. The
-		// survivors' own PeerDied reaping settles the group accounting.
-		s.metrics.Counter("tg.exit.orphaned").Inc()
-		return nil
-	}
-	reply, err := s.ep.Call(p, &msg.Message{
-		Type: msg.TypeExitNotify, To: g.origin, Size: 64,
-		Payload: &exitNotify{GID: gid, TaskID: id},
-	})
-	if err != nil {
-		if msg.IsDeadPeer(err) {
-			g.originDead = true
-			s.metrics.Counter("tg.exit.orphaned").Inc()
-			return nil
-		}
-		return err
-	}
-	if r := reply.Payload.(*exitReply); r.Err != "" {
-		return fmt.Errorf("threadgroup: exit notify: %s", r.Err)
-	}
-	return nil
+	return s.notifyExit(p, g, id)
 }
 
 // originMemberExited updates the origin's member table and tears the group
@@ -83,12 +77,16 @@ func (s *Service) originMemberExited(p *sim.Proc, g *group, id task.ID) error {
 	delete(g.moveEpoch, id)
 	g.emptyWaiters.Broadcast()
 	if len(g.members) > 0 {
+		s.shipGroup(p, g)
 		return nil
 	}
 	if g.exited {
 		return nil
 	}
 	g.exited = true
+	// The final snapshot: the successor drops its mirror rather than keep a
+	// promotable copy of a group that no longer exists.
+	s.shipGroup(p, g)
 	s.metrics.Counter("tg.groupexit").Inc()
 	// Tear down every replica, then the origin's own state.
 	targets := make([]msg.NodeID, 0, len(g.replicas))

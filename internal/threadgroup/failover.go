@@ -1,0 +1,392 @@
+package threadgroup
+
+// Origin failover for the thread-group layer (DESIGN.md §14). With the
+// failover plane on, every origin-side group mutation — membership changes,
+// move-epoch bumps, checkpoint refreshes, replica registrations — ships a
+// full snapshot of the group's origin state to the fabric's ring successor
+// over TypeGroupReplicate (control lane). When the failure detector
+// declares the origin dead, the successor promotes the mirrored groups into
+// authoritative origin state, restarts or reaps the members the crash took,
+// bumps the origin-epoch, and announces TypeOriginHandover cluster-wide so
+// every kernel re-points its replicas (and the fabric fences stale-epoch
+// traffic from the old origin). Member exits then propagate to WaitMembers
+// waiters through the promoted origin instead of completing orphaned.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/vm"
+)
+
+// tgFailoverRetryDelay paces origin-RPC retries while a failover is in
+// flight, and tgFailoverRetryMax bounds them; together they span well past
+// the detection-plus-promotion window, after which the orphaned-exit
+// degradation applies as if failover were off.
+const (
+	tgFailoverRetryDelay = 200 * time.Microsecond
+	tgFailoverRetryMax   = 64
+)
+
+// memberRec is one member's location in a group snapshot.
+type memberRec struct {
+	ID   task.ID
+	Node msg.NodeID
+}
+
+// epochRec is one member's accepted move epoch in a group snapshot.
+type epochRec struct {
+	ID    task.ID
+	Epoch int
+}
+
+// ckptRec is one recoverable member's restart checkpoint in a snapshot.
+type ckptRec struct {
+	ID  task.ID
+	Ctx task.Context
+}
+
+// groupRepl is the full origin-state snapshot of one group, shipped to the
+// replication successor after every origin-side mutation. Snapshots carry a
+// monotonic per-group version so a fault-plan duplicate can never roll the
+// mirror backwards; all slices are sorted for determinism.
+type groupRepl struct {
+	GID         vm.GID
+	Origin      msg.NodeID
+	SnapVersion uint64
+	Members     []memberRec
+	Replicas    []msg.NodeID
+	MoveEpochs  []epochRec
+	Recoverable []task.ID
+	Restarted   []task.ID
+	Checkpoints []ckptRec
+	// Exited marks the group's final snapshot: the last member left and the
+	// group tore down, so the successor drops its mirror instead of keeping
+	// a promotable copy of a dead group.
+	Exited bool
+}
+
+// originHandover announces a completed promotion cluster-wide: Holder now
+// serves the origin roles listed in Roles (with their bumped epochs) and
+// the groups listed in GIDs. Receivers re-point replicas and install the
+// epochs, fencing stale-origin traffic.
+type originHandover struct {
+	Holder msg.NodeID
+	Roles  []msg.NodeID
+	Epochs []uint64
+	GIDs   []vm.GID
+}
+
+// EnableFailover turns on origin replication for this kernel's groups.
+// Call after boot, before the workload runs; the fabric's failover plane
+// and the VM service's replication must be enabled alongside.
+func (s *Service) EnableFailover() { s.failover = true }
+
+// shipGroup mirrors g's full origin state to the replication successor.
+// Synchronous: the mutation that triggered it is not acknowledged to its
+// requester until the successor has logged the snapshot. A dead successor
+// skips the ship (counted) and the origin keeps running unreplicated.
+func (s *Service) shipGroup(p *sim.Proc, g *group) {
+	if !s.failover || !g.isOrigin {
+		return
+	}
+	g.snapVersion++
+	rep := &groupRepl{
+		GID: g.gid, Origin: s.node, SnapVersion: g.snapVersion, Exited: g.exited,
+	}
+	size := 64
+	if !g.exited {
+		rep.Members = make([]memberRec, 0, len(g.members))
+		for id, n := range g.members {
+			//popcornvet:bounded snapshot of the member table, one record per live member, rebuilt per ship
+			rep.Members = append(rep.Members, memberRec{ID: id, Node: n})
+		}
+		sortMemberRecs(rep.Members)
+		rep.Replicas = make([]msg.NodeID, 0, len(g.replicas))
+		for n := range g.replicas {
+			//popcornvet:bounded at most one entry per kernel
+			rep.Replicas = append(rep.Replicas, n)
+		}
+		sortNodes(rep.Replicas)
+		rep.MoveEpochs = make([]epochRec, 0, len(g.moveEpoch))
+		for id, e := range g.moveEpoch {
+			//popcornvet:bounded one epoch per thread that ever migrated, rebuilt per ship
+			rep.MoveEpochs = append(rep.MoveEpochs, epochRec{ID: id, Epoch: e})
+		}
+		sortEpochRecs(rep.MoveEpochs)
+		for id := range g.recoverable {
+			//popcornvet:bounded one entry per recoverable thread, rebuilt per ship
+			rep.Recoverable = append(rep.Recoverable, id)
+		}
+		sortTasks(rep.Recoverable)
+		for id := range g.restarted {
+			//popcornvet:bounded one entry per restarted thread, rebuilt per ship
+			rep.Restarted = append(rep.Restarted, id)
+		}
+		sortTasks(rep.Restarted)
+		rep.Checkpoints = make([]ckptRec, 0, len(g.checkpoints))
+		for id, ctx := range g.checkpoints {
+			//popcornvet:bounded one checkpoint per migrated thread, rebuilt per ship
+			rep.Checkpoints = append(rep.Checkpoints, ckptRec{ID: id, Ctx: ctx})
+		}
+		sortCkptRecs(rep.Checkpoints)
+		for _, cr := range rep.Checkpoints {
+			size += cr.Ctx.Bytes()
+		}
+		size += 16 * (len(rep.Members) + len(rep.MoveEpochs) + len(rep.Replicas))
+	}
+	m := &msg.Message{Type: msg.TypeGroupReplicate, To: s.fabric.Successor(s.node), Size: size, Payload: rep}
+	s.fabric.StampOrigin(m, vm.OriginKernelOf(g.gid))
+	s.metrics.Counter("tg.failover.replicated").Inc()
+	if _, err := s.ep.Call(p, m); err != nil {
+		if msg.IsDeadPeer(err) {
+			s.metrics.Counter("tg.failover.skipped").Inc()
+			return
+		}
+		panic(fmt.Sprintf("threadgroup: replication to successor failed: %v", err))
+	}
+}
+
+// handleGroupReplicate stores a group snapshot into this kernel's mirror
+// table. Pure state installation — no locks, no outbound messages — so the
+// origin's synchronous ship can never deadlock against it.
+func (s *Service) handleGroupReplicate(p *sim.Proc, m *msg.Message) *msg.Message {
+	rep := m.Payload.(*groupRepl)
+	if rep.Exited {
+		delete(s.gmirrors, rep.GID)
+		s.vmsvc.DropMirror(rep.GID)
+	} else if old, ok := s.gmirrors[rep.GID]; !ok || rep.SnapVersion > old.SnapVersion {
+		s.gmirrors[rep.GID] = rep
+	}
+	s.metrics.Counter("tg.failover.applied").Inc()
+	return &msg.Message{Size: 64}
+}
+
+// promoteGroups rebuilds, from this kernel's mirrors, authoritative origin
+// state for every group whose origin was `dead` — provided this kernel is
+// the designated successor and failover is on — then bumps the affected
+// origin-epochs and announces the handover cluster-wide. Called at the top
+// of PeerDied, so the ordinary origin sweep that follows restarts or reaps
+// the promoted groups' members the crash took, releasing joiners exactly as
+// it would had this kernel been the origin all along.
+func (s *Service) promoteGroups(p *sim.Proc, dead msg.NodeID) {
+	if !s.failover || s.fabric.Successor(dead) != s.node {
+		return
+	}
+	gids := make([]vm.GID, 0, len(s.gmirrors))
+	for gid, rep := range s.gmirrors {
+		if rep.Origin == dead {
+			gids = append(gids, gid)
+		}
+	}
+	sortGIDs(gids)
+	if len(gids) == 0 {
+		return
+	}
+	roleSeen := make(map[msg.NodeID]bool)
+	roles := make([]msg.NodeID, 0, 1)
+	for _, gid := range gids {
+		rep := s.gmirrors[gid]
+		delete(s.gmirrors, gid)
+		s.promoteGroup(rep, dead)
+		if role := vm.OriginKernelOf(gid); !roleSeen[role] {
+			roleSeen[role] = true
+			roles = append(roles, role)
+		}
+		s.metrics.Counter("tg.failover.promoted").Inc()
+	}
+	sortNodes(roles)
+	epochs := make([]uint64, len(roles))
+	for i, role := range roles {
+		epochs[i] = s.fabric.Promote(role, s.node)
+	}
+	// Announce the handover to every other kernel: replicas re-point at the
+	// promoted holder and the epoch table fences the old origin's in-flight
+	// traffic. A dead peer has nothing to re-point (a later rejoin starts
+	// from scratch and learns locations on demand).
+	targets := make([]msg.NodeID, 0, s.fabric.Nodes()-2)
+	for n := 0; n < s.fabric.Nodes(); n++ {
+		if nid := msg.NodeID(n); nid != s.node && nid != dead {
+			targets = append(targets, nid)
+		}
+	}
+	if len(targets) > 0 {
+		s.metrics.Counter("tg.handover.sent").Inc()
+		_, errs := s.ep.CallEachErr(p, targets, func(to msg.NodeID) *msg.Message {
+			return &msg.Message{Type: msg.TypeOriginHandover, To: to, Size: 64,
+				Payload: &originHandover{Holder: s.node, Roles: roles, Epochs: epochs, GIDs: gids}}
+		})
+		for _, err := range errs {
+			if err != nil && !msg.IsDeadPeer(err) {
+				panic(fmt.Sprintf("threadgroup: handover announcement failed: %v", err))
+			}
+		}
+	}
+}
+
+// promoteGroup converts this kernel's replica of one group (or creates
+// fresh state, if no member ever ran here) into the authoritative origin
+// copy from its mirrored snapshot. Pure state rebuild — no blocking.
+func (s *Service) promoteGroup(rep *groupRepl, dead msg.NodeID) {
+	g, ok := s.groups[rep.GID]
+	if !ok {
+		g = &group{
+			gid:     rep.GID,
+			local:   make(map[task.ID]*task.Task),
+			shadows: make(map[task.ID]*task.Task),
+		}
+		s.groups[rep.GID] = g
+	}
+	g.origin = s.node
+	g.isOrigin = true
+	g.originDead = false
+	g.exited = rep.Exited
+	g.snapVersion = rep.SnapVersion
+	if g.emptyWaiters == nil {
+		g.emptyWaiters = sim.NewCond()
+	}
+	g.members = make(map[task.ID]msg.NodeID, len(rep.Members))
+	for _, mr := range rep.Members {
+		g.members[mr.ID] = mr.Node
+	}
+	g.replicas = make(map[msg.NodeID]struct{}, len(rep.Replicas))
+	for _, n := range rep.Replicas {
+		if n != s.node && n != dead {
+			g.replicas[n] = struct{}{}
+		}
+	}
+	g.moveEpoch = make(map[task.ID]int, len(rep.MoveEpochs))
+	for _, er := range rep.MoveEpochs {
+		g.moveEpoch[er.ID] = er.Epoch
+	}
+	g.recoverable = make(map[task.ID]bool, len(rep.Recoverable))
+	for _, id := range rep.Recoverable {
+		g.recoverable[id] = true
+	}
+	g.restarted = make(map[task.ID]bool, len(rep.Restarted))
+	for _, id := range rep.Restarted {
+		g.restarted[id] = true
+	}
+	g.checkpoints = make(map[task.ID]task.Context, len(rep.Checkpoints))
+	for _, cr := range rep.Checkpoints {
+		g.checkpoints[cr.ID] = cr.Ctx
+	}
+	// The VM side promoted its mirror before this sweep ran (core orders
+	// VM.PeerDied first); EnsureOrigin covers a group whose address space
+	// never committed anything, and the replica set is re-registered so
+	// layout pushes from the promoted origin reach every member kernel.
+	s.vmsvc.EnsureOrigin(rep.GID)
+	for n := range g.replicas {
+		_ = s.vmsvc.RegisterReplica(rep.GID, n)
+	}
+}
+
+// handleOriginHandover applies a promotion announcement: install the bumped
+// origin-epochs (fencing the old origin's stale traffic) and re-point this
+// kernel's replicas of the promoted groups at the new holder.
+func (s *Service) handleOriginHandover(p *sim.Proc, m *msg.Message) *msg.Message {
+	req := m.Payload.(*originHandover)
+	for i, role := range req.Roles {
+		s.fabric.PromoteTo(role, req.Holder, req.Epochs[i])
+	}
+	for _, gid := range req.GIDs {
+		if g, ok := s.groups[gid]; ok && !g.isOrigin {
+			g.origin = req.Holder
+			g.originDead = false
+		}
+		s.vmsvc.Retarget(gid, req.Holder)
+	}
+	s.metrics.Counter("tg.handover.applied").Inc()
+	return &msg.Message{Size: 64}
+}
+
+// notifyExit reports a member exit to the group's origin. With failover on,
+// a dead origin is retried (paced) against the current holder from the
+// fabric's handover table, so exits during and after a failover propagate
+// to WaitMembers waiters at the promoted origin instead of completing
+// orphaned; only when no live holder emerges within the retry budget does
+// the orphaned-exit degradation apply.
+func (s *Service) notifyExit(p *sim.Proc, g *group, id task.ID) error {
+	role := vm.OriginKernelOf(g.gid)
+	for attempt := 0; attempt < tgFailoverRetryMax; attempt++ {
+		if g.isOrigin {
+			// A promotion re-homed the group onto this kernel mid-exit.
+			return s.originMemberExited(p, g, id)
+		}
+		if s.failover {
+			if holder := s.fabric.OriginHolder(role); holder != g.origin && holder != s.node {
+				g.origin = holder
+				g.originDead = false
+				s.metrics.Counter("tg.exit.rerouted").Inc()
+			}
+		}
+		if g.originDead && !s.failover {
+			// The origin is gone and nothing will replace it; local cleanup
+			// is all the exit can do. The survivors' own PeerDied reaping
+			// settles the group accounting.
+			s.metrics.Counter("tg.exit.orphaned").Inc()
+			return nil
+		}
+		m := &msg.Message{Type: msg.TypeExitNotify, To: g.origin, Size: 64,
+			Payload: &exitNotify{GID: g.gid, TaskID: id}}
+		s.fabric.StampOrigin(m, role)
+		reply, err := s.ep.Call(p, m)
+		if err != nil {
+			if msg.IsDeadPeer(err) {
+				if s.failover {
+					// Wait out the detection-plus-promotion window, then
+					// re-resolve the holder and try again.
+					s.metrics.Counter("tg.exit.failover_retry").Inc()
+					p.Sleep(tgFailoverRetryDelay)
+					continue
+				}
+				g.originDead = true
+				s.metrics.Counter("tg.exit.orphaned").Inc()
+				return nil
+			}
+			return err
+		}
+		if r := reply.Payload.(*exitReply); r.Err != "" {
+			if s.failover {
+				// The holder answered before finishing (or beginning) its
+				// promotion; paced retry until the group is origin there.
+				s.metrics.Counter("tg.exit.failover_retry").Inc()
+				p.Sleep(tgFailoverRetryDelay)
+				continue
+			}
+			return fmt.Errorf("threadgroup: exit notify: %s", r.Err)
+		}
+		return nil
+	}
+	// Retry budget exhausted with no live holder: orphaned degradation.
+	g.originDead = true
+	s.metrics.Counter("tg.exit.orphaned").Inc()
+	return nil
+}
+
+func sortMemberRecs(rs []memberRec) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].ID < rs[j-1].ID; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+func sortEpochRecs(rs []epochRec) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].ID < rs[j-1].ID; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+func sortCkptRecs(rs []ckptRec) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].ID < rs[j-1].ID; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}

@@ -213,6 +213,7 @@ func (s *Service) claimRollback(p *sim.Proc, g *group, t *task.Task, id task.ID)
 		}
 		g.moveEpoch[id] = t.Migrations + 1
 		t.Migrations++
+		s.shipGroup(p, g)
 		return true
 	}
 	for {
@@ -392,6 +393,7 @@ func (s *Service) registerMove(p *sim.Proc, g *group, moved *task.Task, dst msg.
 		if moved.Recoverable {
 			g.checkpoints[id] = moved.Ctx
 		}
+		s.shipGroup(p, g)
 		return nil
 	}
 	req := &groupSetupReq{GID: g.gid, Node: dst, MovedMember: id, MoveEpoch: moved.Migrations}
@@ -443,7 +445,7 @@ func (s *Service) handleGroupSetup(p *sim.Proc, m *msg.Message) *msg.Message {
 	}
 	if _, have := g.replicas[req.Node]; !have && req.Node != s.node {
 		g.replicas[req.Node] = struct{}{}
-		if err := s.vmsvc.RegisterReplica(req.GID, req.Node); err != nil {
+		if err := s.vmsvc.RegisterReplicaFrom(p, req.GID, req.Node); err != nil {
 			return &msg.Message{Size: 64, Payload: &groupSetupReply{Err: err.Error()}}
 		}
 	}
@@ -485,5 +487,8 @@ func (s *Service) handleGroupSetup(p *sim.Proc, m *msg.Message) *msg.Message {
 		// success again is safe.)
 		g.moveEpoch[id] = req.MoveEpoch + 1
 	}
+	// Replicate before acking: the requester must not act on a mutation the
+	// failover successor has not logged.
+	s.shipGroup(p, g)
 	return &msg.Message{Size: 64, Payload: &groupSetupReply{}}
 }

@@ -36,7 +36,7 @@ func (s *Service) SetRestartHook(fn RestartHook) { s.restart = fn }
 // after a hosting-kernel crash, seeding its checkpoint with the zero
 // context: until the thread first migrates, recovery re-runs it from the
 // start.
-func (s *Service) SetRecoverable(gid vm.GID, id task.ID) error {
+func (s *Service) SetRecoverable(p *sim.Proc, gid vm.GID, id task.ID) error {
 	g, ok := s.groups[gid]
 	if !ok {
 		return ErrNoGroup
@@ -48,6 +48,7 @@ func (s *Service) SetRecoverable(gid vm.GID, id task.ID) error {
 	if _, ok := g.checkpoints[id]; !ok {
 		g.checkpoints[id] = task.Context{}
 	}
+	s.shipGroup(p, g)
 	return nil
 }
 
@@ -98,6 +99,7 @@ func (s *Service) restartMember(p *sim.Proc, g *group, id task.ID) bool {
 		}
 		return false
 	}
+	s.shipGroup(p, g)
 	return true
 }
 
@@ -109,6 +111,13 @@ func (s *Service) restartMember(p *sim.Proc, g *group, id task.ID) bool {
 func (s *Service) WaitMembers(p *sim.Proc, gid vm.GID, n int) error {
 	g, ok := s.groups[gid]
 	if !ok {
+		if s.failover {
+			// With failover on, the promoted origin reaps crash-lost members
+			// and the last reap tears the group down — possibly before a
+			// holder-routed Join arrives here. A gone group is a drained
+			// member table: exactly the condition this waits for.
+			return nil
+		}
 		return ErrNoGroup
 	}
 	if !g.isOrigin {
@@ -132,4 +141,5 @@ func (s *Service) Reboot() {
 	s.setupPending = make(map[vm.GID]*sim.Cond)
 	s.orphanSignals = make(map[task.ID][]int)
 	s.sigWaiters = make(map[task.ID]*sigWaiter)
+	s.gmirrors = make(map[vm.GID]*groupRepl)
 }

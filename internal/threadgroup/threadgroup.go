@@ -85,6 +85,11 @@ type group struct {
 	// originDead marks a replica whose origin kernel was declared dead:
 	// exits complete locally without the origin round trip.
 	originDead bool
+
+	// snapVersion is the monotonically increasing version of the last
+	// replication snapshot shipped to the failover successor; mirrors use
+	// it to discard stale or duplicated snapshots.
+	snapVersion uint64
 }
 
 // Config tunes the thread-group service.
@@ -101,7 +106,9 @@ type Service struct {
 	machine *hw.Machine
 	node    msg.NodeID
 	ep      *msg.Endpoint
-	vmsvc   *vm.Service
+	//popcornvet:allow kernlocal read-mostly origin-routing and successor tables; handler paths only read them, and promotions mutate them in the serialised handover step
+	fabric *msg.Fabric
+	vmsvc  *vm.Service
 	//popcornvet:allow kernlocal commutative counters; per-kernel shards merged at pause under the parallel engine
 	metrics *stats.Registry
 	//popcornvet:allow kernlocal the cross-kernel invariant observer by design; moves to the serialised merge step
@@ -127,6 +134,14 @@ type Service struct {
 	// restart, when set, re-executes recovered tasks on this kernel (the
 	// degradation sweep invokes it at the origin for restartable members).
 	restart RestartHook
+
+	// failover enables origin replication: origin-side group mutations ship
+	// snapshots to the ring successor, and this kernel promotes mirrored
+	// groups when their origin dies (DESIGN.md §14).
+	failover bool
+	// gmirrors holds the latest group snapshot received from each origin
+	// this kernel is the replication successor for.
+	gmirrors map[vm.GID]*groupRepl
 }
 
 // NewService creates the kernel's thread-group service and registers its
@@ -140,6 +155,7 @@ func NewService(e *sim.Engine, machine *hw.Machine, fabric *msg.Fabric, node msg
 		machine:       machine,
 		node:          node,
 		ep:            fabric.Endpoint(node),
+		fabric:        fabric,
 		vmsvc:         vmsvc,
 		metrics:       metrics,
 		cfg:           cfg,
@@ -149,8 +165,11 @@ func NewService(e *sim.Engine, machine *hw.Machine, fabric *msg.Fabric, node msg
 		setupPending:  make(map[vm.GID]*sim.Cond),
 		orphanSignals: make(map[task.ID][]int),
 		sigWaiters:    make(map[task.ID]*sigWaiter),
+		gmirrors:      make(map[vm.GID]*groupRepl),
 	}
 	s.ep.Handle(msg.TypeThreadCreate, s.handleThreadCreate)
+	s.ep.Handle(msg.TypeGroupReplicate, s.handleGroupReplicate)
+	s.ep.Handle(msg.TypeOriginHandover, s.handleOriginHandover)
 	s.ep.Handle(msg.TypeGroupSetup, s.handleGroupSetup)
 	s.ep.Handle(msg.TypeMigrate, s.handleMigrate)
 	s.ep.Handle(msg.TypeExitNotify, s.handleExitNotify)
@@ -247,6 +266,7 @@ func (s *Service) spawnLocal(p *sim.Proc, g *group) (*task.Task, error) {
 	s.metrics.Counter("tg.spawn.local").Inc()
 	if g.isOrigin {
 		g.members[t.ID] = s.node
+		s.shipGroup(p, g)
 	} else {
 		// Remote member: the origin learns via the create/migrate path
 		// that invoked us.
@@ -296,6 +316,7 @@ func (s *Service) Spawn(p *sim.Proc, gid vm.GID, dst msg.NodeID) (*task.Task, er
 	if g.isOrigin {
 		g.members[t.ID] = dst
 		g.replicas[dst] = struct{}{}
+		s.shipGroup(p, g)
 	}
 	return t, nil
 }
@@ -369,6 +390,10 @@ func (s *Service) Shadows(gid vm.GID) int {
 // origin died switch to local-only exits. Iteration orders are sorted so
 // degradation is as deterministic as the schedule that triggered it.
 func (s *Service) PeerDied(p *sim.Proc, dead msg.NodeID) {
+	// Failover promotion first: mirrored groups whose origin just died
+	// become origin groups on this kernel, so the sweep below restarts or
+	// reaps their dead-hosted members exactly like any other origin group.
+	s.promoteGroups(p, dead)
 	gids := make([]vm.GID, 0, len(s.groups))
 	for gid := range s.groups {
 		gids = append(gids, gid)

@@ -54,7 +54,27 @@ func (sp *Space) dirTransaction(p *sim.Proc, req msg.NodeID, vpn mem.VPN, write,
 	}
 	de.version++
 	ver := de.version
+	// Every locked directory transaction is one protocol-relative commit for
+	// the fault plane's origin-crash triggers (a nil check when no plan).
+	sp.svc.fabric.RecordDirCommit(sp.svc.node)
+	grant, err := sp.dirApply(p, req, vpn, de, vma, ver, write, noCopy)
+	if err == nil && grant != nil && grant.Err == "" && sp.svc.failover {
+		// Mirror the committed entry to the successor before the grant is
+		// released: still under de.mu, so the per-entry replication stream
+		// is ordered, and the requester can never act on a grant the
+		// successor has not logged.
+		sp.shipDirEntry(p, vpn, de)
+	}
+	return grant, err
+}
 
+// dirApply performs the MSI state transition for one locked directory entry
+// and produces the grant. Split from dirTransaction so the failover plane
+// can ship the entry's post-transaction snapshot between the transition and
+// the grant's release.
+//
+//popcornvet:allow locksend same protocol invariant as dirTransaction: the revocation fan-out under the entry lock is what makes the ownership transition atomic, and invalidate handlers never take origin directory locks
+func (sp *Space) dirApply(p *sim.Proc, req msg.NodeID, vpn mem.VPN, de *dirEntry, vma VMA, ver uint64, write, noCopy bool) (*pageGrant, error) {
 	sharedProt := vma.Prot &^ mem.ProtWrite
 	exclusiveProt := vma.Prot
 
@@ -106,6 +126,24 @@ func (sp *Space) dirTransaction(p *sim.Proc, req msg.NodeID, vpn mem.VPN, write,
 
 	case pageModified:
 		if de.owner == req {
+			if noCopy {
+				// The recorded owner disclaims its exclusive copy. A promoted
+				// directory can be ahead of the owner's page table this way:
+				// the copy was surrendered to the old origin in a revocation
+				// whose commit died with it. Believe the page table and
+				// transfer the directory's preserved value instead of
+				// re-granting data that no longer exists.
+				sp.svc.metrics.Counter("vm.dir.desync_repaired").Inc()
+				if write {
+					ck.Grant(p, int64(sp.gid), vpn, req, true, true, de.value)
+					return &pageGrant{Value: de.value, Src: int(sp.origin), Prot: exclusiveProt, Version: ver}, nil
+				}
+				de.state = pageShared
+				de.sharers = map[msg.NodeID]struct{}{req: {}}
+				de.owner = 0
+				ck.Grant(p, int64(sp.gid), vpn, req, false, true, de.value)
+				return &pageGrant{Value: de.value, Src: int(sp.origin), Prot: sharedProt, Version: ver}, nil
+			}
 			// The owner lost PTE bits (mprotect round trip) but still has
 			// the data; re-grant in place.
 			ck.Grant(p, int64(sp.gid), vpn, req, true, false, 0)
@@ -157,8 +195,14 @@ func (sp *Space) revokeCopies(p *sim.Proc, targets []msg.NodeID, vpn mem.VPN, do
 	}
 	sp.svc.metrics.Counter("vm.inval.sent").Add(uint64(len(remote)))
 	replies, errs := sp.svc.ep.CallEachErr(p, remote, func(to msg.NodeID) *msg.Message {
-		return &msg.Message{Type: msg.TypePageInvalidate, To: to, Size: sizeSmallReq,
+		m := &msg.Message{Type: msg.TypePageInvalidate, To: to, Size: sizeSmallReq,
 			Payload: &pageInval{GID: sp.gid, VPN: vpn, Downgrade: downgrade, Version: ver}}
+		// Origin-role traffic carries the origin epoch: if this kernel dies
+		// and later rejoins, copies of this invalidation still in flight are
+		// fenced at delivery instead of revoking pages behind the promoted
+		// successor's back.
+		sp.svc.fabric.StampOrigin(m, OriginKernelOf(sp.gid))
+		return m
 	})
 	for i, err := range errs {
 		if err == nil {
@@ -192,9 +236,12 @@ func (sp *Space) revokeOwner(p *sim.Proc, owner msg.NodeID, vpn mem.VPN, downgra
 		return ack
 	}
 	sp.svc.metrics.Counter("vm.inval.sent").Inc()
-	reply, err := sp.svc.ep.Call(p, &msg.Message{
+	rm := &msg.Message{
 		Type: msg.TypePageInvalidate, To: owner, Size: sizeSmallReq,
-		Payload: &pageInval{GID: sp.gid, VPN: vpn, Downgrade: downgrade, Version: ver}})
+		Payload: &pageInval{GID: sp.gid, VPN: vpn, Downgrade: downgrade, Version: ver}}
+	// Epoch-stamped like the copy fan-out above (see revokeCopies).
+	sp.svc.fabric.StampOrigin(rm, OriginKernelOf(sp.gid))
+	reply, err := sp.svc.ep.Call(p, rm)
 	if err != nil {
 		if msg.IsDeadPeer(err) {
 			// The owner died before writing back: its copy (and any writes

@@ -1,0 +1,440 @@
+package vm
+
+// Origin failover for the address-space layer (DESIGN.md §14). When the
+// failover plane is enabled, every committed mutation of an origin's
+// authoritative state — directory-entry transitions, VMA layout changes,
+// replica-set registrations — is synchronously mirrored to the origin's
+// ring successor over TypeDirReplicate (control lane, so the flow plane
+// cannot starve the replication stream). The successor keeps a passive
+// standby copy per group; when the failure detector declares the origin
+// dead, PromoteOrigin rebuilds authoritative spaces from the mirrors,
+// purging the dead kernel's page copies from the directory *before* the
+// generic reclaim sweep runs — so a crash with a live successor loses no
+// directory-known page contents (vm.pages.reclaimed stays zero for the
+// failed-over groups).
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// originKernelShift is the GID bit split the thread-group layer uses to
+// partition the ID space by allocating kernel (threadgroup's pidShift).
+const originKernelShift = 44
+
+// OriginKernelOf returns the kernel that allocated gid — the group's
+// boot-time origin. The thread-group layer partitions the GID space by
+// kernel in the high bits, so the original origin role is recoverable from
+// the ID alone even after a failover re-homes the group. Epoch stamping
+// keys on this role, not on the current holder.
+func OriginKernelOf(gid GID) msg.NodeID {
+	return msg.NodeID(int64(gid) >> originKernelShift)
+}
+
+// Replication record kinds carried by dirRepl.
+const (
+	// replEntry ships the post-transaction snapshot of one directory entry.
+	replEntry = 1
+	// replLayout ships one committed VMA layout mutation plus the allocator
+	// cursors (nextMap, brk) needed to continue allocation after promotion.
+	replLayout = 2
+	// replReplica ships a replica-set registration.
+	replReplica = 3
+	// replValue patches a mirrored entry's value without touching its
+	// protocol state: a revokee preserving the Modified copy it is about to
+	// surrender, in case the revoking origin dies with the ack in flight.
+	replValue = 4
+)
+
+// dirRepl is one origin-side mutation shipped to the successor. Exactly one
+// of the kind-specific field groups is meaningful, selected by Kind.
+type dirRepl struct {
+	Kind   int
+	GID    GID
+	Origin msg.NodeID
+
+	// replEntry: the entry's full post-transaction state.
+	VPN       mem.VPN
+	State     int
+	Owner     msg.NodeID
+	Sharers   []msg.NodeID
+	Value     int64
+	Version   uint64
+	Reclaimed bool
+
+	// replLayout: the committed mutation (opMap inserts [Lo,Hi), opUnmap
+	// removes it, opProtect re-protects it) and the allocator cursors.
+	Op            vmaOp
+	Lo, Hi        mem.VPN
+	Prot          mem.Prot
+	LayoutVersion uint64
+	NextMap       mem.Addr
+	Brk           mem.Addr
+
+	// replReplica: a kernel that attached a replica.
+	Replica msg.NodeID
+}
+
+// mirrorEntry is the successor's passive copy of one directory entry.
+type mirrorEntry struct {
+	state     pageState
+	owner     msg.NodeID
+	sharers   []msg.NodeID
+	value     int64
+	version   uint64
+	reclaimed bool
+}
+
+// dirMirror is the successor's standby copy of one origin's space: enough
+// directory, layout and replica-set state to rebuild an authoritative Space
+// if the origin dies.
+type dirMirror struct {
+	origin   msg.NodeID
+	entries  map[mem.VPN]*mirrorEntry
+	vmas     *vmaSet
+	version  uint64
+	nextMap  mem.Addr
+	brk      mem.Addr
+	replicas map[msg.NodeID]struct{}
+}
+
+// EnableFailover turns on origin replication for this kernel's spaces:
+// every directory transaction, layout mutation and replica registration on
+// an origin space is synchronously shipped to the fabric's ring successor.
+// Call after boot, before the workload runs; the fabric's failover plane
+// (msg.Fabric.EnableFailover) must be enabled too.
+func (s *Service) EnableFailover() { s.failover = true }
+
+// FailoverEnabled reports whether origin replication is on.
+func (s *Service) FailoverEnabled() bool { return s.failover }
+
+// shipRepl synchronously delivers one replication record to the successor.
+// Control-lane traffic bypasses credits and the circuit breaker, so the
+// only possible failure is a dead successor — then the record is skipped
+// and the origin keeps running unreplicated (counted, so soaks can assert
+// the window was empty).
+func (s *Service) shipRepl(p *sim.Proc, rep *dirRepl) {
+	succ := s.fabric.Successor(s.node)
+	m := &msg.Message{Type: msg.TypeDirReplicate, To: succ, Size: sizeSmallReq, Payload: rep}
+	s.fabric.StampOrigin(m, OriginKernelOf(rep.GID))
+	s.metrics.Counter("dir.failover.replicated").Inc()
+	if _, err := s.ep.Call(p, m); err != nil {
+		if msg.IsDeadPeer(err) {
+			s.metrics.Counter("dir.failover.skipped").Inc()
+			return
+		}
+		panic(fmt.Sprintf("vm: replication to successor failed: %v", err))
+	}
+}
+
+// shipDirEntry mirrors one directory entry's post-transaction state to the
+// successor. Called under the entry's mu (and the asLock shared), which
+// serialises the per-entry replication stream; the handler side applies
+// records in version order, so a fault-plan duplicate can never roll the
+// mirror backwards.
+//
+//popcornvet:allow locksend the per-entry replication stream must be ordered by the same lock that orders the transactions; the successor-side handler only stores into its mirror maps and never calls back
+func (sp *Space) shipDirEntry(p *sim.Proc, vpn mem.VPN, de *dirEntry) {
+	rep := &dirRepl{
+		Kind: replEntry, GID: sp.gid, Origin: sp.svc.node,
+		VPN: vpn, State: int(de.state), Owner: de.owner,
+		Value: de.value, Version: de.version, Reclaimed: de.reclaimed,
+	}
+	if len(de.sharers) > 0 {
+		rep.Sharers = nodeSet(de.sharers, msg.NodeID(-1))
+	}
+	sp.svc.shipRepl(p, rep)
+}
+
+// shipLayout mirrors one committed layout mutation to the successor. Called
+// under the asLock exclusive — the same lock that assigned the version — so
+// the layout replication stream arrives in version order.
+//
+//popcornvet:allow locksend layout replication must be ordered by the asLock that versions the mutations; the successor-side handler only stores into its mirror and never calls back
+func (sp *Space) shipLayout(p *sim.Proc, op vmaOp, lo, hi mem.VPN, prot mem.Prot) {
+	sp.svc.shipRepl(p, &dirRepl{
+		Kind: replLayout, GID: sp.gid, Origin: sp.svc.node,
+		Op: op, Lo: lo, Hi: hi, Prot: prot,
+		LayoutVersion: sp.version, NextMap: sp.nextMap, Brk: sp.brk,
+	})
+}
+
+// shipSurrender preserves a surrendered Modified value at the holder's ring
+// successor before the invalidation ack releases it to the (possibly dying)
+// origin. Called from the invalidate handler on the revokee: the revoking
+// transaction is blocked on our ack, so by the time the origin can commit —
+// and therefore by the time a crash can lose the commit's own replEntry ship
+// — the value is already durable in the mirror. The transaction's directory
+// version guards the patch, so fault-plan duplicates can never roll a newer
+// mirrored value backwards.
+func (s *Service) shipSurrender(p *sim.Proc, gid GID, vpn mem.VPN, val int64, ver uint64) {
+	holder := s.fabric.OriginHolder(OriginKernelOf(gid))
+	succ := s.fabric.Successor(holder)
+	rep := &dirRepl{Kind: replValue, GID: gid, Origin: holder, VPN: vpn, Value: val, Version: ver}
+	s.metrics.Counter("dir.failover.preserved").Inc()
+	if succ == s.node {
+		// The revokee is the mirror host itself; patch in place.
+		s.applyRepl(rep)
+		return
+	}
+	m := &msg.Message{Type: msg.TypeDirReplicate, To: succ, Size: sizeSmallReq, Payload: rep}
+	s.fabric.StampOrigin(m, OriginKernelOf(gid))
+	if _, err := s.ep.Call(p, m); err != nil {
+		if msg.IsDeadPeer(err) {
+			s.metrics.Counter("dir.failover.skipped").Inc()
+			return
+		}
+		panic(fmt.Sprintf("vm: surrender preservation to successor failed: %v", err))
+	}
+}
+
+// RegisterReplicaFrom is RegisterReplica plus failover mirroring: the
+// registration is shipped to the successor so a promoted origin knows which
+// kernels its layout pushes must reach. The origin-side group-setup handler
+// calls this (it has the handler proc the synchronous ship needs).
+func (s *Service) RegisterReplicaFrom(p *sim.Proc, gid GID, node msg.NodeID) error {
+	if err := s.RegisterReplica(gid, node); err != nil {
+		return err
+	}
+	if s.failover {
+		s.shipRepl(p, &dirRepl{Kind: replReplica, GID: gid, Origin: s.node, Replica: node})
+	}
+	return nil
+}
+
+// handleDirReplicate stores one replication record into this kernel's
+// mirror for the group. Pure state installation: no locks, no outbound
+// messages, so the origin's synchronous ship can never deadlock against it.
+func (s *Service) handleDirReplicate(p *sim.Proc, m *msg.Message) *msg.Message {
+	s.applyRepl(m.Payload.(*dirRepl))
+	return &msg.Message{Size: 64}
+}
+
+// applyRepl installs one replication record into the mirror for its group,
+// creating the mirror on first contact. Shared by the wire handler and the
+// revokee-is-successor local path of shipSurrender.
+func (s *Service) applyRepl(rep *dirRepl) {
+	mir, ok := s.mirrors[rep.GID]
+	if !ok {
+		mir = &dirMirror{
+			origin:   rep.Origin,
+			entries:  make(map[mem.VPN]*mirrorEntry),
+			vmas:     &vmaSet{},
+			nextMap:  mapBase,
+			brk:      heapBase,
+			replicas: make(map[msg.NodeID]struct{}),
+		}
+		s.mirrors[rep.GID] = mir
+	}
+	switch rep.Kind {
+	case replEntry:
+		if old, dup := mir.entries[rep.VPN]; dup && rep.Version <= old.version {
+			break // fault-plan duplicate of an already-applied record
+		}
+		mir.entries[rep.VPN] = &mirrorEntry{
+			state: pageState(rep.State), owner: rep.Owner, sharers: rep.Sharers,
+			value: rep.Value, version: rep.Version, reclaimed: rep.Reclaimed,
+		}
+	case replLayout:
+		if rep.LayoutVersion <= mir.version {
+			break // duplicate: the stream is Call-serialised, never reordered
+		}
+		switch rep.Op {
+		case opMap:
+			mir.vmas.remove(rep.Lo, rep.Hi)
+			if err := mir.vmas.insert(VMA{Lo: rep.Lo, Hi: rep.Hi, Prot: rep.Prot}); err != nil {
+				panic(fmt.Sprintf("vm: mirror layout apply: %v", err))
+			}
+		case opUnmap:
+			mir.vmas.remove(rep.Lo, rep.Hi)
+			for v := rep.Lo; v < rep.Hi; v++ {
+				delete(mir.entries, v)
+			}
+		case opProtect:
+			mir.vmas.protect(rep.Lo, rep.Hi, rep.Prot)
+		}
+		mir.version = rep.LayoutVersion
+		mir.nextMap = rep.NextMap
+		mir.brk = rep.Brk
+	case replReplica:
+		mir.replicas[rep.Replica] = struct{}{}
+	case replValue:
+		// Patch the value, leaving state/owner/version alone: the origin's
+		// own replEntry for the same transaction (version == rep.Version)
+		// must still apply over this if the origin survives to ship it.
+		me, ok := mir.entries[rep.VPN]
+		if !ok {
+			// No entry was ever shipped (possible only if the grant that made
+			// the revokee owner raced a successor change): keep the value as
+			// a reclaimed-style entry so promotion transfers it.
+			mir.entries[rep.VPN] = &mirrorEntry{state: pageUnmapped, reclaimed: true, value: rep.Value}
+		} else if rep.Version > me.version {
+			me.value = rep.Value
+		}
+	}
+	s.metrics.Counter("dir.failover.applied").Inc()
+}
+
+// PromoteOrigin rebuilds, from this kernel's mirrors, an authoritative
+// space for every group whose origin was `dead` — provided this kernel is
+// the dead origin's designated successor and failover is on. It returns the
+// promoted GIDs (sorted). Run *before* the generic PeerDied reclaim sweep:
+// promotion purges the dead kernel's page copies from the rebuilt
+// directory itself (under dir.failover.ownerlost, keeping the directory's
+// last written-back values), so the sweep finds nothing to reclaim on the
+// promoted spaces and directory-known contents survive the crash.
+func (s *Service) PromoteOrigin(dead msg.NodeID) []GID {
+	if !s.failover || s.fabric.Successor(dead) != s.node {
+		return nil
+	}
+	gids := make([]GID, 0, len(s.mirrors))
+	for gid, mir := range s.mirrors {
+		if mir.origin == dead {
+			gids = append(gids, gid)
+		}
+	}
+	sortGIDsVM(gids)
+	for _, gid := range gids {
+		s.promoteSpace(gid, s.mirrors[gid], dead)
+		delete(s.mirrors, gid)
+		s.metrics.Counter("dir.failover.promoted").Inc()
+	}
+	return gids
+}
+
+// promoteSpace converts this kernel's replica of gid (or a fresh space, if
+// no member ever ran here) into the authoritative origin copy, rebuilt from
+// the mirror. Pure state rebuild — no blocking — so the promotion is atomic
+// in virtual time.
+func (s *Service) promoteSpace(gid GID, mir *dirMirror, dead msg.NodeID) {
+	sp, ok := s.spaces[gid]
+	if !ok {
+		sp = &Space{
+			svc:     s,
+			gid:     gid,
+			pt:      mem.NewPageTable(),
+			values:  make(map[mem.VPN]int64),
+			pending: make(map[mem.VPN]*pendingFault),
+		}
+		s.spaces[gid] = sp
+	}
+	sp.isOrigin = true
+	sp.origin = s.node
+	sp.asLock = sim.NewRWMutex(s.e).SetLabel(fmt.Sprintf("vm.asLock.g%d", gid))
+	sp.vmas = mir.vmas
+	if mir.version > sp.version {
+		sp.version = mir.version
+	}
+	sp.nextMap = mir.nextMap
+	sp.brk = mir.brk
+	sp.replicas = make(map[msg.NodeID]struct{})
+	for n := range mir.replicas {
+		if n != s.node && n != dead {
+			sp.replicas[n] = struct{}{}
+		}
+	}
+	sp.dir = make(map[mem.VPN]*dirEntry, len(mir.entries))
+	vpns := make([]mem.VPN, 0, len(mir.entries))
+	for vpn := range mir.entries {
+		vpns = append(vpns, vpn)
+	}
+	sortVPNs(vpns)
+	for _, vpn := range vpns {
+		me := mir.entries[vpn]
+		de := &dirEntry{
+			state:     me.state,
+			owner:     me.owner,
+			value:     me.value,
+			reclaimed: me.reclaimed,
+			version:   me.version + 1,
+			mu:        sim.NewMutex(s.e).SetLabel("vm.dir-entry"),
+		}
+		if len(me.sharers) > 0 {
+			de.sharers = make(map[msg.NodeID]struct{}, len(me.sharers))
+			for _, n := range me.sharers {
+				de.sharers[n] = struct{}{}
+			}
+		}
+		// Purge the dead kernel from the entry here, keeping the directory's
+		// last written-back value: the promoted grant path re-faults it from
+		// the home node, which is exactly the data loss the replication log
+		// exists to prevent. Writes the dead origin performed against its own
+		// copies *after* its last directory transaction are gone with it —
+		// the log captures directory-known state, not page dirty bits.
+		switch {
+		case de.state == pageModified && de.owner == dead:
+			de.state = pageUnmapped
+			de.owner = 0
+			de.reclaimed = true
+			s.metrics.Counter("dir.failover.ownerlost").Inc()
+		case de.state == pageShared:
+			if _, held := de.sharers[dead]; held {
+				delete(de.sharers, dead)
+				if len(de.sharers) == 0 {
+					de.state = pageUnmapped
+					de.sharers = nil
+					de.reclaimed = true
+				}
+				s.metrics.Counter("dir.failover.ownerlost").Inc()
+			}
+		}
+		sp.dir[vpn] = de
+	}
+}
+
+// Retarget re-points this kernel's replica of gid at the promoted holder.
+// Called from the thread-group layer when a TypeOriginHandover announcement
+// arrives; origin spaces (including the freshly promoted one) are left
+// alone.
+func (s *Service) Retarget(gid GID, holder msg.NodeID) {
+	if sp, ok := s.spaces[gid]; ok && !sp.isOrigin {
+		sp.origin = holder
+	}
+}
+
+// EnsureOrigin guarantees an authoritative space for gid exists on this
+// kernel after a promotion, upgrading a replica (or creating an empty
+// space) if the replication stream never shipped a VM record for the group
+// — a group that crashed before its first directory or layout commit.
+func (s *Service) EnsureOrigin(gid GID) {
+	sp, ok := s.spaces[gid]
+	if ok && sp.isOrigin {
+		return
+	}
+	if !ok {
+		sp = &Space{
+			svc:     s,
+			gid:     gid,
+			vmas:    &vmaSet{},
+			pt:      mem.NewPageTable(),
+			values:  make(map[mem.VPN]int64),
+			pending: make(map[mem.VPN]*pendingFault),
+		}
+		s.spaces[gid] = sp
+	}
+	sp.isOrigin = true
+	sp.origin = s.node
+	sp.asLock = sim.NewRWMutex(s.e).SetLabel(fmt.Sprintf("vm.asLock.g%d", gid))
+	if sp.dir == nil {
+		sp.dir = make(map[mem.VPN]*dirEntry)
+	}
+	if sp.replicas == nil {
+		sp.replicas = make(map[msg.NodeID]struct{})
+	}
+	if sp.nextMap == 0 {
+		sp.nextMap = mapBase
+	}
+	if sp.brk == 0 {
+		sp.brk = heapBase
+	}
+}
+
+// DropMirror discards this kernel's replication mirror for gid. The
+// thread-group layer calls it when the origin ships a group's final
+// (exited) snapshot: a torn-down group must not stay promotable.
+func (s *Service) DropMirror(gid GID) {
+	delete(s.mirrors, gid)
+}

@@ -1,0 +1,142 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/mem"
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// failoverEnv is newEnv with the failover plane attached on the fabric and
+// every service, as core.OS.EnableFailover wires it.
+func failoverEnv(t *testing.T, kernels int) *env {
+	t.Helper()
+	ev := newEnv(t, kernels, 64)
+	ev.fabric.EnableFailover()
+	for _, s := range ev.svcs {
+		s.EnableFailover()
+	}
+	return ev
+}
+
+// TestPromotedOriginServesMirroredState drives real transactions against an
+// origin, then promotes its successor from the mirror alone and requires the
+// promoted directory to be observably identical: the layout resolves, the
+// dead kernel's copies are purged but their written-back values survive, and
+// reads and writes continue through the promoted origin.
+func TestPromotedOriginServesMirroredState(t *testing.T) {
+	ev := failoverEnv(t, 4)
+	sps := ev.group(t, 1)
+	ev.run(t, func(p *sim.Proc) {
+		addr, err := sps[0].Map(p, hw.PageSize, mem.ProtRead|mem.ProtWrite)
+		if err != nil {
+			t.Fatalf("Map: %v", err)
+		}
+		if err := sps[0].Store(p, 0, addr, 7); err != nil {
+			t.Fatalf("Store at origin: %v", err)
+		}
+		if v, err := sps[2].Load(p, 4, addr); err != nil || v != 7 {
+			t.Fatalf("Load at k2 = %d, %v; want 7", v, err)
+		}
+		// Kernel 0 is declared dead: its successor promotes from the mirror,
+		// the fabric records the handover, and the survivors re-point.
+		gids := ev.svcs[1].PromoteOrigin(0)
+		if len(gids) != 1 || gids[0] != 1 {
+			t.Fatalf("PromoteOrigin promoted %v, want [1]", gids)
+		}
+		ev.fabric.Promote(0, 1)
+		ev.svcs[2].Retarget(1, 1)
+		ev.svcs[3].Retarget(1, 1)
+		// The dead kernel shared this page; its copy is purged but the
+		// directory's value survives for a kernel that never held it.
+		if v, err := sps[3].Load(p, 6, addr); err != nil || v != 7 {
+			t.Errorf("Load at k3 after promotion = %d, %v; want 7", v, err)
+		}
+		// Writes keep flowing through the promoted origin.
+		if err := sps[2].Store(p, 4, addr, 9); err != nil {
+			t.Fatalf("Store at k2 after promotion: %v", err)
+		}
+		if v, err := sps[3].Load(p, 6, addr); err != nil || v != 9 {
+			t.Errorf("Load at k3 after post-promotion store = %d, %v; want 9", v, err)
+		}
+	})
+}
+
+// TestMirrorValuePatchVersionGuard pins the replValue arithmetic on the
+// mirror: the patch updates the value without advancing the entry version
+// (so the origin's own replEntry for the same transaction still applies if
+// the origin survives), and a fault-plan duplicate of the patch can never
+// roll a newer value backwards.
+func TestMirrorValuePatchVersionGuard(t *testing.T) {
+	ev := newEnv(t, 2, 64)
+	s := ev.svcs[1]
+	s.applyRepl(&dirRepl{Kind: replEntry, GID: 7, Origin: 0, VPN: 100, State: int(pageModified), Owner: 2, Value: 16, Version: 5})
+	s.applyRepl(&dirRepl{Kind: replValue, GID: 7, Origin: 0, VPN: 100, Value: 17, Version: 6})
+	me := s.mirrors[7].entries[100]
+	if me.value != 17 {
+		t.Errorf("patched value = %d, want 17", me.value)
+	}
+	if me.version != 5 {
+		t.Errorf("value patch advanced entry version to %d; must stay 5", me.version)
+	}
+	// The origin survived to ship the transaction's own entry snapshot: it
+	// must still apply over the patch.
+	s.applyRepl(&dirRepl{Kind: replEntry, GID: 7, Origin: 0, VPN: 100, State: int(pageModified), Owner: 3, Value: 17, Version: 6})
+	if me = s.mirrors[7].entries[100]; me.owner != 3 || me.version != 6 {
+		t.Errorf("same-version replEntry skipped after patch: owner %d version %d", me.owner, me.version)
+	}
+	// A duplicated patch (version no longer newer) is a no-op.
+	s.applyRepl(&dirRepl{Kind: replValue, GID: 7, Origin: 0, VPN: 100, Value: 16, Version: 6})
+	if me = s.mirrors[7].entries[100]; me.value != 17 {
+		t.Errorf("stale duplicate patch rolled value back to %d", me.value)
+	}
+}
+
+// TestSurrenderedValueDurableBeforeAck reproduces the revocation-surrender
+// window: a remote owner's Modified copy is fully invalidated, the value
+// exists only in the ack — and the origin dies before shipping its own
+// entry snapshot. The revokee's preserve ship must already have patched the
+// mirror, so after promotion both the disclaiming ex-owner (via the noCopy
+// owner-desync repair) and a third kernel read the surrendered value, not
+// the mirror's stale one.
+func TestSurrenderedValueDurableBeforeAck(t *testing.T) {
+	ev := failoverEnv(t, 4)
+	sps := ev.group(t, 1)
+	ev.run(t, func(p *sim.Proc) {
+		addr, err := sps[0].Map(p, hw.PageSize, mem.ProtRead|mem.ProtWrite)
+		if err != nil {
+			t.Fatalf("Map: %v", err)
+		}
+		if err := sps[2].Store(p, 4, addr, 17); err != nil {
+			t.Fatalf("Store at k2: %v", err)
+		}
+		vpn := mem.PageOf(addr)
+		mver := ev.svcs[1].mirrors[1].entries[vpn].version
+		// The origin's revocation arrives at the owner, but the origin dies
+		// with the ack in flight: its replEntry for this transaction never
+		// ships. Deliver the invalidation directly to the owner's handler.
+		ev.svcs[2].handlePageInvalidate(p, &msg.Message{From: 0, Payload: &pageInval{GID: 1, VPN: vpn, Version: mver + 1}})
+		me := ev.svcs[1].mirrors[1].entries[vpn]
+		if me.value != 17 {
+			t.Fatalf("mirror value after surrender = %d, want 17 (preserved before the ack)", me.value)
+		}
+		if me.version != mver {
+			t.Errorf("surrender patch advanced mirror version %d -> %d", mver, me.version)
+		}
+		ev.svcs[1].PromoteOrigin(0)
+		ev.fabric.Promote(0, 1)
+		ev.svcs[2].Retarget(1, 1)
+		ev.svcs[3].Retarget(1, 1)
+		// The promoted directory still records k2 as Modified owner, but k2's
+		// page table lost the copy: the retry disclaims it and the repair
+		// transfers the preserved value instead of re-granting nothing.
+		if v, err := sps[2].Load(p, 4, addr); err != nil || v != 17 {
+			t.Errorf("ex-owner re-read = %d, %v; want 17", v, err)
+		}
+		if v, err := sps[3].Load(p, 6, addr); err != nil || v != 17 {
+			t.Errorf("third-kernel read = %d, %v; want 17", v, err)
+		}
+	})
+}

@@ -88,6 +88,26 @@ func (sp *Space) Touch(p *sim.Proc, core int, addr mem.Addr, write bool) error {
 // times in one access indicates a protocol bug, not workload behaviour.
 const maxFaultRetries = 64
 
+// failoverRetryDelay paces fault retries against a dead origin while the
+// failover plane promotes its successor. Declared-dead fast-fails consume
+// no virtual time, so without pacing the retry budget would burn out at one
+// instant; with it, maxFaultRetries spans comfortably more than the
+// detection-plus-handover window, and the retried fault lands on the
+// promoted origin once the handover announcement re-points sp.origin.
+const failoverRetryDelay = 200 * time.Microsecond
+
+// retryFailover reports whether a fault-path error should be retried
+// because the group's origin died while the failover plane is on; it
+// sleeps the pacing delay before returning true.
+func (sp *Space) retryFailover(p *sim.Proc, err error) bool {
+	if !sp.svc.failover || !msg.IsDeadPeer(err) {
+		return false
+	}
+	sp.svc.metrics.Counter("vm.fault.failover_retry").Inc()
+	p.Sleep(failoverRetryDelay)
+	return true
+}
+
 func (sp *Space) access(p *sim.Proc, core int, addr mem.Addr, op accessOp) (int64, error) {
 	vpn := mem.PageOf(addr)
 	write := op.needsWrite()
@@ -98,6 +118,9 @@ func (sp *Space) access(p *sim.Proc, core int, addr mem.Addr, op accessOp) (int6
 	for attempt := 0; attempt < maxFaultRetries; attempt++ {
 		vma, err := sp.lookupVMA(p, vpn)
 		if err != nil {
+			if sp.retryFailover(p, err) {
+				continue
+			}
 			return 0, err
 		}
 		if write && !vma.Prot.Writable() {
@@ -143,6 +166,12 @@ func (sp *Space) access(p *sim.Proc, core int, addr mem.Addr, op accessOp) (int6
 		delete(sp.pending, vpn)
 		pend.done.Broadcast()
 		if err != nil {
+			// An origin that died mid-fault is retried (paced) when failover
+			// is on: the successor promotes itself and the handover
+			// announcement re-points this replica at it.
+			if sp.retryFailover(p, err) {
+				continue
+			}
 			return 0, err
 		}
 		if sp.isOrigin {

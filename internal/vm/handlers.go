@@ -146,6 +146,22 @@ func (s *Service) handlePageInvalidate(p *sim.Proc, m *msg.Message) *msg.Message
 		ack := &pageInvalAck{}
 		return &msg.Message{Size: invalAckSize(ack), Payload: ack}
 	}
+	// A full invalidation of a writable copy destroys the page's only
+	// current contents: after applyInval the value exists solely in the ack
+	// on its way to the origin, and an origin crash in that window would
+	// strand the mirror one write behind. With failover on, the surrendering
+	// owner closes the window itself: it ships the value to the holder's
+	// successor *before* releasing the ack, so the mirror is never behind a
+	// value the directory has committed to.
+	surrender := false
+	if s.failover && !req.Downgrade {
+		if pte, held := sp.pt.Lookup(req.VPN); held && pte.Prot.Writable() {
+			surrender = true
+		}
+	}
 	ack := sp.applyInval(p, req.VPN, req.Downgrade, req.Version)
+	if surrender && ack.HadCopy {
+		s.shipSurrender(p, req.GID, req.VPN, ack.Value, req.Version)
+	}
 	return &msg.Message{Size: invalAckSize(&ack), Payload: &ack}
 }

@@ -124,6 +124,10 @@ func (sp *Space) originMap(p *sim.Proc, length uint64, prot mem.Prot) (mem.Addr,
 	}
 	sp.version++
 	sp.svc.checker.LayoutApplied(sp.svc.node, int64(sp.gid), sp.version)
+	if sp.svc.failover {
+		//popcornvet:allow locksend layout snapshots must reach the mirror in version order, so the ship happens under the asLock that assigned the version; the mirror-side handler only records the snapshot and never calls back into the origin
+		sp.shipLayout(p, opMap, v.Lo, v.Hi, prot)
+	}
 	if sp.svc.eagerMapPush {
 		//popcornvet:allow locksend VMA updates must reach replicas in version order, so the push happens under the asLock that assigned the version; the replica-side handler applies the layout locally and never calls back into the origin
 		if err := sp.pushUpdate(p, &vmaUpdate{GID: sp.gid, Op: opMap, Lo: v.Lo, Hi: v.Hi, Prot: prot, Version: sp.version}); err != nil {
@@ -154,6 +158,10 @@ func (sp *Space) originUnmap(p *sim.Proc, addr mem.Addr, length uint64) error {
 		}
 		sp.svc.checker.Unmapped(int64(sp.gid), r.Lo, r.Hi)
 	}
+	if sp.svc.failover {
+		//popcornvet:allow locksend layout snapshots must reach the mirror in version order, so the ship happens under the asLock that assigned the version; the mirror-side handler only records the snapshot and never calls back into the origin
+		sp.shipLayout(p, opUnmap, lo, hi, 0)
+	}
 	//popcornvet:allow locksend VMA updates must reach replicas in version order, so the push happens under the asLock that assigned the version; the replica-side handler applies the layout locally and never calls back into the origin
 	return sp.pushUpdate(p, &vmaUpdate{GID: sp.gid, Op: opUnmap, Lo: lo, Hi: hi, Version: sp.version})
 }
@@ -174,6 +182,10 @@ func (sp *Space) originProtect(p *sim.Proc, addr mem.Addr, length uint64, prot m
 	}
 	sp.version++
 	sp.svc.checker.LayoutApplied(sp.svc.node, int64(sp.gid), sp.version)
+	if sp.svc.failover {
+		//popcornvet:allow locksend layout snapshots must reach the mirror in version order, so the ship happens under the asLock that assigned the version; the mirror-side handler only records the snapshot and never calls back into the origin
+		sp.shipLayout(p, opProtect, lo, hi, prot)
+	}
 	sp.applyProtectLocal(p, lo, hi, prot)
 	//popcornvet:allow locksend VMA updates must reach replicas in version order, so the push happens under the asLock that assigned the version; the replica-side handler applies the layout locally and never calls back into the origin
 	return sp.pushUpdate(p, &vmaUpdate{GID: sp.gid, Op: opProtect, Lo: lo, Hi: hi, Prot: prot, Version: sp.version})
@@ -187,7 +199,11 @@ func (sp *Space) pushUpdate(p *sim.Proc, u *vmaUpdate) error {
 	}
 	sp.svc.metrics.Counter("vm.update.pushed").Add(uint64(len(targets)))
 	_, err := sp.svc.ep.CallEach(p, targets, func(to msg.NodeID) *msg.Message {
-		return &msg.Message{Type: msg.TypeVMAUpdate, To: to, Size: sizeSmallReq, Payload: u}
+		m := &msg.Message{Type: msg.TypeVMAUpdate, To: to, Size: sizeSmallReq, Payload: u}
+		// Origin-role traffic: epoch-stamped so stale copies from a
+		// crashed-and-rejoined origin are fenced (see revokeCopies).
+		sp.svc.fabric.StampOrigin(m, OriginKernelOf(sp.gid))
+		return m
 	})
 	return err
 }
@@ -313,6 +329,10 @@ func (sp *Space) originSbrk(p *sim.Proc, delta int64) (mem.Addr, error) {
 		sp.brk = newBrk
 		sp.version++
 		sp.svc.checker.LayoutApplied(sp.svc.node, int64(sp.gid), sp.version)
+		if sp.svc.failover {
+			//popcornvet:allow locksend layout snapshots must reach the mirror in version order, so the ship happens under the asLock that assigned the version; the mirror-side handler only records the snapshot and never calls back into the origin
+			sp.shipLayout(p, opMap, v.Lo, v.Hi, v.Prot)
+		}
 		sp.asLock.Unlock(p)
 		return old, nil
 	}
@@ -328,6 +348,10 @@ func (sp *Space) originSbrk(p *sim.Proc, delta int64) (mem.Addr, error) {
 			delete(sp.dir, v)
 		}
 		sp.svc.checker.Unmapped(int64(sp.gid), r.Lo, r.Hi)
+	}
+	if sp.svc.failover {
+		//popcornvet:allow locksend layout snapshots must reach the mirror in version order, so the ship happens under the asLock that assigned the version; the mirror-side handler only records the snapshot and never calls back into the origin
+		sp.shipLayout(p, opUnmap, lo, hi, 0)
 	}
 	//popcornvet:allow locksend VMA updates must reach replicas in version order, so the push happens under the asLock that assigned the version; the replica-side handler applies the layout locally and never calls back into the origin
 	err := sp.pushUpdate(p, &vmaUpdate{GID: sp.gid, Op: opUnmap, Lo: lo, Hi: hi, Version: sp.version})

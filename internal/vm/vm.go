@@ -145,16 +145,28 @@ type Service struct {
 
 	e       *sim.Engine
 	machine *hw.Machine
-	fabric  *msg.Fabric
-	node    msg.NodeID
-	ep      *msg.Endpoint
-	frames  FrameSource
+	//popcornvet:allow kernlocal read-mostly origin-routing and successor tables; handler paths only read them, and promotions mutate them in the serialised handover step
+	fabric *msg.Fabric
+	node   msg.NodeID
+	ep     *msg.Endpoint
+	frames FrameSource
 	//popcornvet:allow kernlocal commutative counters; per-kernel shards merged at pause under the parallel engine
 	metrics *stats.Registry
 	spaces  map[GID]*Space
 	// localCores is how many cores this kernel drives; TLB shootdowns on a
 	// layout change hit all of them.
 	localCores int
+
+	// failover, when set, synchronously mirrors every origin-side mutation
+	// (directory transactions, layout changes, replica registrations) to the
+	// fabric's ring successor so it can promote itself if this kernel dies
+	// (DESIGN.md §14). Off by default; fault-free runs pay one bool check
+	// per commit.
+	failover bool
+	// mirrors holds the standby copies this kernel keeps as a replication
+	// successor, keyed by group; promoted into authoritative spaces by
+	// PromoteOrigin when the origin dies.
+	mirrors map[GID]*dirMirror
 
 	// checker, when attached, shadows every grant, revoke and access this
 	// kernel performs; nil costs one comparison per hook.
@@ -182,9 +194,11 @@ func NewService(e *sim.Engine, machine *hw.Machine, fabric *msg.Fabric, node msg
 		frames:     frames,
 		metrics:    metrics,
 		spaces:     make(map[GID]*Space),
+		mirrors:    make(map[GID]*dirMirror),
 		localCores: localCores,
 	}
 	s.ep.Handle(msg.TypeVMAOp, s.handleVMAOp)
+	s.ep.Handle(msg.TypeDirReplicate, s.handleDirReplicate)
 	s.ep.Handle(msg.TypeVMAUpdate, s.handleVMAUpdate)
 	s.ep.Handle(msg.TypeVMAFetch, s.handleVMAFetch)
 	s.ep.Handle(msg.TypePageFetch, s.handlePageFetch)
@@ -352,6 +366,7 @@ func (s *Service) Drop(p *sim.Proc, gid GID) {
 // bookkeeping is gone), so per-page frees would double-free.
 func (s *Service) Reboot() {
 	s.spaces = make(map[GID]*Space)
+	s.mirrors = make(map[GID]*dirMirror)
 }
 
 // PeerDied reclaims, on every origin directory this kernel hosts, the page
@@ -360,6 +375,11 @@ func (s *Service) Reboot() {
 // last value; the dead kernel leaves every sharer set. Runs from the fabric's
 // failure-degradation hook once the local detector declares the peer dead.
 func (s *Service) PeerDied(p *sim.Proc, dead msg.NodeID) {
+	// Promotion first: rebuilding the dead origin's directories from the
+	// replication mirrors purges the dead kernel's copies itself (keeping
+	// the logged values), so the reclaim sweep below finds nothing to lose
+	// on the promoted spaces.
+	s.PromoteOrigin(dead)
 	gids := make([]GID, 0, len(s.spaces))
 	for gid := range s.spaces {
 		gids = append(gids, gid)
