@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet govet popcornvet vet-json allowlist escapes escapes-baseline bench-compare popcornmc soak soak-overload soak-failover test bench trace-demo
+.PHONY: verify build vet govet popcornvet vet-json allowlist escapes escapes-baseline bench-compare popcornmc popcornmc-parallel soak soak-overload soak-failover test bench trace-demo
 
-verify: build vet escapes test popcornmc soak trace-demo
+verify: build vet escapes test popcornmc soak popcornmc-parallel trace-demo
 
 build:
 	$(GO) build ./...
@@ -45,7 +45,7 @@ escapes-baseline:
 # Perf regression gate: regenerate a fresh full-scale snapshot and compare
 # per-experiment gen_ns against the last checked-in snapshot (>10% and
 # >10ms worse fails). Override BENCH_BASE when re-anchoring.
-BENCH_BASE ?= BENCH_8.json
+BENCH_BASE ?= BENCH_9.json
 bench-compare:
 	$(GO) run ./cmd/benchtable -scale full -json /tmp/bench_current.json > /dev/null
 	$(GO) run ./cmd/benchtable -compare $(BENCH_BASE) /tmp/bench_current.json
@@ -82,6 +82,17 @@ soak-failover:
 
 test:
 	$(GO) test -race ./...
+	POPCORN_ENGINE=parallel $(GO) test -race -count=1 ./internal/sim/...
+
+# Parallel-engine equivalence sweep: the same sweeps and soaks must pass —
+# with byte-identical outcomes — under the concurrent dispatcher; see
+# DESIGN.md §15.
+popcornmc-parallel:
+	$(GO) run ./cmd/popcornmc -workload contention -seeds 32 -engine=parallel
+	$(GO) run ./cmd/popcornmc -workload migration -seeds 32 -engine=parallel
+	$(GO) run ./cmd/popcornmc -soak -seeds 16 -engine=parallel
+	$(GO) run ./cmd/popcornmc -soak -overload -seeds 16 -engine=parallel
+	$(GO) run ./cmd/popcornmc -soak -failover -seeds 16 -engine=parallel
 
 # Tracing determinism demo: run T2 twice with the causal tracer attached and
 # assert the exported span trees (Chrome trace_event JSON) are byte-identical

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// EngineKind is which sim engine the experiments boot: "serial" (default)
+// or "parallel". cmd/benchtable sets it from its -engine flag. Every
+// experiment produces identical virtual-time numbers under both engines —
+// the flag exists to measure and soak the concurrent dispatcher, not to
+// change results.
+var EngineKind = "serial"
+
+// newEngine builds an engine of the selected kind; experiments that boot
+// a bare engine (rather than a full OS) go through it so -engine reaches
+// them too.
+func newEngine(opts ...sim.Option) sim.Engine {
+	e, err := sim.NewEngineNamed(EngineKind, opts...)
+	if err != nil {
+		// EngineKind is validated where the flag is parsed; an invalid kind
+		// here is a programming error.
+		panic(err)
+	}
+	return e
+}
+
+// T5EngineScaling is the engine-dispatch scaling row: the same per-kernel
+// compute workload (every kernel a lane, every quantum a batch of
+// same-instant lane events) timed wall-clock under the serial and parallel
+// engines at 4/8/16 modeled kernels. The digest column pins that both
+// engines ran the identical schedule; the speedup column is host-dependent
+// (it cannot exceed 1x on a single-CPU host, where the parallel engine
+// only adds barrier overhead — see DESIGN.md §15).
+func T5EngineScaling(s Scale) (*stats.Table, error) {
+	ticks := 2000
+	if s == Quick {
+		ticks = 100
+	}
+	tab := stats.NewTable(
+		fmt.Sprintf("T5 · Engine dispatch scaling, serial vs parallel (GOMAXPROCS=%d)", runtime.GOMAXPROCS(0)),
+		"kernels", "events", "serial", "parallel", "speedup")
+	for _, kernels := range []int{4, 8, 16} {
+		serialNS, serialEvents, serialSum, err := timeLaneCompute("serial", kernels, ticks)
+		if err != nil {
+			return nil, err
+		}
+		parNS, parEvents, parSum, err := timeLaneCompute("parallel", kernels, ticks)
+		if err != nil {
+			return nil, err
+		}
+		if serialEvents != parEvents || serialSum != parSum {
+			return nil, fmt.Errorf("bench: engines diverged at %d kernels: serial (%d events, sum %x) parallel (%d events, sum %x)",
+				kernels, serialEvents, serialSum, parEvents, parSum)
+		}
+		tab.AddRow(
+			fmt.Sprintf("%d", kernels),
+			fmt.Sprintf("%d", serialEvents),
+			time.Duration(serialNS).Round(10*time.Microsecond).String(),
+			time.Duration(parNS).Round(10*time.Microsecond).String(),
+			fmt.Sprintf("%.2fx", float64(serialNS)/float64(parNS)),
+		)
+	}
+	return tab, nil
+}
+
+// timeLaneCompute runs the per-kernel compute workload on a fresh engine of
+// the given kind and returns (host wall-clock ns, events processed, result
+// checksum). Each kernel is one lane running a quantum-locked compute proc,
+// so every quantum yields a batch of `kernels` same-instant lane events —
+// the shape the parallel engine dispatches concurrently.
+func timeLaneCompute(kind string, kernels, ticks int) (int64, uint64, uint64, error) {
+	e, err := sim.NewEngineNamed(kind, sim.WithSeed(1))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer e.Close()
+	sums := make([]uint64, kernels)
+	for k := 0; k < kernels; k++ {
+		k := k
+		lane := e.Lane(k)
+		lane.Spawn(fmt.Sprintf("compute-%d", k), func(p *sim.Proc) {
+			acc := uint64(k + 1)
+			for i := 0; i < ticks; i++ {
+				// The compute body: enough lane-local work per event for
+				// concurrency to matter, touching only this lane's state.
+				for j := 0; j < 512; j++ {
+					acc = acc*6364136223846793005 + 1442695040888963407
+				}
+				acc ^= p.Engine().Rand().Uint64() >> 32
+				p.Sleep(100 * time.Microsecond)
+			}
+			sums[k] = acc
+		})
+	}
+	start := time.Now()
+	if err := e.Run(); err != nil {
+		return 0, 0, 0, err
+	}
+	elapsed := time.Since(start).Nanoseconds()
+	var sum uint64
+	for _, v := range sums {
+		sum = sum*31 + v
+	}
+	return elapsed, e.EventsProcessed(), sum, nil
+}

@@ -58,17 +58,22 @@ type Config struct {
 	TieShuffle bool
 	// Placement selects the AnyKernel spawn policy.
 	Placement PlacementPolicy
+	// Engine picks the simulation engine implementation: "serial" (default)
+	// or "parallel" (concurrent same-timestamp dispatch with byte-identical
+	// replay; see DESIGN.md §15). Any workload is replay-identical under
+	// both.
+	Engine string
 }
 
 // OS is a booted replicated-kernel operating system.
 type OS struct {
-	e       *sim.Engine
+	e       sim.Engine
 	machine *hw.Machine
 	cluster *kernel.Cluster
 	// metrics is the machine-wide registry; counters are commutative
 	// increments, so the parallel engine shards it per kernel and merges
 	// at pause points.
-	//popcornvet:allow kernlocal commutative counters; per-kernel shards merged at pause under the parallel engine
+	//popcornvet:allow kernlocal commutative counters; updated only from global-lane dispatch, which the parallel engine serialises (DESIGN.md §15)
 	metrics   *stats.Registry
 	placement PlacementPolicy
 	// rr is the round-robin cursor for automatic thread placement.
@@ -115,7 +120,10 @@ func Boot(cfg Config) (*OS, error) {
 	if cfg.TieShuffle {
 		opts = append(opts, sim.WithTieShuffle())
 	}
-	e := sim.NewEngine(opts...)
+	e, err := sim.NewEngineNamed(cfg.Engine, opts...)
+	if err != nil {
+		return nil, err
+	}
 	clusterCfg := kernel.DefaultClusterConfig(machine)
 	if cfg.Cluster != nil {
 		clusterCfg = *cfg.Cluster
@@ -131,7 +139,7 @@ func Boot(cfg Config) (*OS, error) {
 
 // BootOn builds a replicated-kernel OS on an existing engine and machine,
 // for harnesses that drive several OS instances under one clock.
-func BootOn(e *sim.Engine, machine *hw.Machine, clusterCfg kernel.ClusterConfig) (*OS, error) {
+func BootOn(e sim.Engine, machine *hw.Machine, clusterCfg kernel.ClusterConfig) (*OS, error) {
 	metrics := stats.NewRegistry()
 	cluster, err := kernel.Boot(e, machine, clusterCfg, metrics)
 	if err != nil {
@@ -144,7 +152,7 @@ func BootOn(e *sim.Engine, machine *hw.Machine, clusterCfg kernel.ClusterConfig)
 func (o *OS) Name() string { return "popcorn" }
 
 // Engine implements osi.OS.
-func (o *OS) Engine() *sim.Engine { return o.e }
+func (o *OS) Engine() sim.Engine { return o.e }
 
 // Machine implements osi.OS.
 func (o *OS) Machine() *hw.Machine { return o.machine }
@@ -379,8 +387,9 @@ func (o *OS) StartProcess(p *sim.Proc) (osi.Process, error) {
 // StartProcessOn creates the process with its origin on a specific kernel.
 // The syscall trap executes in the calling thread's context and enters the
 // chosen kernel's threadgroup service directly — the simulated equivalent
-// of trapping into the kernel you run on, which stays local once the
-// parallel engine pins each proc to its hosting kernel's shard.
+// of trapping into the kernel you run on. Syscall-running procs dispatch
+// on the global lane, which the parallel engine serialises (DESIGN.md §15),
+// so the direct entry stays race-free.
 //
 //popcornvet:allow kernlocal syscall trap into the origin kernel the calling thread runs on; local by construction
 func (o *OS) StartProcessOn(p *sim.Proc, k int) (*Process, error) {
@@ -421,10 +430,11 @@ func (pr *Process) SpawnRecoverable(p *sim.Proc, kernelHint int, fn osi.ThreadFu
 // placement runs the distributed creation protocol over msg from there. The
 // direct Kernels[...] dereferences resolve the origin (the caller's own
 // kernel) and mirror the recoverable flag onto the hosting kernel's task
-// struct — the latter is a teleport the parallel engine replaces with a
-// field in the creation RPC.
+// struct — a teleport that stays correct under the parallel engine because
+// thread procs dispatch in the serialised global-lane phase (DESIGN.md §15);
+// only lane-tagged events run concurrently.
 //
-//popcornvet:allow kernlocal origin-side syscall trap; the hosting-kernel flag mirror becomes part of the creation RPC
+//popcornvet:allow kernlocal origin-side syscall trap; the flag mirror is written from global-lane dispatch, serialised with the creation protocol (DESIGN.md §15)
 func (pr *Process) spawnThread(p *sim.Proc, kernelHint int, fn osi.ThreadFunc, recoverable bool) error {
 	k, err := pr.os.pickKernel(kernelHint)
 	if err != nil {

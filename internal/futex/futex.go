@@ -67,13 +67,13 @@ type localWaiter struct {
 
 // Service is the per-kernel futex service.
 type Service struct {
-	e        *sim.Engine
+	e        sim.Engine
 	node     msg.NodeID
 	ep       *msg.Endpoint
 	resolver Resolver
-	//popcornvet:allow kernlocal commutative counters; per-kernel shards merged at pause under the parallel engine
+	//popcornvet:allow kernlocal commutative counters; updated only from global-lane dispatch, which the parallel engine serialises (DESIGN.md §15)
 	metrics *stats.Registry
-	//popcornvet:allow kernlocal the cross-kernel invariant observer by design; moves to the serialised merge step
+	//popcornvet:allow kernlocal the cross-kernel invariant observer by design; runs in the serialised global-lane phase (DESIGN.md §15)
 	checker *sanitize.Checker
 	// homeCore is the representative core used to charge value-check
 	// accesses performed by the home-side handler.
@@ -124,7 +124,7 @@ type futexWakeup struct {
 const reqSize = 64
 
 // NewService creates the kernel's futex service and registers its handlers.
-func NewService(e *sim.Engine, fabric *msg.Fabric, node msg.NodeID, homeCore int, resolver Resolver, metrics *stats.Registry) *Service {
+func NewService(e sim.Engine, fabric *msg.Fabric, node msg.NodeID, homeCore int, resolver Resolver, metrics *stats.Registry) *Service {
 	if metrics == nil {
 		metrics = stats.NewRegistry()
 	}

@@ -41,7 +41,7 @@ func (f *simpleFrames) FreeFrame(p *sim.Proc, fr mem.FrameID) {
 }
 
 type env struct {
-	e      *sim.Engine
+	e      sim.Engine
 	vms    []*vm.Service
 	futexs []*Service
 	spaces []*vm.Space

@@ -30,6 +30,13 @@ type Kernel struct {
 	TG      *threadgroup.Service
 	Futex   *futex.Service
 	Metrics *stats.Registry
+	// Lane is this kernel's affinity view of the engine: events and
+	// processes created through it carry the kernel tag the parallel engine
+	// dispatches concurrently. All of this kernel's services are built over
+	// it, so their engine interactions are kernel-tagged end to end; work
+	// that touches the fabric or another kernel must go through a merge
+	// event instead (DESIGN.md §15).
+	Lane sim.Engine
 }
 
 // LockedFrames is a kernel's physical allocator behind its local zone lock,
@@ -37,7 +44,7 @@ type Kernel struct {
 // In the replicated design only this kernel's cores (all on one NUMA node
 // partition) contend here — the scalability argument in miniature.
 type LockedFrames struct {
-	e         *sim.Engine
+	e         sim.Engine
 	machine   *hw.Machine
 	alloc     *mem.FrameAllocator
 	mu        *sim.Mutex
@@ -51,7 +58,7 @@ type LockedFrames struct {
 // states whether the lock's contenders span NUMA nodes (true for the SMP
 // baseline's shared zone, false for a per-kernel zone); maxSharers is the
 // number of cores that can actually contend (the partition's core count).
-func NewLockedFrames(e *sim.Engine, machine *hw.Machine, alloc *mem.FrameAllocator, crossNode bool, maxSharers int) *LockedFrames {
+func NewLockedFrames(e sim.Engine, machine *hw.Machine, alloc *mem.FrameAllocator, crossNode bool, maxSharers int) *LockedFrames {
 	if maxSharers < 1 {
 		maxSharers = 1
 	}
@@ -136,7 +143,7 @@ type Cluster struct {
 }
 
 // Boot brings up cfg.Kernels kernel instances on the machine.
-func Boot(e *sim.Engine, machine *hw.Machine, cfg ClusterConfig, metrics *stats.Registry) (*Cluster, error) {
+func Boot(e sim.Engine, machine *hw.Machine, cfg ClusterConfig, metrics *stats.Registry) (*Cluster, error) {
 	if cfg.Kernels <= 0 {
 		return nil, fmt.Errorf("kernel: cluster needs at least one kernel, got %d", cfg.Kernels)
 	}
@@ -168,14 +175,19 @@ func Boot(e *sim.Engine, machine *hw.Machine, cfg ClusterConfig, metrics *stats.
 		if err != nil {
 			return nil, err
 		}
-		sch, err := sched.New(e, machine, cores, metrics)
+		// Every service of kernel k is built over k's lane view, so the
+		// engine work they create is kernel-tagged. The tag is inert under
+		// the serial engine; under the parallel engine it is what lets
+		// same-instant work on different kernels dispatch concurrently.
+		lane := e.Lane(k)
+		sch, err := sched.New(lane, machine, cores, metrics)
 		if err != nil {
 			return nil, err
 		}
-		frames := NewLockedFrames(e, machine, alloc, false, perKernel)
-		vms := vm.NewService(e, machine, fabric, msg.NodeID(k), frames, perKernel, metrics)
-		tgs := threadgroup.NewService(e, machine, fabric, msg.NodeID(k), vms, cfg.TG, metrics)
-		fx := futex.NewService(e, fabric, msg.NodeID(k), cores[0], tgs, metrics)
+		frames := NewLockedFrames(lane, machine, alloc, false, perKernel)
+		vms := vm.NewService(lane, machine, fabric, msg.NodeID(k), frames, perKernel, metrics)
+		tgs := threadgroup.NewService(lane, machine, fabric, msg.NodeID(k), vms, cfg.TG, metrics)
+		fx := futex.NewService(lane, fabric, msg.NodeID(k), cores[0], tgs, metrics)
 		cl.Kernels = append(cl.Kernels, &Kernel{
 			Node:    msg.NodeID(k),
 			Machine: machine,
@@ -186,6 +198,7 @@ func Boot(e *sim.Engine, machine *hw.Machine, cfg ClusterConfig, metrics *stats.
 			TG:      tgs,
 			Futex:   fx,
 			Metrics: metrics,
+			Lane:    lane,
 		})
 	}
 	return cl, nil

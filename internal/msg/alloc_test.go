@@ -68,7 +68,7 @@ func setNonZero(fv reflect.Value) string {
 // returns the average allocations per processed message once the fabric is
 // warm. A pinger daemon fires every tick; each RunFor window covers exactly
 // n ticks.
-func allocsPerMessage(t *testing.T, f *Fabric, e *sim.Engine) float64 {
+func allocsPerMessage(t *testing.T, f *Fabric, e sim.Engine) float64 {
 	t.Helper()
 	const tick = 10 * time.Microsecond
 	f.Endpoint(1).Handle(TypePing, func(p *sim.Proc, m *Message) *Message { return nil })

@@ -14,6 +14,13 @@ import (
 type Endpoint struct {
 	f    *Fabric
 	node NodeID
+	// eng is this kernel's lane view of the engine (sim.Engine.Lane keyed by
+	// the node ID): events and processes created through it carry the
+	// kernel-affinity tag the parallel engine dispatches concurrently.
+	// Kernel-local compute schedules through eng; the dispatcher and
+	// everything that touches the fabric's shared wire state stay on the
+	// root engine (the merge plane, DESIGN.md §15).
+	eng sim.Engine
 
 	// queue[qhead:] is the inbound backlog; the dispatcher advances qhead
 	// instead of reslicing and resets both once drained, so the backing
@@ -105,6 +112,7 @@ func newEndpoint(f *Fabric, node NodeID) *Endpoint {
 	ep := &Endpoint{
 		f:            f,
 		node:         node,
+		eng:          f.e.Lane(int(node)),
 		hasWork:      sim.NewCond(),
 		handlers:     make(map[Type]Handler),
 		handlerNames: make(map[Type]string),
@@ -117,6 +125,14 @@ func newEndpoint(f *Fabric, node NodeID) *Endpoint {
 
 // Node returns the kernel this endpoint belongs to.
 func (ep *Endpoint) Node() NodeID { return ep.node }
+
+// Engine returns this kernel's lane view of the engine. Work scheduled or
+// spawned through it carries the kernel-affinity tag: under the parallel
+// engine, same-instant events on distinct kernels execute concurrently,
+// subject to the parallel dispatch contract (DESIGN.md §15) — lane work
+// must stay kernel-local and must not enter the fabric except through a
+// merge event.
+func (ep *Endpoint) Engine() sim.Engine { return ep.eng }
 
 // Collector returns the span collector attached to the endpoint's fabric
 // (nil when tracing is detached). Protocol services read it here so one

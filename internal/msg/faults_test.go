@@ -10,7 +10,7 @@ import (
 )
 
 // faultFabric is testFabric plus a fault plan; hooks are optional.
-func faultFabric(t *testing.T, e *sim.Engine, plan *faultinj.Plan) *Fabric {
+func faultFabric(t *testing.T, e sim.Engine, plan *faultinj.Plan) *Fabric {
 	t.Helper()
 	f := testFabric(t, e)
 	f.EnableFaults(plan, FaultConfig{}, FaultHooks{})

@@ -10,7 +10,7 @@ import (
 )
 
 // flowFabric is testFabric plus an attached flow plane.
-func flowFabric(t *testing.T, e *sim.Engine, cfg FlowConfig) *Fabric {
+func flowFabric(t *testing.T, e sim.Engine, cfg FlowConfig) *Fabric {
 	t.Helper()
 	f := testFabric(t, e)
 	f.EnableFlow(cfg)

@@ -303,14 +303,14 @@ func (c Config) slots(size int) int {
 
 // Fabric is the machine-wide message transport connecting all kernels.
 type Fabric struct {
-	e         *sim.Engine
+	e         sim.Engine
 	machine   *hw.Machine
 	cfg       Config
 	endpoints []*Endpoint
 	// nodeCore maps each kernel to a representative core, used for
 	// NUMA-aware IPI and transfer costs.
 	nodeCore []int
-	//popcornvet:allow kernlocal commutative counters; per-kernel shards merged at pause under the parallel engine
+	//popcornvet:allow kernlocal commutative counters; updated only from global-lane dispatch, which the parallel engine serialises (DESIGN.md §15)
 	metrics *stats.Registry
 	nextSeq uint64
 	// wires holds the per-directed-pair rings. Slot order is reserved when
@@ -533,7 +533,7 @@ func (f *Fabric) commit(entry *wireEntry) {
 // NewFabric creates a transport for `nodes` kernels. nodeCore[i] gives a
 // representative core of kernel i for NUMA cost purposes; it must have
 // exactly `nodes` entries.
-func NewFabric(e *sim.Engine, machine *hw.Machine, nodes int, nodeCore []int, cfg Config, metrics *stats.Registry) (*Fabric, error) {
+func NewFabric(e sim.Engine, machine *hw.Machine, nodes int, nodeCore []int, cfg Config, metrics *stats.Registry) (*Fabric, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}

@@ -11,7 +11,7 @@ import (
 
 // testFabric builds a 4-kernel fabric over an 8-core dual-socket machine:
 // kernels 0,1 on node 0 (cores 0,2), kernels 2,3 on node 1 (cores 4,6).
-func testFabric(t *testing.T, e *sim.Engine) *Fabric {
+func testFabric(t *testing.T, e sim.Engine) *Fabric {
 	t.Helper()
 	m, err := hw.NewMachine(hw.Topology{Cores: 8, NUMANodes: 2}, hw.DefaultCostModel())
 	if err != nil {

@@ -31,13 +31,18 @@ type Config struct {
 	Kernels int
 	// FramesPerKernel sizes each kernel's memory partition.
 	FramesPerKernel int
+	// Engine picks the simulation engine implementation: "serial" (default)
+	// or "parallel" (concurrent same-timestamp dispatch with byte-identical
+	// replay; see DESIGN.md §15). Both engines produce identical runs for
+	// the same seed and workload.
+	Engine string
 }
 
 // OS is the booted multikernel.
 type OS struct {
-	e       *sim.Engine
+	e       sim.Engine
 	machine *hw.Machine
-	//popcornvet:allow kernlocal commutative counters; per-kernel shards merged at pause under the parallel engine
+	//popcornvet:allow kernlocal commutative counters; updated only from global-lane dispatch, which the parallel engine serialises (DESIGN.md §15)
 	metrics *stats.Registry
 	//popcornvet:allow kernlocal the inter-kernel medium itself; domains only Send/Call through their own endpoint
 	fabric  *msg.Fabric
@@ -71,7 +76,10 @@ func Boot(cfg Config) (*OS, error) {
 	if seed == 0 {
 		seed = 1
 	}
-	e := sim.NewEngine(sim.WithSeed(seed))
+	e, err := sim.NewEngineNamed(cfg.Engine, sim.WithSeed(seed))
+	if err != nil {
+		return nil, err
+	}
 	os, err := BootOn(e, machine, cfg.Kernels, cfg.FramesPerKernel)
 	if err != nil {
 		e.Close()
@@ -81,7 +89,7 @@ func Boot(cfg Config) (*OS, error) {
 }
 
 // BootOn builds the multikernel on an existing engine and machine.
-func BootOn(e *sim.Engine, machine *hw.Machine, kernels, framesPerKernel int) (*OS, error) {
+func BootOn(e sim.Engine, machine *hw.Machine, kernels, framesPerKernel int) (*OS, error) {
 	if kernels <= 0 {
 		kernels = machine.Topology.NUMANodes
 	}
@@ -143,7 +151,7 @@ func BootOn(e *sim.Engine, machine *hw.Machine, kernels, framesPerKernel int) (*
 func (o *OS) Name() string { return "multikernel" }
 
 // Engine returns the simulation engine.
-func (o *OS) Engine() *sim.Engine { return o.e }
+func (o *OS) Engine() sim.Engine { return o.e }
 
 // Machine returns the simulated hardware.
 func (o *OS) Machine() *hw.Machine { return o.machine }

@@ -30,7 +30,7 @@ type OS interface {
 	// Name identifies the flavour ("popcorn", "smp", ...).
 	Name() string
 	// Engine returns the simulation engine the OS runs on.
-	Engine() *sim.Engine
+	Engine() sim.Engine
 	// Machine returns the simulated hardware.
 	Machine() *hw.Machine
 	// Kernels returns the number of kernel instances (1 for SMP).

@@ -63,7 +63,7 @@ type msgKey struct {
 type Config struct {
 	// Trace, when set, receives san.* protocol events and is mined for the
 	// page history attached to violations.
-	//popcornvet:allow kernlocal the checker is the cross-kernel observer by design; its trace moves to the merge step with it
+	//popcornvet:allow kernlocal the checker is the cross-kernel observer by design; it runs in the serialised global-lane phase (DESIGN.md §15)
 	Trace *trace.Buffer
 	// FailFast makes coherence violations panic in the offending proc
 	// (unwound by the engine into a run failure) instead of only being
@@ -80,7 +80,7 @@ type Config struct {
 // on the engine loop; the Checker is not safe for use from other
 // goroutines.
 type Checker struct {
-	e   *sim.Engine
+	e   sim.Engine
 	cfg Config
 
 	pages  map[pageKey]*pageShadow
@@ -108,7 +108,7 @@ type Checker struct {
 }
 
 // New returns a checker bound to e.
-func New(e *sim.Engine, cfg Config) *Checker {
+func New(e sim.Engine, cfg Config) *Checker {
 	if cfg.MaxEvents <= 0 {
 		cfg.MaxEvents = 12
 	}

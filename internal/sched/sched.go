@@ -24,11 +24,11 @@ const DefaultQuantum = 100 * time.Microsecond
 
 // Scheduler multiplexes one kernel's tasks onto its cores.
 type Scheduler struct {
-	e       *sim.Engine
+	e       sim.Engine
 	machine *hw.Machine
 	coreIDs []int
 	quantum time.Duration
-	//popcornvet:allow kernlocal commutative counters; per-kernel shards merged at pause under the parallel engine
+	//popcornvet:allow kernlocal commutative counters; updated only from global-lane dispatch, which the parallel engine serialises (DESIGN.md §15)
 	metrics *stats.Registry
 
 	free    []int // free global core IDs, LIFO for cache warmth
@@ -55,7 +55,7 @@ func WithQuantum(q time.Duration) Option {
 }
 
 // New creates a scheduler over the given global core IDs.
-func New(e *sim.Engine, machine *hw.Machine, coreIDs []int, metrics *stats.Registry, opts ...Option) (*Scheduler, error) {
+func New(e sim.Engine, machine *hw.Machine, coreIDs []int, metrics *stats.Registry, opts ...Option) (*Scheduler, error) {
 	if len(coreIDs) == 0 {
 		return nil, fmt.Errorf("sched: scheduler needs at least one core")
 	}

@@ -9,7 +9,7 @@ import (
 	"repro/internal/stats"
 )
 
-func newSched(t *testing.T, e *sim.Engine, cores []int, opts ...Option) *Scheduler {
+func newSched(t *testing.T, e sim.Engine, cores []int, opts ...Option) *Scheduler {
 	t.Helper()
 	m, err := hw.NewMachine(hw.Topology{Cores: 8, NUMANodes: 2}, hw.DefaultCostModel())
 	if err != nil {

@@ -5,7 +5,7 @@ package sim
 // capacity, and receives on a closed channel drain the buffer and then
 // report !ok. All operations take effect in deterministic engine order.
 type Chan[T any] struct {
-	e      *Engine
+	e      *core
 	label  string
 	cap    int
 	buf    []T
@@ -29,11 +29,11 @@ type chanWaiter[T any] struct {
 }
 
 // NewChan returns a channel with the given buffer capacity (0 = unbuffered).
-func NewChan[T any](e *Engine, capacity int) *Chan[T] {
+func NewChan[T any](e Engine, capacity int) *Chan[T] {
 	if capacity < 0 {
 		capacity = 0
 	}
-	return &Chan[T]{e: e, cap: capacity}
+	return &Chan[T]{e: e.base(), cap: capacity}
 }
 
 // Len returns the number of buffered elements.

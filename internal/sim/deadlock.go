@@ -46,15 +46,15 @@ func (p *Proc) clearWaitInfo() {
 
 // ProcWait is one blocked process in a deadlock report.
 type ProcWait struct {
-	PID      int64
-	Name     string
-	Kind     string
-	Resource string
+	PID      int64  // engine-assigned process ID of the blocked process
+	Name     string // spawn name of the blocked process
+	Kind     string // wait kind set via SetWaitInfo ("" when the proc never declared one)
+	Resource string // contended resource label, paired with Kind
 	// HolderPID/HolderName identify the process holding the contended
 	// resource, when known (0/"" otherwise).
 	HolderPID  int64
-	HolderName string
-	Daemon     bool
+	HolderName string // see HolderPID
+	Daemon     bool // whether the blocked process was spawned with SpawnDaemon
 }
 
 // DeadlockError is returned by Run when blocked processes remain but the
@@ -62,8 +62,8 @@ type ProcWait struct {
 // the wait-for graph of every blocked process, plus any wait cycle found
 // through resource holders.
 type DeadlockError struct {
-	At    Time
-	Waits []ProcWait
+	At    Time       // simulated time at which the engine stalled
+	Waits []ProcWait // one entry per blocked non-daemon process
 	// Cycle lists process names forming a wait cycle through resource
 	// holders (first == last), when one exists.
 	Cycle []string
@@ -72,6 +72,8 @@ type DeadlockError struct {
 // Unwrap makes errors.Is(err, ErrDeadlock) hold.
 func (e *DeadlockError) Unwrap() error { return ErrDeadlock }
 
+// Error renders the wait-for graph, one blocked process per line, plus the
+// wait cycle when one was found.
 func (e *DeadlockError) Error() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%v (%d blocked) at %v\nwait-for graph:", ErrDeadlock, len(e.Waits), e.At)
@@ -100,7 +102,7 @@ func (e *DeadlockError) Error() string {
 // (a daemon parked on its service condition variable is idle, not stuck).
 //
 //popcornvet:coldpath
-func (e *Engine) buildDeadlockError() *DeadlockError {
+func (e *core) buildDeadlockError() *DeadlockError {
 	de := &DeadlockError{At: e.now}
 	// procsByID already yields ascending PIDs, so Waits needs no re-sort.
 	for _, p := range e.procsByID() {
@@ -178,7 +180,8 @@ type invariant struct {
 // drains (simulation quiescence) and, if WithInvariantInterval enabled
 // periodic checking, every interval of virtual time. A non-nil return fails
 // the run, pinpointing the first virtual instant the model went wrong.
-func (e *Engine) Invariant(name string, fn func() error) {
+func (v *view) Invariant(name string, fn func() error) {
+	e := v.c
 	//popcornvet:bounded setup-time registration; the invariant set is fixed before the run
 	e.invariants = append(e.invariants, invariant{name: name, fn: fn})
 }
@@ -188,13 +191,13 @@ func (e *Engine) Invariant(name string, fn func() error) {
 // (in addition to the always-on check at quiescence). d <= 0 disables the
 // periodic checks.
 func WithInvariantInterval(d time.Duration) Option {
-	return func(e *Engine) { e.invInterval = d }
+	return func(e *core) { e.invInterval = d }
 }
 
 // checkInvariants runs every registered invariant, recording the first
 // failure into the engine. It sits on the dispatch loop's periodic sweep,
 // but only the (terminal) failure path allocates.
-func (e *Engine) checkInvariants() {
+func (e *core) checkInvariants() {
 	for _, inv := range e.invariants {
 		if err := inv.fn(); err != nil {
 			//popcornvet:allow hotalloc invariant-failure path ends the run

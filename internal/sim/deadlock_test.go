@@ -125,7 +125,7 @@ func TestInvariantQuiescence(t *testing.T) {
 // transient in virtual time is caught mid-run; without one, the quiescence
 // check alone misses it.
 func TestInvariantPeriodic(t *testing.T) {
-	transientBreak := func(e *Engine) *bool {
+	transientBreak := func(e Engine) *bool {
 		broken := new(bool)
 		e.Invariant("transient", func() error {
 			if *broken {

@@ -30,7 +30,7 @@ func (s *LockStats) recordWait(w time.Duration) {
 // Mutex is a simulated mutual-exclusion lock with FIFO handoff and
 // contention accounting.
 type Mutex struct {
-	e          *Engine
+	e          *core
 	label      string
 	owner      *Proc
 	q          []*mutexWaiter
@@ -45,7 +45,7 @@ type mutexWaiter struct {
 }
 
 // NewMutex returns an unlocked mutex on e.
-func NewMutex(e *Engine) *Mutex { return &Mutex{e: e} }
+func NewMutex(e Engine) *Mutex { return &Mutex{e: e.base()} }
 
 // SetLabel names the mutex for deadlock reports and returns it (chainable).
 func (m *Mutex) SetLabel(s string) *Mutex {
@@ -133,7 +133,7 @@ func (m *Mutex) Stats() LockStats { return m.stats }
 // writer queues, new readers wait behind it. This mirrors the Linux
 // rw_semaphore behaviour that makes mmap_sem a scalability bottleneck.
 type RWMutex struct {
-	e          *Engine
+	e          *core
 	label      string
 	readers    int
 	writer     *Proc
@@ -144,7 +144,7 @@ type RWMutex struct {
 }
 
 // NewRWMutex returns an unlocked reader-writer lock on e.
-func NewRWMutex(e *Engine) *RWMutex { return &RWMutex{e: e} }
+func NewRWMutex(e Engine) *RWMutex { return &RWMutex{e: e.base()} }
 
 // SetLabel names the lock for deadlock reports and returns it (chainable).
 func (l *RWMutex) SetLabel(s string) *RWMutex {

@@ -23,33 +23,33 @@ type ProcObserver interface {
 
 // SetProcObserver attaches o to the engine. Pass nil to detach. The engine
 // pays only a nil-check per scheduling edge when detached.
-func (e *Engine) SetProcObserver(o ProcObserver) { e.observer = o }
+func (v *view) SetProcObserver(o ProcObserver) { v.c.observer = o }
 
-func (e *Engine) observeStarted(child *Proc) {
+func (e *core) observeStarted(child *Proc) {
 	if e.observer != nil {
 		e.observer.ProcStarted(e.current, child)
 	}
 }
 
-func (e *Engine) observeWoken(woken *Proc) {
+func (e *core) observeWoken(woken *Proc) {
 	if e.observer != nil && e.current != woken {
 		e.observer.ProcWoken(e.current, woken)
 	}
 }
 
-func (e *Engine) observeFinished(p *Proc) {
+func (e *core) observeFinished(p *Proc) {
 	if e.observer != nil {
 		e.observer.ProcFinished(p)
 	}
 }
 
-func (e *Engine) observeAcquire(p *Proc, key any) {
+func (e *core) observeAcquire(p *Proc, key any) {
 	if e.observer != nil {
 		e.observer.SyncAcquire(p, key)
 	}
 }
 
-func (e *Engine) observeRelease(p *Proc, key any) {
+func (e *core) observeRelease(p *Proc, key any) {
 	if e.observer != nil {
 		e.observer.SyncRelease(p, key)
 	}

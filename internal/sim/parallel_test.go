@@ -1,0 +1,355 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"testing"
+	"time"
+)
+
+// eqWorld is the differential workload the equivalence tests and the
+// FuzzEngineEquivalence target share: a seeded mix of lane events, lane
+// procs, merge hops, cross-lane wakes, cancellations, and lane-local RNG
+// draws whose complete observable behaviour folds into one digest. Lane
+// state obeys the parallel dispatch contract: laneLog[k] is touched only by
+// lane k's events and by merge events, so the workload is race-free under
+// the parallel engine by construction — any contract violation in the
+// engine itself shows up as a digest mismatch or a -race report.
+type eqWorld struct {
+	eng      Engine
+	lanes    []Engine
+	laneLog  [][]uint64
+	mergeLog []uint64
+	workers  []*Proc
+	sleepers []*Proc
+}
+
+// eqRand is a splitmix64 used to derive the workload structure from the
+// fuzz seed, independent of the engine's own RNG.
+type eqRand struct{ s uint64 }
+
+func (r *eqRand) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// buildEqWorld wires the workload onto e. The structure depends only on
+// (seed, lanes, depth), never on which engine runs it.
+func buildEqWorld(e Engine, seed uint64, laneCount, depth int) *eqWorld {
+	w := &eqWorld{
+		eng:     e,
+		lanes:   make([]Engine, laneCount),
+		laneLog: make([][]uint64, laneCount),
+	}
+	for k := 0; k < laneCount; k++ {
+		w.lanes[k] = e.Lane(k)
+	}
+	sr := &eqRand{s: seed}
+
+	// Lane-affine worker procs: each sleeps a lane-derived jitter, records
+	// ticks into its lane log, occasionally hops to the merge log and wakes
+	// the next lane's sleeper through its own view (the legal cross-lane
+	// wake path).
+	for k := 0; k < laneCount; k++ {
+		k := k
+		steps := 3 + int(sr.next()%5)
+		w.workers = append(w.workers, w.lanes[k].Spawn(fmt.Sprintf("worker-%d", k), func(p *Proc) {
+			for i := 0; i < steps; i++ {
+				p.Sleep(time.Duration(p.Engine().Rand().Uint64() % 3))
+				w.laneLog[k] = append(w.laneLog[k], uint64(k)<<32|uint64(i))
+				if i%2 == 1 {
+					v := uint64(p.Now()) ^ uint64(k)
+					p.Engine().ScheduleMerge(0, func() {
+						w.mergeLog = append(w.mergeLog, v)
+					})
+				}
+				if i%3 == 2 && laneCount > 1 {
+					p.Engine().Wake(w.sleepers[(k+1)%laneCount])
+				}
+			}
+		}))
+	}
+
+	// Lane-affine sleeper procs: park in Suspend and log each wake-up.
+	for k := 0; k < laneCount; k++ {
+		k := k
+		w.sleepers = append(w.sleepers, w.lanes[k].SpawnDaemon(fmt.Sprintf("sleeper-%d", k), func(p *Proc) {
+			for {
+				p.Suspend()
+				w.laneLog[k] = append(w.laneLog[k], 0x51ee9<<20|uint64(p.Now()))
+			}
+		}))
+	}
+
+	// A recursive lane-event tree per lane: events re-schedule children on
+	// their own lane (often same-instant, so batches form), draw from the
+	// lane RNG, and sometimes cancel a sibling.
+	var grow func(k, d int, tag uint64)
+	for k := 0; k < laneCount; k++ {
+		k := k
+		grow = func(k, d int, tag uint64) {
+			w.lanes[k].Schedule(time.Duration(tag%4), func() {
+				draw := w.lanes[k].Rand().Uint64()
+				w.laneLog[k] = append(w.laneLog[k], tag^draw)
+				if d > 0 {
+					grow(k, d-1, tag*3+1)
+					if draw%4 == 0 {
+						h := w.lanes[k].Schedule(1, func() {
+							w.laneLog[k] = append(w.laneLog[k], ^tag)
+						})
+						if draw%8 == 0 {
+							h.Cancel()
+						}
+					}
+					if draw%5 == 0 {
+						w.lanes[k].ScheduleMerge(0, func() {
+							w.mergeLog = append(w.mergeLog, tag)
+						})
+					}
+				}
+			})
+		}
+		grow(k, depth, sr.next())
+	}
+
+	// Merge events that fan work back out to lanes.
+	fans := 2 + int(sr.next()%3)
+	for i := 0; i < fans; i++ {
+		at := time.Duration(sr.next() % 6)
+		tag := sr.next()
+		e.Schedule(at, func() {
+			w.mergeLog = append(w.mergeLog, tag)
+			for k := 0; k < laneCount; k++ {
+				k := k
+				w.lanes[k].Schedule(0, func() {
+					w.laneLog[k] = append(w.laneLog[k], tag+uint64(k))
+				})
+			}
+		})
+	}
+	return w
+}
+
+// digest folds every observable outcome of the run into one value.
+func (w *eqWorld) digest() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(w.eng.EventsProcessed())
+	put(uint64(w.eng.Now()))
+	for _, v := range w.mergeLog {
+		put(v)
+	}
+	for k := range w.laneLog {
+		put(uint64(len(w.laneLog[k])))
+		for _, v := range w.laneLog[k] {
+			put(v)
+		}
+	}
+	return h.Sum64()
+}
+
+// runEq builds and runs the workload on a fresh engine of the given kind,
+// returning (digest, processed, err).
+func runEq(t testing.TB, kind string, seed uint64, laneCount, depth int, opts ...Option) (uint64, uint64, error) {
+	e, err := NewEngineNamed(kind, opts...)
+	if err != nil {
+		t.Fatalf("NewEngineNamed(%q): %v", kind, err)
+	}
+	defer e.Close()
+	w := buildEqWorld(e, seed, laneCount, depth)
+	runErr := e.Run()
+	if runErr != nil && !errors.Is(runErr, ErrEventLimit) {
+		t.Fatalf("%s engine run (seed %d): %v", kind, seed, runErr)
+	}
+	return w.digest(), e.EventsProcessed(), runErr
+}
+
+// TestEngineEquivalenceSeeds is the headline gate: across ≥16 seeds, with
+// and without tie-shuffle, the serial and parallel engines must produce
+// identical digests (event counts, final clock, every log entry in order).
+func TestEngineEquivalenceSeeds(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		for _, shuffle := range []bool{false, true} {
+			opts := []Option{WithSeed(int64(seed))}
+			if shuffle {
+				opts = append(opts, WithTieShuffle())
+			}
+			lanes := 2 + int(seed%7)
+			sd, sp, _ := runEq(t, "serial", seed, lanes, 3, opts...)
+			pd, pp, _ := runEq(t, "parallel", seed, lanes, 3, opts...)
+			if sd != pd || sp != pp {
+				t.Fatalf("seed %d shuffle %v: serial (digest %x, %d events) != parallel (digest %x, %d events)",
+					seed, shuffle, sd, sp, pd, pp)
+			}
+		}
+	}
+}
+
+// TestParallelDeterminism reruns the same seed on the parallel engine with
+// different worker counts: worker count must never affect results.
+func TestParallelDeterminism(t *testing.T) {
+	base, bp, _ := runEq(t, "parallel", 7, 6, 3, WithSeed(7))
+	for _, workers := range []int{1, 2, 3, 8} {
+		d, p, _ := runEq(t, "parallel", 7, 6, 3, WithSeed(7), WithWorkers(workers))
+		if d != base || p != bp {
+			t.Fatalf("workers=%d changed the run: digest %x (want %x), %d events (want %d)", workers, d, p, base, bp)
+		}
+	}
+}
+
+// TestEngineEquivalenceEventLimit checks that event-limit shrinking replays
+// the same bounded prefix on both engines, for every cut point.
+func TestEngineEquivalenceEventLimit(t *testing.T) {
+	_, total, _ := runEq(t, "serial", 3, 4, 2, WithSeed(3))
+	for limit := uint64(1); limit <= total; limit += 7 {
+		sd, sp, serr := runEq(t, "serial", 3, 4, 2, WithSeed(3), withLimit(limit))
+		pd, pp, perr := runEq(t, "parallel", 3, 4, 2, WithSeed(3), withLimit(limit))
+		if sd != pd || sp != pp || !errors.Is(perr, ErrEventLimit) != !errors.Is(serr, ErrEventLimit) {
+			t.Fatalf("limit %d: serial (digest %x, %d, %v) != parallel (digest %x, %d, %v)",
+				limit, sd, sp, serr, pd, pp, perr)
+		}
+	}
+}
+
+// withLimit is a test-only option setting the event limit at construction.
+func withLimit(n uint64) Option { return func(c *core) { c.limit = n } }
+
+// TestEngineEquivalenceInvariants pins the invariant-sweep interleaving:
+// periodic invariants must observe identical states under both engines, so
+// a violating sweep fires at the same event count.
+func TestEngineEquivalenceInvariants(t *testing.T) {
+	for _, kind := range []string{"serial", "parallel"} {
+		e, _ := NewEngineNamed(kind, WithSeed(5), WithInvariantInterval(2))
+		w := buildEqWorld(e, 5, 4, 3)
+		checks := 0
+		e.Invariant("count-sweeps", func() error {
+			checks++
+			return nil
+		})
+		if err := e.Run(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if checks == 0 {
+			t.Fatalf("%s: invariant never ran", kind)
+		}
+		t.Logf("%s: %d sweeps, %d events, digest %x", kind, checks, e.EventsProcessed(), w.digest())
+		e.Close()
+	}
+}
+
+// TestLaneViewsCachedAndTagged pins the Lane contract: views are cached,
+// carry their lane ID, and share the engine's clock and seed.
+func TestLaneViewsCachedAndTagged(t *testing.T) {
+	e, _ := NewEngineNamed("serial", WithSeed(9))
+	defer e.Close()
+	l3 := e.Lane(3)
+	if e.Lane(3) != l3 {
+		t.Fatal("Lane(3) not cached")
+	}
+	if l3.LaneID() != 3 || e.LaneID() != GlobalLane {
+		t.Fatalf("lane IDs wrong: %d, %d", l3.LaneID(), e.LaneID())
+	}
+	if l3.Seed() != e.Seed() || l3.Now() != e.Now() {
+		t.Fatal("lane view does not share engine seed/clock")
+	}
+	if l3.Rand() == e.Rand() {
+		t.Fatal("lane view must have its own derived RNG stream")
+	}
+	if e.Parallel() {
+		t.Fatal("serial engine claims Parallel()")
+	}
+	p := l3.Spawn("w", func(p *Proc) {})
+	if p.Lane() != 3 {
+		t.Fatalf("proc lane = %d, want 3", p.Lane())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelLaneFailureDeterministic checks that a panic in a lane proc
+// surfaces identically on both engines: same error, same processed count,
+// regardless of which lanes run concurrently.
+func TestParallelLaneFailureDeterministic(t *testing.T) {
+	build := func(e Engine) {
+		for k := 0; k < 4; k++ {
+			k := k
+			e.Lane(k).Spawn(fmt.Sprintf("w-%d", k), func(p *Proc) {
+				p.Sleep(1)
+				if k == 2 {
+					panic("lane 2 exploded")
+				}
+				p.Sleep(1)
+			})
+		}
+	}
+	results := make([]string, 0, 2)
+	counts := make([]uint64, 0, 2)
+	for _, kind := range []string{"serial", "parallel"} {
+		e, _ := NewEngineNamed(kind, WithSeed(1))
+		build(e)
+		err := e.Run()
+		if err == nil {
+			t.Fatalf("%s: lane panic not surfaced", kind)
+		}
+		results = append(results, err.Error())
+		counts = append(counts, e.EventsProcessed())
+		e.Close()
+	}
+	if results[0] != results[1] || counts[0] != counts[1] {
+		t.Fatalf("failure surfaced differently: serial (%q, %d) vs parallel (%q, %d)",
+			results[0], counts[0], results[1], counts[1])
+	}
+}
+
+// TestParallelSpawnFromLanePanics pins the contract violation: spawning
+// from inside a parallel lane event is an immediate panic, not a race.
+func TestParallelSpawnFromLanePanics(t *testing.T) {
+	e := NewParallelEngine(WithSeed(1))
+	defer e.Close()
+	// Two lanes with same-instant events force a parallel batch.
+	e.Lane(1).Schedule(0, func() {})
+	caught := make(chan any, 1)
+	e.Lane(0).Schedule(0, func() {
+		defer func() { caught <- recover() }()
+		e.Lane(0).Spawn("illegal", func(p *Proc) {})
+	})
+	_ = e.Run()
+	if r := <-caught; r == nil {
+		t.Fatal("Spawn from a lane event did not panic")
+	}
+}
+
+// FuzzEngineEquivalence is the differential fuzz target from the issue:
+// arbitrary (seed, lanes, depth, shuffle) workloads must behave identically
+// under both engines.
+func FuzzEngineEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(2), false)
+	f.Add(uint64(42), uint8(1), uint8(3), true)
+	f.Add(uint64(7), uint8(9), uint8(1), false)
+	f.Add(uint64(0xdeadbeef), uint8(16), uint8(2), true)
+	f.Fuzz(func(t *testing.T, seed uint64, laneCount, depth uint8, shuffle bool) {
+		lanes := 1 + int(laneCount%16)
+		d := int(depth % 4)
+		opts := []Option{WithSeed(int64(seed | 1))}
+		if shuffle {
+			opts = append(opts, WithTieShuffle())
+		}
+		sd, sp, _ := runEq(t, "serial", seed, lanes, d, opts...)
+		pd, pp, _ := runEq(t, "parallel", seed, lanes, d, opts...)
+		if sd != pd || sp != pp {
+			t.Fatalf("divergence at seed=%d lanes=%d depth=%d shuffle=%v: serial (%x, %d) parallel (%x, %d)",
+				seed, lanes, d, shuffle, sd, sp, pd, pp)
+		}
+	})
+}

@@ -6,7 +6,7 @@ import "time"
 // aimed at process code: the callback form (AfterFunc) or the waitable
 // form (NewTimer + Wait) both resolve against the engine's clock.
 type Timer struct {
-	e       *Engine
+	e       Engine
 	handle  EventHandle
 	fired   bool
 	stopped bool
@@ -15,7 +15,7 @@ type Timer struct {
 
 // AfterFunc arranges for fn to run in engine context after d of virtual
 // time. Stop cancels it.
-func (e *Engine) AfterFunc(d time.Duration, fn func()) *Timer {
+func (e *view) AfterFunc(d time.Duration, fn func()) *Timer {
 	t := &Timer{e: e}
 	t.handle = e.Schedule(d, func() {
 		t.fired = true
@@ -26,7 +26,7 @@ func (e *Engine) AfterFunc(d time.Duration, fn func()) *Timer {
 
 // NewTimer returns a timer that fires after d; a process blocks on it with
 // Wait.
-func (e *Engine) NewTimer(d time.Duration) *Timer {
+func (e *view) NewTimer(d time.Duration) *Timer {
 	t := &Timer{e: e}
 	t.handle = e.Schedule(d, func() {
 		t.fired = true

@@ -51,7 +51,7 @@ type Config struct {
 
 // OS is the booted SMP system.
 type OS struct {
-	e       *sim.Engine
+	e       sim.Engine
 	machine *hw.Machine
 	//popcornvet:allow kernlocal the SMP baseline is a single kernel; there is no cross-kernel sharing to shard
 	metrics *stats.Registry
@@ -106,7 +106,7 @@ func Boot(cfg Config) (*OS, error) {
 }
 
 // BootOn builds the SMP system on an existing engine and machine.
-func BootOn(e *sim.Engine, machine *hw.Machine, framesPerNode int) (*OS, error) {
+func BootOn(e sim.Engine, machine *hw.Machine, framesPerNode int) (*OS, error) {
 	if framesPerNode <= 0 {
 		framesPerNode = 1 << 16
 	}
@@ -144,7 +144,7 @@ func BootOn(e *sim.Engine, machine *hw.Machine, framesPerNode int) (*OS, error) 
 func (o *OS) Name() string { return "smp" }
 
 // Engine implements osi.OS.
-func (o *OS) Engine() *sim.Engine { return o.e }
+func (o *OS) Engine() sim.Engine { return o.e }
 
 // Machine implements osi.OS.
 func (o *OS) Machine() *hw.Machine { return o.machine }

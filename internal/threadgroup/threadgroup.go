@@ -102,16 +102,16 @@ type Config struct {
 
 // Service is the per-kernel thread-group service.
 type Service struct {
-	e       *sim.Engine
+	e       sim.Engine
 	machine *hw.Machine
 	node    msg.NodeID
 	ep      *msg.Endpoint
 	//popcornvet:allow kernlocal read-mostly origin-routing and successor tables; handler paths only read them, and promotions mutate them in the serialised handover step
 	fabric *msg.Fabric
 	vmsvc  *vm.Service
-	//popcornvet:allow kernlocal commutative counters; per-kernel shards merged at pause under the parallel engine
+	//popcornvet:allow kernlocal commutative counters; updated only from global-lane dispatch, which the parallel engine serialises (DESIGN.md §15)
 	metrics *stats.Registry
-	//popcornvet:allow kernlocal the cross-kernel invariant observer by design; moves to the serialised merge step
+	//popcornvet:allow kernlocal the cross-kernel invariant observer by design; runs in the serialised global-lane phase (DESIGN.md §15)
 	checker *sanitize.Checker
 	cfg     Config
 
@@ -146,7 +146,7 @@ type Service struct {
 
 // NewService creates the kernel's thread-group service and registers its
 // message handlers.
-func NewService(e *sim.Engine, machine *hw.Machine, fabric *msg.Fabric, node msg.NodeID, vmsvc *vm.Service, cfg Config, metrics *stats.Registry) *Service {
+func NewService(e sim.Engine, machine *hw.Machine, fabric *msg.Fabric, node msg.NodeID, vmsvc *vm.Service, cfg Config, metrics *stats.Registry) *Service {
 	if metrics == nil {
 		metrics = stats.NewRegistry()
 	}

@@ -28,7 +28,7 @@ func (f *simpleFrames) FreeFrame(p *sim.Proc, fr mem.FrameID) {
 }
 
 type env struct {
-	e      *sim.Engine
+	e      sim.Engine
 	vms    []*vm.Service
 	tgs    []*Service
 	allocs []*mem.FrameAllocator

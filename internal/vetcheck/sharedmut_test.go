@@ -22,7 +22,7 @@ var lastWake int64
 
 type Service struct{ ep *msg.Endpoint }
 
-func (s *Service) register(e *sim.Engine) {
+func (s *Service) register(e sim.Engine) {
 	s.ep.Handle(msg.TypeFutexOp, s.handleOp)
 	e.Spawn("sweeper", func(p *sim.Proc) {
 		lastWake = 1

@@ -143,14 +143,14 @@ type Service struct {
 	// the paper's design is ownership migration).
 	writeForwarding bool
 
-	e       *sim.Engine
+	e       sim.Engine
 	machine *hw.Machine
 	//popcornvet:allow kernlocal read-mostly origin-routing and successor tables; handler paths only read them, and promotions mutate them in the serialised handover step
 	fabric *msg.Fabric
 	node   msg.NodeID
 	ep     *msg.Endpoint
 	frames FrameSource
-	//popcornvet:allow kernlocal commutative counters; per-kernel shards merged at pause under the parallel engine
+	//popcornvet:allow kernlocal commutative counters; updated only from global-lane dispatch, which the parallel engine serialises (DESIGN.md §15)
 	metrics *stats.Registry
 	spaces  map[GID]*Space
 	// localCores is how many cores this kernel drives; TLB shootdowns on a
@@ -170,7 +170,7 @@ type Service struct {
 
 	// checker, when attached, shadows every grant, revoke and access this
 	// kernel performs; nil costs one comparison per hook.
-	//popcornvet:allow kernlocal the cross-kernel invariant observer by design; moves to the serialised merge step
+	//popcornvet:allow kernlocal the cross-kernel invariant observer by design; runs in the serialised global-lane phase (DESIGN.md §15)
 	checker *sanitize.Checker
 	// injectSkipRevoke deliberately breaks the protocol for sanitizer
 	// tests: invalidations destined for skipRevokeTarget are silently
@@ -181,7 +181,7 @@ type Service struct {
 
 // NewService creates the kernel's VM service and registers its message
 // handlers on the kernel's endpoint.
-func NewService(e *sim.Engine, machine *hw.Machine, fabric *msg.Fabric, node msg.NodeID, frames FrameSource, localCores int, metrics *stats.Registry) *Service {
+func NewService(e sim.Engine, machine *hw.Machine, fabric *msg.Fabric, node msg.NodeID, frames FrameSource, localCores int, metrics *stats.Registry) *Service {
 	if metrics == nil {
 		metrics = stats.NewRegistry()
 	}

@@ -28,7 +28,7 @@ func (f *simpleFrames) FreeFrame(p *sim.Proc, fr mem.FrameID) {
 
 // env is a 4-kernel VM test environment over a dual-socket 8-core machine.
 type env struct {
-	e      *sim.Engine
+	e      sim.Engine
 	fabric *msg.Fabric
 	svcs   []*Service
 	allocs []*mem.FrameAllocator
